@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables and figures: each bench runs the
+experiment once (timed via benchmark.pedantic), prints the same rows/series
+the figure shows, and asserts the paper's qualitative shape. Sizes are
+chosen so the full suite finishes in minutes on a laptop; scale the
+configs up for higher-fidelity numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.importance.importance import ImportanceEvaluator
+from repro.transfer.registry import make_strategy
+
+
+@pytest.fixture(scope="session")
+def bench_dataset() -> BuildingOperationDataset:
+    """The building pipeline at benchmark scale (90 days, 3 buildings)."""
+    config = BuildingOperationConfig(n_days=90, n_buildings=3, seed=7)
+    return BuildingOperationDataset(config).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_model_set(bench_dataset):
+    return make_strategy("clustered", "ridge", seed=0).fit(bench_dataset.tasks)
+
+
+@pytest.fixture(scope="session")
+def bench_importance(bench_dataset, bench_model_set):
+    """(days, importance_matrix) over a 20-day evaluation window."""
+    evaluator = ImportanceEvaluator(bench_dataset, bench_model_set)
+    days = bench_dataset.days[10:30]
+    return days, evaluator.importance_matrix(days)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario() -> SyntheticScenario:
+    """The PT-experiment scenario at benchmark scale (50 tasks)."""
+    return SyntheticScenario(
+        ScenarioConfig(
+            n_tasks=50,
+            n_regimes=4,
+            n_history=32,
+            n_eval=6,
+            fluctuation_sigma=0.7,
+            feature_noise=0.25,
+            seed=0,
+        )
+    )
+
+
+def run_once(benchmark, fn):
+    """Time one full experiment run and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

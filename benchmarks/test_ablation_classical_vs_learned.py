@@ -1,0 +1,73 @@
+"""Ablation — classical per-epoch solving vs. the learned (CRL/DCTA) pipeline.
+
+At 50-task scale a greedy+local-search TATIM solve costs microseconds, so
+the paper's "repeated complicated computation" argument is about *scale
+and estimation*, not raw solver latency here. This bench makes that
+honest: it compares the classical solver (same kNN environment definition)
+against CRL and DCTA on processing time and on allocation latency, and
+reports where each component of the learned pipeline earns its keep.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.allocation.base import EpochContext, tatim_from_workload
+from repro.allocation.classical import ClassicalAllocator
+from repro.core.experiment import build_allocators
+from repro.edgesim.simulator import EdgeSimulator
+from repro.edgesim.testbed import scaled_testbed
+from repro.utils.reporting import format_table
+
+
+def test_ablation_classical_vs_learned(benchmark, bench_scenario):
+    nodes, network = scaled_testbed(8)
+    allocators = build_allocators(bench_scenario, nodes, crl_episodes=50, seed=0)
+    geometry = tatim_from_workload(bench_scenario.tasks, nodes)
+    allocators["Classical"] = ClassicalAllocator(
+        geometry, bench_scenario.environment_store()
+    )
+    simulator = EdgeSimulator(nodes, network, quality_threshold=0.9)
+
+    def experiment():
+        times = {name: [] for name in ("Classical", "CRL", "DCTA")}
+        latencies = {name: [] for name in ("Classical", "CRL", "DCTA")}
+        for epoch in bench_scenario.eval_epochs:
+            workload = bench_scenario.workload_for(epoch)
+            context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+            for name in times:
+                plan = allocators[name].plan(workload, nodes, context)
+                result = simulator.run(workload, plan)
+                times[name].append(result.processing_time)
+                latencies[name].append(plan.allocation_time)
+        return (
+            {name: float(np.mean(v)) for name, v in times.items()},
+            {name: float(np.mean(v)) for name, v in latencies.items()},
+        )
+
+    times, latencies = run_once(benchmark, experiment)
+
+    rows = [
+        [name, times[name], latencies[name] * 1000.0]
+        for name in ("Classical", "CRL", "DCTA")
+    ]
+    print()
+    print(
+        format_table(
+            ["policy", "mean PT (s)", "allocation latency (ms)"],
+            rows,
+            title="Ablation — classical solver vs learned pipeline",
+        )
+    )
+    print(
+        "\nReading: with the same kNN importance estimate, the classical solver"
+        "\nmatches CRL (selection quality), while DCTA's gain comes from the"
+        "\nlocal process's fresher importance signal — the learned pipeline's"
+        "\nvalue at this scale is estimation, not solver latency."
+    )
+
+    # All three decide; the classical solver is competitive with CRL
+    # (same estimate, strong solver) and DCTA leads via better estimates.
+    assert times["DCTA"] <= times["Classical"] * 1.1
+    assert times["Classical"] <= times["CRL"] * 1.5
+    # Per-epoch solver latency stays sub-second at this scale for everyone.
+    assert all(latency < 1.0 for latency in latencies.values())

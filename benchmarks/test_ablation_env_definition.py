@@ -1,0 +1,78 @@
+"""Ablation — environment definition: online kNN vs. offline k-means.
+
+The paper's Section VII discusses two modes: offline (cluster history in
+advance with k-means; fast prediction, coarser environments) and online
+(kNN against history at decision time; sharper environments, more work at
+prediction). This ablation measures the importance-estimation error and
+the per-query allocation latency of each.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.allocation.base import tatim_from_workload
+from repro.edgesim.testbed import scaled_testbed
+from repro.rl.crl import CRLModel
+from repro.rl.dqn import DQNConfig
+from repro.utils.reporting import format_table
+
+
+def test_ablation_online_vs_offline_environment(benchmark, bench_scenario):
+    nodes, _ = scaled_testbed(6)
+    geometry = tatim_from_workload(bench_scenario.tasks, nodes)
+    store = bench_scenario.environment_store()
+
+    def experiment():
+        results = {}
+        for mode in ("offline", "online"):
+            model = CRLModel(
+                geometry,
+                mode=mode,
+                n_clusters=4,
+                knn_k=5,
+                episodes=30,
+                dqn_config=DQNConfig(hidden_sizes=(32,)),
+                seed=0,
+            ).fit(store)
+            errors, latencies, objectives = [], [], []
+            for epoch in bench_scenario.eval_epochs:
+                started = time.perf_counter()
+                allocation = model.allocate(epoch.sensing)
+                latencies.append(time.perf_counter() - started)
+                estimate = model.estimate_importance(epoch.sensing)
+                scale = epoch.true_importance.max() or 1.0
+                errors.append(
+                    float(np.mean(np.abs(estimate - epoch.true_importance)) / scale)
+                )
+                true_problem = geometry.scaled(importance=epoch.true_importance)
+                objectives.append(allocation.objective(true_problem))
+            results[mode] = (
+                float(np.mean(errors)),
+                float(np.mean(latencies)),
+                float(np.mean(objectives)),
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    rows = [
+        [mode, error, latency, objective]
+        for mode, (error, latency, objective) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["mode", "importance MAE (norm.)", "query latency (s)", "objective (true I)"],
+            rows,
+            title="Ablation — environment definition mode",
+        )
+    )
+
+    offline_error, offline_latency, _ = results["offline"]
+    online_error, online_latency, _ = results["online"]
+    # The paper's stated trade-off: online mode is at least as accurate.
+    assert online_error <= offline_error * 1.2
+    # Both answer queries fast once trained (inference, not training).
+    assert offline_latency < 1.0 and online_latency < 5.0

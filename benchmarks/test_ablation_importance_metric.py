@@ -1,0 +1,68 @@
+"""Ablation — leave-one-out (Definition 1) vs. Shapley task importance.
+
+Definition 1 measures each task's marginal against the full set; the
+Shapley value averages marginals over coalitions, splitting credit among
+substitutable tasks. This bench compares the two metrics on the building
+pipeline: rank agreement, and the decision quality of the top-k selection
+each induces.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.importance.shapley import compare_importance_metrics
+from repro.transfer.decision import MTLDecisionModel
+from repro.utils.reporting import format_table
+
+
+def _selection_quality(dataset, model_set, importance, k, day):
+    order = np.argsort(-importance)
+    task_ids = model_set.task_ids
+    chosen = [task_ids[i] for i in order[:k]]
+    reduced = model_set.restricted_to(chosen)
+    return MTLDecisionModel(dataset, reduced).overall_performance(day)
+
+
+def test_ablation_loo_vs_shapley(benchmark, bench_dataset, bench_model_set):
+    day = int(bench_dataset.days[12])
+    k = max(4, len(bench_model_set) // 4)
+
+    def experiment():
+        metrics = compare_importance_metrics(
+            bench_dataset, bench_model_set, day, n_permutations=4, seed=0
+        )
+        loo, shapley = metrics["leave_one_out"], metrics["shapley"]
+        spearman = _rank_correlation(loo, shapley)
+        quality_loo = _selection_quality(bench_dataset, bench_model_set, loo, k, day)
+        quality_shapley = _selection_quality(
+            bench_dataset, bench_model_set, shapley, k, day
+        )
+        return loo, shapley, spearman, quality_loo, quality_shapley
+
+    loo, shapley, spearman, quality_loo, quality_shapley = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["metric", "max", "sum", f"H of top-{k} selection"],
+            [
+                ["leave-one-out (Def. 1)", float(loo.max()), float(loo.sum()), quality_loo],
+                ["Shapley (sampled)", float(shapley.max()), float(shapley.sum()), quality_shapley],
+            ],
+            title="Ablation — importance metric",
+        )
+    )
+    print(f"\nrank correlation between metrics: {spearman:.3f}")
+
+    # The metrics agree on who matters (positive rank correlation) and both
+    # induce high-quality selections.
+    assert spearman > 0.2
+    assert quality_loo > 0.8 and quality_shapley > 0.8
+
+
+def _rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    ranks_a = np.argsort(np.argsort(a))
+    ranks_b = np.argsort(np.argsort(b))
+    if ranks_a.std() == 0 or ranks_b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(ranks_a, ranks_b)[0, 1])

@@ -1,0 +1,100 @@
+"""Ablation — TATIM solver quality/latency trade-offs.
+
+Two comparisons motivating the paper's data-driven route:
+
+1. Exact branch-and-bound vs. density greedy: the optimality gap is small
+   on long-tail instances, but exact solving is orders of magnitude
+   slower — and TATIM must be re-solved every epoch (the paper's core
+   argument for a fast learned policy).
+2. DQN vs. tabular Q-learning on the allocation MDP: the neural policy
+   generalizes where the table blows up.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.env import AllocationEnv
+from repro.rl.qlearning import QLearningAgent
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.generators import longtail_instance
+from repro.tatim.greedy import density_greedy
+from repro.utils.reporting import format_table
+
+
+def test_ablation_exact_vs_greedy(benchmark):
+    def experiment():
+        rows = []
+        for seed in range(5):
+            problem = longtail_instance(16, 3, seed=seed)
+            started = time.perf_counter()
+            exact_value = branch_and_bound(problem).objective(problem)
+            exact_time = time.perf_counter() - started
+            started = time.perf_counter()
+            greedy_value = density_greedy(problem).objective(problem)
+            greedy_time = time.perf_counter() - started
+            rows.append((seed, exact_value, exact_time, greedy_value, greedy_time))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = [
+        [s, ev, et, gv, gt, gv / ev if ev > 0 else 1.0]
+        for s, ev, et, gv, gt in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["seed", "exact obj", "exact (s)", "greedy obj", "greedy (s)", "greedy/exact"],
+            table,
+            title="Ablation — exact vs greedy TATIM solving",
+        )
+    )
+    ratios = [gv / ev for _, ev, _, gv, _ in rows if ev > 0]
+    speedups = [et / gt for _, _, et, _, gt in rows if gt > 0]
+    print(f"\nmean optimality ratio: {np.mean(ratios):.3f}; mean exact/greedy latency: {np.mean(speedups):.0f}x")
+
+    # Long-tail instances: greedy within 10% of optimal, far faster.
+    assert np.mean(ratios) > 0.9
+    assert np.mean(speedups) > 5.0
+
+
+def test_ablation_dqn_vs_tabular(benchmark):
+    def experiment():
+        results = []
+        for seed in range(3):
+            problem = longtail_instance(10, 2, seed=10 + seed)
+            optimal = branch_and_bound(problem).objective(problem)
+            env = AllocationEnv(problem)
+            dqn = DQNAgent(
+                env.state_dim, env.n_actions, DQNConfig(hidden_sizes=(64, 32)), seed=seed
+            )
+            dqn.train(env, 250)
+            dqn_value = dqn.solve(env).objective(problem)
+            tabular = QLearningAgent(epsilon=1.0, epsilon_decay=0.995, seed=seed)
+            tabular.train(env, 250)
+            tabular_value = tabular.solve(env).objective(problem)
+            results.append(
+                (seed, dqn_value / optimal, tabular_value / optimal, tabular.table_size)
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["seed", "DQN (frac of opt)", "tabular (frac of opt)", "table size"],
+            [list(r) for r in results],
+            title="Ablation — DQN vs tabular Q-learning (equal episode budget)",
+        )
+    )
+    dqn_mean = float(np.mean([r[1] for r in results]))
+    tabular_mean = float(np.mean([r[2] for r in results]))
+    print(f"\nmean: DQN {dqn_mean:.3f}, tabular {tabular_mean:.3f} of optimal")
+
+    # With an equal (modest) episode budget the function approximator
+    # matches or beats the table, whose state space explodes.
+    assert dqn_mean >= tabular_mean - 0.1

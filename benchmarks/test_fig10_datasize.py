@@ -1,0 +1,35 @@
+"""Fig. 10 — processing time vs. average input data size.
+
+Paper: PT grows with the input size for every method; DCTA improves over
+RM, DML, CRL by 2.71x, 1.83x, 1.68x at 500 Mb. We sweep mean input size
+from 200 to 1000 Mb on the full testbed.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.experiment import PTExperiment
+
+SIZES = (200, 400, 600, 800, 1000)
+
+
+def test_fig10_processing_time_vs_input_size(benchmark, bench_scenario):
+    experiment = PTExperiment(bench_scenario, crl_episodes=50, seed=0)
+
+    result = run_once(benchmark, lambda: experiment.sweep_input_size(SIZES))
+
+    print()
+    print(result.table())
+    # The paper quotes the 500 Mb point; ours is bracketed by 400/600.
+    mid = len(SIZES) // 2
+    for method, paper_at_500 in (("RM", 2.71), ("DML", 1.83), ("CRL", 1.68)):
+        measured = float(result.speedup_over(method)[mid])
+        print(f"{method}/DCTA at {SIZES[mid]} Mb: {measured:.2f}x (paper at 500 Mb: {paper_at_500:.2f}x)")
+
+    # Shape assertions:
+    # 1) PT is monotone increasing in input size for every method.
+    for method, times in result.times.items():
+        assert all(b > a for a, b in zip(times, times[1:])), method
+    # 2) DCTA wins at every size.
+    for method in ("RM", "DML", "CRL"):
+        assert np.all(result.speedup_over(method) > 1.0), method

@@ -1,0 +1,33 @@
+"""Fig. 11 — processing time vs. network bandwidth.
+
+Paper: PT decreases as bandwidth grows ("transmission time is also the
+main component of processing time"); DCTA outperforms RM, DML, CRL by
+2.68x, 1.94x, 1.71x on average across the sweep.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.experiment import PTExperiment
+
+BANDWIDTHS = (10, 20, 40, 80, 120)
+
+
+def test_fig11_processing_time_vs_bandwidth(benchmark, bench_scenario):
+    experiment = PTExperiment(bench_scenario, crl_episodes=50, seed=0)
+
+    result = run_once(benchmark, lambda: experiment.sweep_bandwidth(BANDWIDTHS))
+
+    print()
+    print(result.table())
+    for method, paper_avg in (("RM", 2.68), ("DML", 1.94), ("CRL", 1.71)):
+        measured = result.mean_speedup(method)
+        print(f"mean {method}/DCTA speedup: {measured:.2f}x (paper avg: {paper_avg:.2f}x)")
+
+    # Shape assertions:
+    # 1) PT decreases with bandwidth (ends of the sweep) for every method.
+    for method, times in result.times.items():
+        assert times[-1] < times[0], method
+    # 2) DCTA wins on average against each baseline.
+    for method in ("RM", "DML", "CRL"):
+        assert result.mean_speedup(method) > 1.0, method

@@ -1,0 +1,45 @@
+"""Fig. 9 — processing time vs. number of processors.
+
+Paper: PT decreases as processors increase; DCTA outperforms RM, DML and
+CRL by up to 3.24x, 2.32x, 2.01x (2.70x, 2.05x, 1.80x on average). We
+sweep the scaled Fig. 8 testbed from 2 to 10 devices and print the same
+series with the speedup columns.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.experiment import PTExperiment
+
+
+def test_fig9_processing_time_vs_processors(benchmark, bench_scenario):
+    experiment = PTExperiment(bench_scenario, crl_episodes=50, seed=0)
+
+    result = run_once(benchmark, lambda: experiment.sweep_processors((2, 4, 6, 8, 10)))
+
+    print()
+    print(result.table())
+    from repro.utils.ascii_charts import line_chart
+
+    print()
+    print(
+        line_chart(
+            result.sweep_values,
+            result.times,
+            title="Fig. 9 — processing time vs processors",
+            y_label="PT (s)",
+        )
+    )
+    for method, paper_avg in (("RM", 2.70), ("DML", 2.05), ("CRL", 1.80)):
+        measured = result.mean_speedup(method)
+        print(f"mean {method}/DCTA speedup: {measured:.2f}x (paper avg: {paper_avg:.2f}x)")
+
+    # Shape assertions — the paper's qualitative claims:
+    # 1) DCTA wins against every baseline at every sweep point.
+    for method in ("RM", "DML", "CRL"):
+        assert np.all(result.speedup_over(method) > 1.0), method
+    # 2) The ordering RM > DML > CRL > DCTA holds on average.
+    assert result.mean_speedup("RM") > result.mean_speedup("DML") > result.mean_speedup("CRL") > 1.0
+    # 3) PT broadly decreases with more processors (compare ends of sweep).
+    for method in result.times:
+        assert result.times[method][-1] < result.times[method][0] * 1.2, method

@@ -1,0 +1,68 @@
+"""Capacity planning: size the testbed for a processing-time SLO.
+
+Inverts the paper's Figs. 9/11: given a decision-latency target, find the
+smallest device count (at 50 Mbps) and the minimum bandwidth (at 10
+devices) that meet it, under both the hardware's capability (oracle
+allocation) and the deployable DCTA policy.
+
+Run:  python examples/capacity_planning.py         (~2 minutes)
+"""
+
+from repro.core.experiment import build_allocators
+from repro.core.planner import bandwidth_needed, processors_needed
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.edgesim.testbed import scaled_testbed
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    scenario = SyntheticScenario(
+        ScenarioConfig(n_tasks=25, n_regimes=2, n_history=14, n_eval=2, seed=3)
+    )
+    nodes, _ = scaled_testbed(10)
+    print("Training DCTA for the deployable-policy rows...")
+    allocators = build_allocators(scenario, nodes, crl_episodes=30, seed=3)
+    dcta = allocators["DCTA"]
+
+    targets = (400.0, 250.0, 150.0)
+    rows = []
+    for target in targets:
+        rows.append(
+            [
+                f"{target:.0f} s",
+                _fmt(processors_needed(scenario, target)),
+                _fmt(bandwidth_needed(scenario, target, tolerance_mbps=2.0), "Mbps"),
+                _fmt(processors_needed(scenario, target, allocator=dcta)),
+                _fmt(bandwidth_needed(scenario, target, allocator=dcta, tolerance_mbps=2.0), "Mbps"),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "PT target",
+                "devices (oracle)",
+                "bandwidth (oracle)",
+                "devices (DCTA)",
+                "bandwidth (DCTA)",
+            ],
+            rows,
+            title="Capacity plan (devices at 50 Mbps; bandwidth at 10 devices)",
+        )
+    )
+    print(
+        "\n'—' means the target is unreachable in that dimension alone "
+        "(e.g. compute-bound regardless of bandwidth)."
+    )
+
+
+def _fmt(value, unit: str = "") -> str:
+    if value is None:
+        return "—"
+    if unit:
+        return f"{value:.0f} {unit}"
+    return str(value)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Green-building AIOps: the paper's full pipeline on synthetic telemetry.
+
+This is the flagship integration (the paper's Section V scenario):
+
+1. generate a multi-building chiller plant history (weather → cooling load
+   → operator sequencing → telemetry);
+2. extract ~30-50 transfer-learning tasks (COP prediction per chiller per
+   PLR band) and train them with clustered MTL;
+3. compute leave-one-out task importance per day (Definition 1) and show
+   the long-tail (Fig. 2) and fluctuation (Obs. 3) statistics;
+4. build the full DCTA stack (environment store, CRL, local SVM on real
+   Table I features) and run evaluation days on the simulated testbed;
+5. report per-policy processing time and the decision quality of DCTA's
+   selected tasks.
+
+Run:  python examples/chiller_aiops.py          (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro.building.dataset import BuildingOperationConfig
+from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+from repro.importance.longtail import long_tail_stats
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    print("Building the DCTA system (synthetic 3-building chiller history)...")
+    config = DCTASystemConfig(
+        building=BuildingOperationConfig(n_days=30, n_buildings=3, seed=7),
+        n_processors=8,
+        crl_clusters=3,
+        crl_episodes=30,
+        seed=7,
+    )
+    system = DCTASystem(config).build()
+    print(
+        f"  {system.dataset.n_tasks} transfer-learning tasks across "
+        f"{len(system.dataset.plants)} buildings; "
+        f"{system.history_days.size} history days, {system.eval_days.size} eval days"
+    )
+
+    profile = system.importance_history.mean(axis=0)
+    stats = long_tail_stats(profile)
+    print(
+        f"\nTask importance long tail (Fig. 2): {stats.fraction_for_80pct:.1%} of tasks "
+        f"carry 80% of importance (Gini {stats.gini:.2f})"
+    )
+
+    rows = []
+    for day in system.eval_days[:3]:
+        results = system.run_epoch(int(day))
+        rows.append(
+            [int(day)] + [results[name].processing_time for name in ("RM", "DML", "CRL", "DCTA")]
+        )
+    print()
+    print(
+        format_table(
+            ["day", "RM (s)", "DML (s)", "CRL (s)", "DCTA (s)"],
+            rows,
+            title="Processing time per evaluation day",
+        )
+    )
+
+    day = int(system.eval_days[0])
+    workload = system.workload_for_day(day)
+    context = system.context_for_day(day)
+    plan = system.allocators["DCTA"].plan(workload, system.nodes, context)
+    budgeted = [task_id for task_id, _ in plan.assignments[: max(5, len(workload) // 3)]]
+    quality = system.decision_quality(day, budgeted)
+    print(
+        f"\nDecision quality H with DCTA's top {len(budgeted)} tasks on day {day}: "
+        f"{quality:.4f} (1.0 = ideal sequencing)"
+    )
+
+    means = np.mean([[r[i] for r in rows] for i in range(1, 5)], axis=1)
+    print(
+        f"\nMean PT — RM {means[0]:.0f}s, DML {means[1]:.0f}s, "
+        f"CRL {means[2]:.0f}s, DCTA {means[3]:.0f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

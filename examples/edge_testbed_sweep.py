@@ -1,0 +1,37 @@
+"""Edge-testbed sweep: regenerate a compact version of the paper's Fig. 9.
+
+Sweeps the number of processors (2..10 devices of the Fig. 8 testbed) and
+prints processing time per allocation policy with speedups relative to
+DCTA — the same series the figure plots. For the full-scale version see
+benchmarks/test_fig9_processors.py.
+
+Run:  python examples/edge_testbed_sweep.py     (~1 minute)
+"""
+
+from repro.core.experiment import PTExperiment
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+
+
+def main() -> None:
+    scenario = SyntheticScenario(
+        ScenarioConfig(
+            n_tasks=30,
+            n_regimes=3,
+            n_history=18,
+            n_eval=3,
+            fluctuation_sigma=0.7,
+            seed=2,
+        )
+    )
+    experiment = PTExperiment(scenario, crl_episodes=30, seed=2)
+    print("Sweeping processors 2 -> 10 (training CRL per point)...\n")
+    result = experiment.sweep_processors((2, 4, 6, 8, 10))
+    print(result.table())
+    print()
+    for method in ("RM", "DML", "CRL"):
+        print(f"mean {method}/DCTA speedup: {result.mean_speedup(method):.2f}x")
+    print("\n(Paper Fig. 9 averages: RM 2.70x, DML 2.05x, CRL 1.80x.)")
+
+
+if __name__ == "__main__":
+    main()

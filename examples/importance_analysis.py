@@ -1,0 +1,68 @@
+"""Task-importance deep dive: Definitions, long tail, and dynamics.
+
+Reproduces the paper's Section II analysis on the synthetic building
+pipeline in one script:
+
+- Definition 1 leave-one-out importance for a sample day;
+- the Fig. 2 contribution curve and headline statistics;
+- the Fig. 4/5 per-machine, per-operation mean and variance;
+- a comparison of the three MTL strategies' decision performance H.
+
+Run:  python examples/importance_analysis.py    (~1 minute)
+"""
+
+import numpy as np
+
+from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+from repro.importance.dynamics import importance_dynamics
+from repro.importance.importance import ImportanceEvaluator
+from repro.importance.longtail import long_tail_stats
+from repro.transfer.decision import MTLDecisionModel
+from repro.transfer.registry import available_strategies, make_strategy
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    print("Generating 3-building, 25-day synthetic chiller history...")
+    dataset = BuildingOperationDataset(
+        BuildingOperationConfig(n_days=25, n_buildings=3, seed=13)
+    ).generate()
+    print(f"  extracted {dataset.n_tasks} transfer-learning tasks")
+
+    print("\nDecision performance H by MTL strategy (which wins depends on data volume):")
+    rows = []
+    for strategy_name in available_strategies():
+        model_set = make_strategy(strategy_name, "ridge", seed=0).fit(dataset.tasks)
+        model = MTLDecisionModel(dataset, model_set)
+        scores = [model.overall_performance(int(day)) for day in dataset.days[5:10]]
+        rows.append([strategy_name, float(np.mean(scores))])
+    print(format_table(["MTL strategy", "mean H"], rows))
+
+    best_strategy = max(rows, key=lambda r: r[1])[0]
+    model_set = make_strategy(best_strategy, "ridge", seed=0).fit(dataset.tasks)
+    evaluator = ImportanceEvaluator(dataset, model_set)
+    days = dataset.days[5:15]
+    matrix = evaluator.importance_matrix(days)
+
+    stats = long_tail_stats(matrix.mean(axis=0))
+    print(f"\nFig. 2 statistics over days {days[0]}..{days[-1]}:")
+    print(f"  tasks needed for 80% of importance: {stats.fraction_for_80pct:.1%}")
+    print(f"  share of top 12.72% of tasks:       {stats.share_of_top_12_72pct:.1%}")
+    print(f"  Gini coefficient:                   {stats.gini:.3f}")
+
+    dynamics = importance_dynamics(model_set, matrix)
+    print(
+        f"\nObservation 3 — mean coefficient of variation across (machine, operation) "
+        f"cells: {dynamics.temporal_fluctuation():.2f}"
+    )
+    headers = ["machine"] + [f"op{o}" for o in dynamics.operation_ids]
+    mean_rows = []
+    for i, machine in enumerate(dynamics.machine_ids[:6]):
+        cells = ["-" if np.isnan(v) else f"{v:.4f}" for v in dynamics.mean[i]]
+        mean_rows.append([machine] + cells)
+    print()
+    print(format_table(headers, mean_rows, title="Fig. 4 excerpt — mean importance"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Online DCTA: continual adaptation to regime drift (Section VII).
+
+Runs the deployed-controller loop: bootstrap on history, then process a
+stream of epochs — planning, simulating, and feeding realized importance
+back. Halfway through, the workload shifts to a regime the controller has
+never seen; the script tracks how quickly the importance estimates
+re-converge as the environment store and local window fill with post-shift
+epochs.
+
+Run:  python examples/online_adaptation.py        (~1 minute)
+"""
+
+import numpy as np
+
+from repro.allocation.base import EpochContext, tatim_from_workload
+from repro.core.online import OnlineDCTA
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.edgesim.simulator import EdgeSimulator
+from repro.edgesim.testbed import scaled_testbed
+from repro.rl.dqn import DQNConfig
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    scenario = SyntheticScenario(
+        ScenarioConfig(n_tasks=20, n_regimes=2, n_history=14, n_eval=2, seed=6)
+    )
+    nodes, network = scaled_testbed(6)
+    geometry = tatim_from_workload(scenario.tasks, nodes)
+    simulator = EdgeSimulator(nodes, network, quality_threshold=0.9)
+
+    print("Bootstrapping the online controller on 14 history epochs...")
+    controller = OnlineDCTA(
+        geometry,
+        nodes,
+        window=16,
+        refresh_every=2,
+        crl_episodes=25,
+        crl_clusters=2,
+        dqn_config=DQNConfig(hidden_sizes=(32,)),
+        seed=6,
+    ).bootstrap(scenario.history_epochs)
+
+    # A novel regime: far-away sensing, freshly drawn long-tail importance.
+    rng = np.random.default_rng(6)
+    novel_sensing_base = np.full(scenario.config.sensing_dim, 25.0)
+    novel_importance = rng.pareto(1.2, size=20) + 1e-3
+    novel_importance /= novel_importance.max()
+
+    rows = []
+    for step in range(8):
+        sensing = novel_sensing_base + rng.normal(0, 0.3, size=novel_sensing_base.size)
+        realized = novel_importance * np.exp(rng.normal(0, 0.1, size=20))
+        features = scenario.eval_epochs[0].features  # context telemetry
+        context = EpochContext(sensing=sensing, features=features, day=100 + step)
+        estimate = controller.estimate_importance(sensing)
+        error = float(np.mean(np.abs(estimate - realized)))
+        workload = [
+            t.__class__(
+                task_id=t.task_id,
+                input_mb=t.input_mb,
+                memory_mb=t.memory_mb,
+                true_importance=float(realized[t.task_id]),
+            )
+            for t in scenario.tasks
+        ]
+        plan = controller.plan_epoch(workload, context)
+        result = simulator.run(workload, plan)
+        rows.append([step, error, result.processing_time, controller.history_size])
+        controller.observe(context, realized)
+
+    print()
+    print(
+        format_table(
+            ["epoch after shift", "importance MAE", "PT (s)", "store size"],
+            rows,
+            title="Online adaptation to an unseen regime",
+        )
+    )
+    first, last = rows[0][1], rows[-1][1]
+    print(f"\nestimate error: {first:.4f} at shift -> {last:.4f} after 8 epochs "
+          f"({(1 - last / first):.0%} reduction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Data-driven Task Allocation for Multi-task
+Transfer Learning on the Edge" (Chen, Zheng, Hu, Wang, Liu — ICDCS 2019).
+
+The package implements the paper's full stack:
+
+- :mod:`repro.ml` — from-scratch ML substrate (SVM/AdaBoost/RF/kNN/k-means/MLP).
+- :mod:`repro.building` — synthetic green-building chiller-plant substrate
+  standing in for the proprietary dataset of [22].
+- :mod:`repro.transfer` — multi-task transfer learning (MTL) strategies and
+  the decision function H(.).
+- :mod:`repro.importance` — task importance (Definition 1) and its long-tail
+  and dynamics analyses (Figs. 2, 4, 5).
+- :mod:`repro.tatim` — the TATIM multiply-constrained multiple-knapsack
+  problem, exact and greedy solvers (Definition 4, Theorem 1).
+- :mod:`repro.rl` — DQN and Clustered Reinforcement Learning (Algorithm 1).
+- :mod:`repro.allocation` — RM / DML / CRL / DCTA allocator policies.
+- :mod:`repro.edgesim` — discrete-event edge testbed simulator (Fig. 8).
+- :mod:`repro.core` — the DCTASystem facade and experiment runner.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    InfeasibleAllocationError,
+    InfeasibleProblemError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+    TrainingError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "NotFittedError",
+    "DataError",
+    "InfeasibleProblemError",
+    "InfeasibleAllocationError",
+    "SimulationError",
+    "TrainingError",
+]

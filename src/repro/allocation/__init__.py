@@ -1,0 +1,48 @@
+"""Task-allocation policies over the edge simulator.
+
+The four contenders of the paper's Section V-C:
+
+- :class:`RandomMapping` (RM) — tasks land on uniformly random devices.
+- :class:`DMLAllocator` (DML) — importance-blind distributed-ML load
+  balancing across all devices.
+- :class:`CRLAllocator` — the clustered-RL general process alone.
+- :class:`DCTAAllocator` — the full cooperative model (Eq. 6): CRL scores
+  adjusted by the local SVM process trained on Table I features.
+
+Plus an :class:`OracleAllocator` (true importance, for upper bounds and
+Fig. 3's "accurate task allocation") and the :class:`LocalProcess` itself.
+"""
+
+from repro.allocation.base import (
+    Allocator,
+    EpochContext,
+    place_by_scores,
+    tatim_from_workload,
+)
+from repro.allocation.random_mapping import RandomMapping
+from repro.allocation.dml import DMLAllocator
+from repro.allocation.oracle import OracleAllocator
+from repro.allocation.local import LocalProcess, compare_local_models
+from repro.allocation.crl_policy import CRLAllocator
+from repro.allocation.dcta import DCTAAllocator
+from repro.allocation.dependencies import TaskDependencyGraph, dependency_aware_plan
+from repro.allocation.energy_aware import EnergyAwareDCTA
+from repro.allocation.classical import ClassicalAllocator
+
+__all__ = [
+    "TaskDependencyGraph",
+    "dependency_aware_plan",
+    "EnergyAwareDCTA",
+    "ClassicalAllocator",
+    "Allocator",
+    "EpochContext",
+    "tatim_from_workload",
+    "place_by_scores",
+    "RandomMapping",
+    "DMLAllocator",
+    "OracleAllocator",
+    "LocalProcess",
+    "compare_local_models",
+    "CRLAllocator",
+    "DCTAAllocator",
+]

@@ -1,0 +1,134 @@
+"""DCTA: Data-driven Cooperative Task Allocation (the paper's Eq. 6).
+
+    F(J, X) = w1 · F1(J, C) + w2 · F2(J, R)
+
+F1 is the CRL general process (trained on the large simulated/historical
+environment-definition data C); F2 is the local SVM process (trained on
+scarce real-world epochs R). DCTA combines their per-task selection scores
+with weights (w1, w2) and emits a score-ordered plan. The weights can be
+fixed or fitted on validation epochs by grid search against the optimal
+selection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.allocation.base import Allocator, EpochContext, place_by_scores
+from repro.allocation.crl_policy import CRLAllocator
+from repro.allocation.local import LocalProcess
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.simulator import ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import ConfigurationError, DataError
+from repro.rl.crl import CRLModel
+
+
+def _normalize(scores: np.ndarray) -> np.ndarray:
+    top = float(np.max(scores)) if scores.size else 0.0
+    if top <= 0:
+        return np.zeros_like(scores)
+    return scores / top
+
+
+class DCTAAllocator(Allocator):
+    """Cooperative combination of the CRL and local-SVM scores."""
+
+    name = "DCTA"
+
+    def __init__(
+        self,
+        crl_model: CRLModel,
+        local_process: LocalProcess,
+        *,
+        w1: float = 0.5,
+        w2: float = 0.5,
+    ) -> None:
+        if w1 < 0 or w2 < 0 or w1 + w2 <= 0:
+            raise ConfigurationError(f"weights must be non-negative and not both zero, got {w1}, {w2}")
+        self.crl_model = crl_model
+        self.local_process = local_process
+        total = w1 + w2
+        self.w1 = float(w1) / total
+        self.w2 = float(w2) / total
+
+    # ------------------------------------------------------------------
+    def combined_scores(self, sensing: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """w1 · F1 + w2 · F2 per task (both score vectors normalized to [0,1])."""
+        general = _normalize(self.crl_model.selection_scores(sensing))
+        local = _normalize(self.local_process.scores(features))
+        if general.size != local.size:
+            raise DataError(
+                f"general process scored {general.size} tasks, local {local.size}"
+            )
+        return self.w1 * general + self.w2 * local
+
+    def plan(
+        self,
+        tasks: Sequence[SimTask],
+        nodes: Sequence[EdgeNode],
+        context: EpochContext | None = None,
+    ) -> ExecutionPlan:
+        if context is None or context.sensing is None or context.features is None:
+            raise ConfigurationError(
+                f"{self.name} requires context.sensing and context.features"
+            )
+        if len(tasks) != self.crl_model.geometry.n_tasks:
+            raise DataError(
+                f"workload has {len(tasks)} tasks but CRL geometry expects "
+                f"{self.crl_model.geometry.n_tasks}"
+            )
+        started = time.perf_counter()
+        scores = self.combined_scores(context.sensing, context.features)
+        allocation_time = time.perf_counter() - started
+        return place_by_scores(
+            tasks,
+            nodes,
+            scores,
+            time_limit_s=self.crl_model.geometry.time_limit,
+            allocation_time=allocation_time,
+            label=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def fit_weights(
+        self,
+        contexts: Sequence[EpochContext],
+        optimal_selections: Sequence[np.ndarray],
+        *,
+        grid: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    ) -> tuple[float, float]:
+        """Grid-search (w1, w2) maximizing agreement with optimal selections.
+
+        ``optimal_selections[d]`` is the 0/1 vector of tasks present in the
+        optimal allocation of validation epoch d. Agreement is measured as
+        mean rank-weighted overlap: the top-k combined scores vs the
+        optimal set (k = |optimal set|).
+        """
+        if len(contexts) != len(optimal_selections):
+            raise DataError("contexts and optimal_selections must align")
+        if not contexts:
+            raise DataError("need at least one validation epoch")
+        best = (self.w1, self.w2)
+        best_score = -1.0
+        for w1 in grid:
+            w2 = 1.0 - w1
+            agreement = []
+            for context, selected in zip(contexts, optimal_selections):
+                general = _normalize(self.crl_model.selection_scores(context.sensing))
+                local = _normalize(self.local_process.scores(context.features))
+                combined = w1 * general + w2 * local
+                truth = np.asarray(selected, dtype=int).ravel()
+                k = int(truth.sum())
+                if k == 0:
+                    continue
+                top_k = np.argsort(-combined, kind="stable")[:k]
+                agreement.append(float(truth[top_k].mean()))
+            if agreement and float(np.mean(agreement)) > best_score:
+                best_score = float(np.mean(agreement))
+                best = (w1, w2)
+        self.w1, self.w2 = best
+        return best

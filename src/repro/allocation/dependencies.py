@@ -1,0 +1,170 @@
+"""Dependency-aware task allocation — the paper's stated future work.
+
+Section VII: "those cases ... under multi-task settings but with the
+sequential dependency between tasks, are beyond the scope of this paper.
+It would be an interesting future work to extend our approach to those
+scenarios." This module provides that extension:
+
+- :class:`TaskDependencyGraph` — a DAG of precedence constraints over a
+  workload (networkx under the hood), with cycle detection, topological
+  generations, and *importance back-propagation*: a prerequisite inherits
+  the maximum importance of its dependents, since skipping it forfeits
+  them.
+- :func:`dependency_aware_plan` — wraps any score vector into a plan whose
+  dispatch order is a topological sort tie-broken by effective importance,
+  so the simulator (with ``dependencies=``) never stalls on an unmet
+  precedence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.allocation.base import place_by_scores
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.simulator import ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import ConfigurationError, DataError
+
+
+class TaskDependencyGraph:
+    """Precedence DAG over task ids: an edge u → v means "u before v"."""
+
+    def __init__(self, task_ids: Iterable[int], edges: Iterable[tuple[int, int]] = ()) -> None:
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(int(t) for t in task_ids)
+        for before, after in edges:
+            self.add_dependency(int(before), int(after))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def n_dependencies(self) -> int:
+        return self._graph.number_of_edges()
+
+    def add_dependency(self, before: int, after: int) -> None:
+        """Require ``before`` to complete prior to ``after`` starting."""
+        if before not in self._graph or after not in self._graph:
+            raise DataError(f"unknown task in dependency ({before} -> {after})")
+        if before == after:
+            raise ConfigurationError(f"task {before} cannot depend on itself")
+        self._graph.add_edge(before, after)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(before, after)
+            raise ConfigurationError(
+                f"dependency {before} -> {after} would create a cycle"
+            )
+
+    def prerequisites_of(self, task_id: int) -> set[int]:
+        """Direct prerequisites of a task."""
+        return set(self._graph.predecessors(task_id))
+
+    def dependents_of(self, task_id: int) -> set[int]:
+        """Direct dependents of a task."""
+        return set(self._graph.successors(task_id))
+
+    def ancestors_of(self, task_id: int) -> set[int]:
+        """All transitive prerequisites."""
+        return set(nx.ancestors(self._graph, task_id))
+
+    def generations(self) -> list[list[int]]:
+        """Topological generations (tasks in one generation are independent)."""
+        return [sorted(generation) for generation in nx.topological_generations(self._graph)]
+
+    # ------------------------------------------------------------------
+    def effective_importance(self, importance: np.ndarray) -> np.ndarray:
+        """Back-propagate importance through prerequisites.
+
+        A task's effective importance is the maximum of its own importance
+        and the effective importance of any dependent: dropping a
+        prerequisite forfeits everything downstream of it, so for
+        allocation purposes it is at least as valuable as its most valuable
+        descendant.
+        """
+        importance = np.asarray(importance, dtype=float).ravel()
+        if importance.size != self.n_tasks:
+            raise DataError(
+                f"importance has {importance.size} entries for {self.n_tasks} tasks"
+            )
+        index = {task: i for i, task in enumerate(sorted(self._graph.nodes))}
+        effective = importance.copy()
+        for task in reversed(list(nx.topological_sort(self._graph))):
+            for prerequisite in self._graph.predecessors(task):
+                i, j = index[prerequisite], index[task]
+                effective[i] = max(effective[i], effective[j])
+        return effective
+
+    def order_respecting(self, priorities: np.ndarray) -> list[int]:
+        """Topological order choosing the highest-priority ready task first."""
+        priorities = np.asarray(priorities, dtype=float).ravel()
+        if priorities.size != self.n_tasks:
+            raise DataError(
+                f"priorities has {priorities.size} entries for {self.n_tasks} tasks"
+            )
+        index = {task: i for i, task in enumerate(sorted(self._graph.nodes))}
+        in_degree = {task: self._graph.in_degree(task) for task in self._graph.nodes}
+        ready = [task for task, degree in in_degree.items() if degree == 0]
+        order: list[int] = []
+        while ready:
+            ready.sort(key=lambda task: -priorities[index[task]])
+            task = ready.pop(0)
+            order.append(task)
+            for dependent in self._graph.successors(task):
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != self.n_tasks:
+            raise ConfigurationError("dependency graph contains a cycle")
+        return order
+
+    def violations(self, completion_order: Sequence[int]) -> list[tuple[int, int]]:
+        """(prerequisite, dependent) pairs violated by a completion order."""
+        position = {task: i for i, task in enumerate(completion_order)}
+        out = []
+        for before, after in self._graph.edges:
+            if before in position and after in position and position[before] > position[after]:
+                out.append((before, after))
+            if after in position and before not in position:
+                out.append((before, after))
+        return out
+
+
+def dependency_aware_plan(
+    tasks: Sequence[SimTask],
+    nodes: Sequence[EdgeNode],
+    scores: np.ndarray,
+    dependencies: TaskDependencyGraph,
+    *,
+    time_limit_s: float | None = None,
+    allocation_time: float = 0.0,
+    label: str = "dep-aware",
+) -> ExecutionPlan:
+    """Score-ordered placement whose dispatch order respects the DAG.
+
+    Scores are first back-propagated (:meth:`effective_importance`), then
+    placement runs as in :func:`place_by_scores`, and finally the dispatch
+    sequence is reordered topologically with the effective score as the
+    tie-break — so no task ships before its prerequisites.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    effective = dependencies.effective_importance(scores)
+    base = place_by_scores(
+        tasks,
+        nodes,
+        effective,
+        time_limit_s=time_limit_s,
+        allocation_time=allocation_time,
+        label=label,
+    )
+    node_of = dict(base.assignments)
+    order = dependencies.order_respecting(effective)
+    assignments = tuple((task_id, node_of[task_id]) for task_id in order if task_id in node_of)
+    return ExecutionPlan(
+        assignments=assignments, allocation_time=allocation_time, label=label
+    )

@@ -1,0 +1,57 @@
+"""Distributed Machine Learning (DML) baseline [34].
+
+DML systems distribute every training task across the available computing
+nodes, balancing load by device capability but treating all tasks as
+equally important. We model it with the classic LPT (longest processing
+time first) makespan heuristic: tasks sorted by compute demand, each placed
+on the node that finishes it earliest. This is a *strong* importance-blind
+baseline — near-optimal makespan — so any gap to CRL/DCTA is attributable
+to importance awareness, not to sloppy packing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.allocation.base import Allocator, EpochContext
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.simulator import ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import DataError
+
+
+class DMLAllocator(Allocator):
+    """LPT load balancing over all tasks, importance-blind."""
+
+    name = "DML"
+
+    #: Modeled controller cost: sorting plus one pass of earliest-finish
+    #: placement.
+    ALLOCATION_TIME = 5e-3
+
+    def plan(
+        self,
+        tasks: Sequence[SimTask],
+        nodes: Sequence[EdgeNode],
+        context: EpochContext | None = None,
+    ) -> ExecutionPlan:
+        if not tasks or not nodes:
+            raise DataError("need at least one task and one node")
+        order = np.argsort([-task.input_mb for task in tasks], kind="stable")
+        finish = {node.node_id: 0.0 for node in nodes}
+        assignments: list[tuple[int, int]] = []
+        for index in order:
+            task = tasks[index]
+            best = min(
+                nodes,
+                key=lambda node: finish[node.node_id] + node.execution_time(task.input_mb),
+            )
+            finish[best.node_id] += best.execution_time(task.input_mb)
+            assignments.append((task.task_id, best.node_id))
+        return ExecutionPlan(
+            assignments=tuple(assignments),
+            allocation_time=self.ALLOCATION_TIME,
+            label=self.name,
+        )

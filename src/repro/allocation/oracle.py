@@ -1,0 +1,51 @@
+"""Oracle allocator: importance-aware allocation with *true* importance.
+
+Not a deployable policy (true importance is what the data-driven models are
+estimating), but the reference point for two of the paper's measurements:
+the "accurate task allocation" bars of Fig. 3 and the ceiling against
+which CRL/DCTA estimation error is quantified.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.allocation.base import Allocator, EpochContext, place_by_scores, tatim_from_workload
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.simulator import ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import DataError
+
+
+class OracleAllocator(Allocator):
+    """Score-ordered placement using ground-truth importance."""
+
+    name = "Oracle"
+
+    ALLOCATION_TIME = 5e-3
+
+    def __init__(self, *, time_limit_s: float | None = None) -> None:
+        self.time_limit_s = time_limit_s
+
+    def plan(
+        self,
+        tasks: Sequence[SimTask],
+        nodes: Sequence[EdgeNode],
+        context: EpochContext | None = None,
+    ) -> ExecutionPlan:
+        if not tasks or not nodes:
+            raise DataError("need at least one task and one node")
+        scores = np.array([task.true_importance for task in tasks])
+        time_limit = self.time_limit_s
+        if time_limit is None:
+            time_limit = tatim_from_workload(tasks, nodes).time_limit
+        return place_by_scores(
+            tasks,
+            nodes,
+            scores,
+            time_limit_s=time_limit,
+            allocation_time=self.ALLOCATION_TIME,
+            label=self.name,
+        )

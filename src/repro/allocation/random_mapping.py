@@ -1,0 +1,50 @@
+"""Random Mapping (RM) — the paper's first baseline [33].
+
+"Each task is processed at different edge devices with equal probability" —
+tasks are dispatched in random order to uniformly random nodes. RM neither
+knows importance nor balances load; it is the floor every data-driven
+policy is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.allocation.base import Allocator, EpochContext
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.simulator import ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import DataError
+from repro.utils.rng import as_rng
+
+
+class RandomMapping(Allocator):
+    """Uniform random order, uniform random placement."""
+
+    name = "RM"
+
+    #: Modeled controller cost: a single pass building the random plan.
+    ALLOCATION_TIME = 1e-3
+
+    def __init__(self, *, seed=None) -> None:
+        self._rng = as_rng(seed)
+
+    def plan(
+        self,
+        tasks: Sequence[SimTask],
+        nodes: Sequence[EdgeNode],
+        context: EpochContext | None = None,
+    ) -> ExecutionPlan:
+        if not tasks or not nodes:
+            raise DataError("need at least one task and one node")
+        order = self._rng.permutation(len(tasks))
+        node_ids = [node.node_id for node in nodes]
+        assignments = tuple(
+            (tasks[i].task_id, node_ids[int(self._rng.integers(0, len(node_ids)))])
+            for i in order
+        )
+        return ExecutionPlan(
+            assignments=assignments,
+            allocation_time=self.ALLOCATION_TIME,
+            label=self.name,
+        )

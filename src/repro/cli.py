@@ -1,0 +1,175 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+Usage::
+
+    python -m repro fig9  [--tasks 50 --episodes 50 --seed 0]
+    python -m repro fig10 [--sizes 200 400 600 800 1000]
+    python -m repro fig11 [--bandwidths 10 20 40 80 120]
+    python -m repro longtail [--days 60]
+    python -m repro pipeline [--days 30]
+
+Each subcommand prints the corresponding figure's table; `pipeline` runs
+the full building-data DCTA system once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiment import PTExperiment
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+
+
+def _make_experiment(args: argparse.Namespace) -> PTExperiment:
+    scenario = SyntheticScenario(
+        ScenarioConfig(
+            n_tasks=args.tasks,
+            n_regimes=4,
+            n_history=args.history,
+            n_eval=args.eval_epochs,
+            fluctuation_sigma=0.7,
+            seed=args.seed,
+        )
+    )
+    return PTExperiment(scenario, crl_episodes=args.episodes, seed=args.seed)
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tasks", type=int, default=50, help="tasks per epoch")
+    parser.add_argument("--episodes", type=int, default=50, help="DQN episodes per cluster")
+    parser.add_argument("--history", type=int, default=32, help="history epochs")
+    parser.add_argument("--eval-epochs", type=int, default=4, dest="eval_epochs")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _command_fig9(args: argparse.Namespace) -> int:
+    experiment = _make_experiment(args)
+    result = experiment.sweep_processors(tuple(args.processors))
+    print(result.table())
+    for method in ("RM", "DML", "CRL"):
+        print(f"mean {method}/DCTA speedup: {result.mean_speedup(method):.2f}x")
+    return 0
+
+
+def _command_fig10(args: argparse.Namespace) -> int:
+    experiment = _make_experiment(args)
+    result = experiment.sweep_input_size(tuple(args.sizes))
+    print(result.table())
+    return 0
+
+
+def _command_fig11(args: argparse.Namespace) -> int:
+    experiment = _make_experiment(args)
+    result = experiment.sweep_bandwidth(tuple(args.bandwidths))
+    print(result.table())
+    return 0
+
+
+def _command_longtail(args: argparse.Namespace) -> int:
+    from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+    from repro.importance.importance import importance_profile
+    from repro.importance.longtail import long_tail_stats
+    from repro.transfer.registry import make_strategy
+
+    dataset = BuildingOperationDataset(
+        BuildingOperationConfig(n_days=args.days, seed=args.seed)
+    ).generate()
+    model_set = make_strategy("clustered", "ridge", seed=args.seed).fit(dataset.tasks)
+    days = dataset.days[5 : 5 + min(15, dataset.days.size - 5)]
+    profile = importance_profile(dataset, model_set, days)
+    stats = long_tail_stats(profile)
+    print(f"tasks: {stats.n_tasks}")
+    print(f"fraction of tasks for 80% of importance: {stats.fraction_for_80pct:.2%} (paper: 12.72%)")
+    print(f"share of top 12.72% of tasks:            {stats.share_of_top_12_72pct:.2%}")
+    print(f"Gini coefficient:                        {stats.gini:.3f}")
+    return 0
+
+
+def _command_pipeline(args: argparse.Namespace) -> int:
+    from repro.building.dataset import BuildingOperationConfig
+    from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+
+    system = DCTASystem(
+        DCTASystemConfig(
+            building=BuildingOperationConfig(n_days=args.days, seed=args.seed),
+            crl_episodes=args.episodes,
+            seed=args.seed,
+        )
+    ).build()
+    day = int(system.eval_days[0])
+    print(f"{system.dataset.n_tasks} tasks; evaluating day {day}")
+    for name, result in system.run_epoch(day).items():
+        print(
+            f"  {name:5s} PT={result.processing_time:9.1f}s "
+            f"tasks={result.tasks_executed:3d} gate={result.gate_crossed}"
+        )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.core.report import ReportConfig, generate_report
+
+    print(
+        generate_report(
+            ReportConfig(
+                building_days=args.days,
+                crl_episodes=args.episodes,
+                seed=args.seed,
+            )
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for 'Data-driven Task Allocation for "
+        "Multi-task Transfer Learning on the Edge' (ICDCS 2019)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fig9 = commands.add_parser("fig9", help="PT vs number of processors")
+    _add_scenario_arguments(fig9)
+    fig9.add_argument("--processors", type=int, nargs="+", default=[2, 4, 6, 8, 10])
+    fig9.set_defaults(handler=_command_fig9)
+
+    fig10 = commands.add_parser("fig10", help="PT vs average input size (Mb)")
+    _add_scenario_arguments(fig10)
+    fig10.add_argument("--sizes", type=float, nargs="+", default=[200, 400, 600, 800, 1000])
+    fig10.set_defaults(handler=_command_fig10)
+
+    fig11 = commands.add_parser("fig11", help="PT vs bandwidth (Mbps)")
+    _add_scenario_arguments(fig11)
+    fig11.add_argument("--bandwidths", type=float, nargs="+", default=[10, 20, 40, 80, 120])
+    fig11.set_defaults(handler=_command_fig11)
+
+    longtail = commands.add_parser("longtail", help="Fig. 2 long-tail statistics")
+    longtail.add_argument("--days", type=int, default=40)
+    longtail.add_argument("--seed", type=int, default=0)
+    longtail.set_defaults(handler=_command_longtail)
+
+    report = commands.add_parser("report", help="compact all-figures reproduction report")
+    report.add_argument("--days", type=int, default=30)
+    report.add_argument("--episodes", type=int, default=40)
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(handler=_command_report)
+
+    pipeline = commands.add_parser("pipeline", help="full building-pipeline DCTA run")
+    pipeline.add_argument("--days", type=int, default=25)
+    pipeline.add_argument("--episodes", type=int, default=30)
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.set_defaults(handler=_command_pipeline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

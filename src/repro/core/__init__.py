@@ -1,0 +1,32 @@
+"""Top-level facade: scenarios, the DCTA system, and experiment sweeps."""
+
+from repro.core.scenario import Epoch, ScenarioConfig, SyntheticScenario
+from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+from repro.core.experiment import (
+    EpochOutcome,
+    PTExperiment,
+    SweepResult,
+    build_allocators,
+)
+from repro.core.online import OnlineDCTA
+from repro.core.statistics import AggregatedSweep, aggregate_sweeps, repeat_sweep
+from repro.core.planner import bandwidth_needed, capacity_table, processors_needed
+
+__all__ = [
+    "Epoch",
+    "ScenarioConfig",
+    "SyntheticScenario",
+    "DCTASystem",
+    "DCTASystemConfig",
+    "PTExperiment",
+    "SweepResult",
+    "EpochOutcome",
+    "build_allocators",
+    "OnlineDCTA",
+    "AggregatedSweep",
+    "aggregate_sweeps",
+    "repeat_sweep",
+    "processors_needed",
+    "bandwidth_needed",
+    "capacity_table",
+]

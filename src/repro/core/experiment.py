@@ -1,0 +1,231 @@
+"""Processing-time experiment runner for the Figs. 9-11 sweeps.
+
+:func:`build_allocators` assembles the paper's four policies (plus the
+oracle) over a scenario: it trains CRL on the scenario's environment
+store and the local SVM process on its history epochs, labels coming from
+the optimal (density-greedy on true importance) TATIM selection of each
+historical day. :class:`PTExperiment` then sweeps processors / input size /
+bandwidth, averaging processing time over the evaluation epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.allocation.base import Allocator, EpochContext, tatim_from_workload
+from repro.allocation.crl_policy import CRLAllocator
+from repro.allocation.dcta import DCTAAllocator
+from repro.allocation.dml import DMLAllocator
+from repro.allocation.local import LocalProcess
+from repro.allocation.oracle import OracleAllocator
+from repro.allocation.random_mapping import RandomMapping
+from repro.core.scenario import Epoch, SyntheticScenario
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.simulator import EdgeSimulator
+from repro.edgesim.testbed import scaled_testbed
+from repro.errors import DataError
+from repro.rl.crl import CRLModel
+from repro.rl.dqn import DQNConfig
+from repro.tatim.greedy import density_greedy
+from repro.utils.reporting import speedup_table
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One (method, epoch) simulation outcome."""
+
+    method: str
+    day: int
+    processing_time: float
+    tasks_executed: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results of one sweep: mean PT per method per sweep value."""
+
+    sweep_name: str
+    sweep_values: tuple
+    times: dict[str, list[float]]
+    outcomes: list[EpochOutcome] = field(default_factory=list, repr=False)
+
+    def speedup_over(self, method: str, *, reference: str = "DCTA") -> np.ndarray:
+        """Per-sweep-point PT ratio method/reference."""
+        if method not in self.times or reference not in self.times:
+            raise DataError(f"unknown method; have {sorted(self.times)}")
+        return np.asarray(self.times[method]) / np.asarray(self.times[reference])
+
+    def mean_speedup(self, method: str, *, reference: str = "DCTA") -> float:
+        return float(self.speedup_over(method, reference=reference).mean())
+
+    def table(self, *, reference: str = "DCTA") -> str:
+        """The figure's data as a printable table (PT + speedups)."""
+        return speedup_table(self.sweep_name, list(self.sweep_values), self.times, reference=reference)
+
+
+def optimal_selection_labels(
+    scenario: SyntheticScenario, epoch: Epoch, nodes: Sequence[EdgeNode]
+) -> np.ndarray:
+    """0/1 per-task vector: membership in the epoch's optimal TATIM allocation.
+
+    "Optimal" here is the density-greedy solution on *true* importance —
+    the label source for the local process's "Past Success"-style training
+    (exact search over 50 tasks per epoch would be intractable and the
+    greedy is within a few percent on long-tail instances).
+    """
+    workload = scenario.workload_for(epoch)
+    problem = tatim_from_workload(workload, nodes)
+    allocation = density_greedy(problem)
+    labels = np.zeros(len(workload), dtype=int)
+    labels[allocation.assigned_tasks()] = 1
+    return labels
+
+
+def build_allocators(
+    scenario: SyntheticScenario,
+    nodes: Sequence[EdgeNode],
+    *,
+    crl_episodes: int = 60,
+    crl_clusters: int = 4,
+    dqn_hidden: tuple[int, ...] = (64, 32),
+    weights: tuple[float, float] = (0.5, 0.5),
+    include_oracle: bool = False,
+    seed: int = 0,
+) -> dict[str, Allocator]:
+    """Train and assemble the RM / DML / CRL / DCTA policy set.
+
+    The CRL geometry is bound to ``nodes``; rebuild when the node set
+    changes (the Fig. 9 sweep does this per point).
+    """
+    geometry = tatim_from_workload(scenario.tasks, nodes)
+    crl_model = CRLModel(
+        geometry,
+        n_clusters=crl_clusters,
+        episodes=crl_episodes,
+        dqn_config=DQNConfig(hidden_sizes=dqn_hidden),
+        seed=seed,
+    )
+    crl_model.fit(scenario.environment_store())
+
+    local = LocalProcess()
+    train_features = [epoch.features for epoch in scenario.history_epochs]
+    train_labels = [
+        optimal_selection_labels(scenario, epoch, nodes) for epoch in scenario.history_epochs
+    ]
+    local.fit(train_features, train_labels)
+
+    allocators: dict[str, Allocator] = {
+        "RM": RandomMapping(seed=seed),
+        "DML": DMLAllocator(),
+        "CRL": CRLAllocator(crl_model),
+        "DCTA": DCTAAllocator(crl_model, local, w1=weights[0], w2=weights[1]),
+    }
+    if include_oracle:
+        allocators["Oracle"] = OracleAllocator(time_limit_s=geometry.time_limit)
+    return allocators
+
+
+class PTExperiment:
+    """Sweeps processing time across the paper's three figure axes."""
+
+    def __init__(
+        self,
+        scenario: SyntheticScenario,
+        *,
+        quality_threshold: float = 0.9,
+        crl_episodes: int = 60,
+        seed: int = 0,
+    ) -> None:
+        self.scenario = scenario
+        self.quality_threshold = quality_threshold
+        self.crl_episodes = crl_episodes
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _run_point(
+        self,
+        nodes: Sequence[EdgeNode],
+        network: StarNetwork,
+        allocators: Mapping[str, Allocator],
+        *,
+        workload_transform: Callable | None = None,
+    ) -> dict[str, float]:
+        simulator = EdgeSimulator(nodes, network, quality_threshold=self.quality_threshold)
+        sums: dict[str, float] = {name: 0.0 for name in allocators}
+        outcomes: list[EpochOutcome] = []
+        for epoch in self.scenario.eval_epochs:
+            workload = self.scenario.workload_for(epoch)
+            if workload_transform is not None:
+                workload = workload_transform(workload)
+            context = EpochContext(sensing=epoch.sensing, features=epoch.features, day=epoch.day)
+            for name, allocator in allocators.items():
+                plan = allocator.plan(workload, nodes, context)
+                result = simulator.run(workload, plan)
+                sums[name] += result.processing_time
+                outcomes.append(
+                    EpochOutcome(name, epoch.day, result.processing_time, result.tasks_executed)
+                )
+        n = len(self.scenario.eval_epochs)
+        self._last_outcomes = outcomes
+        return {name: total / n for name, total in sums.items()}
+
+    # ------------------------------------------------------------------
+    def sweep_processors(self, processor_counts: Sequence[int] = (2, 4, 6, 8, 10)) -> SweepResult:
+        """Fig. 9: PT vs number of processors."""
+        times: dict[str, list[float]] = {}
+        for count in processor_counts:
+            nodes, network = scaled_testbed(count)
+            allocators = build_allocators(
+                self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+            )
+            point = self._run_point(nodes, network, allocators)
+            for name, value in point.items():
+                times.setdefault(name, []).append(value)
+        return SweepResult("processors", tuple(processor_counts), times)
+
+    def sweep_input_size(
+        self,
+        mean_sizes_mb: Sequence[float] = (200, 400, 600, 800, 1000),
+        *,
+        n_processors: int = 10,
+    ) -> SweepResult:
+        """Fig. 10: PT vs average input data size (Mb)."""
+        nodes, network = scaled_testbed(n_processors)
+        allocators = build_allocators(
+            self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+        )
+        base_mean = float(np.mean([task.input_mb for task in self.scenario.tasks]))
+        times: dict[str, list[float]] = {}
+        for mean_size in mean_sizes_mb:
+            scale = mean_size / base_mean
+
+            def rescale(workload, scale=scale):
+                return [replace(task, input_mb=task.input_mb * scale) for task in workload]
+
+            point = self._run_point(nodes, network, allocators, workload_transform=rescale)
+            for name, value in point.items():
+                times.setdefault(name, []).append(value)
+        return SweepResult("input_size_mb", tuple(mean_sizes_mb), times)
+
+    def sweep_bandwidth(
+        self,
+        bandwidths_mbps: Sequence[float] = (10, 20, 40, 80, 120),
+        *,
+        n_processors: int = 10,
+    ) -> SweepResult:
+        """Fig. 11: PT vs network bandwidth (Mbps)."""
+        nodes, _ = scaled_testbed(n_processors)
+        allocators = build_allocators(
+            self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+        )
+        times: dict[str, list[float]] = {}
+        for bandwidth in bandwidths_mbps:
+            _, network = scaled_testbed(n_processors, bandwidth_mbps=bandwidth)
+            point = self._run_point(nodes, network, allocators)
+            for name, value in point.items():
+                times.setdefault(name, []).append(value)
+        return SweepResult("bandwidth_mbps", tuple(bandwidths_mbps), times)

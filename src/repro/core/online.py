@@ -1,0 +1,171 @@
+"""Online (continual) DCTA — Section VII's "Real-time Sensing Data" mode.
+
+A deployed controller does not retrain from scratch each day: it appends
+every finished epoch's observed environment to the historical store, keeps
+running statistics of the general features (Past Success, Prediction
+Accuracy), and periodically refreshes the local process on a sliding
+window of recent epochs. :class:`OnlineDCTA` packages that loop:
+
+    controller = OnlineDCTA(geometry, nodes, ...)
+    controller.bootstrap(history_epochs)          # offline phase
+    for epoch in stream:
+        plan = controller.plan_epoch(workload, context)
+        ... simulate / deploy ...
+        controller.observe(context, true_importance)   # feedback
+
+Feedback uses the *realized* importance (measurable after the decision —
+the paper's H is computed from observed outcomes), so the controller
+tracks regime drift: after a shift, the environment store and the local
+training window fill with post-shift epochs and estimates re-converge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.allocation.base import EpochContext
+from repro.allocation.dcta import DCTAAllocator
+from repro.allocation.local import LocalProcess
+from repro.edgesim.node import EdgeNode
+from repro.edgesim.simulator import ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import ConfigurationError, DataError
+from repro.rl.crl import CRLModel, EnvironmentStore
+from repro.rl.dqn import DQNConfig
+from repro.tatim.greedy import density_greedy
+from repro.tatim.problem import TATIMProblem
+
+
+class OnlineDCTA:
+    """Continually-learning DCTA controller.
+
+    Parameters
+    ----------
+    geometry:
+        The fixed TATIM geometry of the recurring workload.
+    nodes:
+        The edge devices plans target.
+    window:
+        Sliding-window length (epochs) for local-process retraining.
+    refresh_every:
+        Retrain the local process after this many observed epochs.
+    crl_episodes, crl_clusters, dqn_config, weights, seed:
+        As in the offline builders.
+    """
+
+    def __init__(
+        self,
+        geometry: TATIMProblem,
+        nodes: Sequence[EdgeNode],
+        *,
+        window: int = 30,
+        refresh_every: int = 5,
+        crl_episodes: int = 40,
+        crl_clusters: int = 4,
+        dqn_config: DQNConfig | None = None,
+        weights: tuple[float, float] = (0.5, 0.5),
+        seed: int | None = 0,
+    ) -> None:
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if refresh_every < 1:
+            raise ConfigurationError(f"refresh_every must be >= 1, got {refresh_every}")
+        self.geometry = geometry
+        self.nodes = list(nodes)
+        self.window = int(window)
+        self.refresh_every = int(refresh_every)
+        self.weights = weights
+        self.seed = seed
+        self.store = EnvironmentStore()
+        self.crl_model = CRLModel(
+            geometry,
+            n_clusters=crl_clusters,
+            episodes=crl_episodes,
+            dqn_config=dqn_config if dqn_config is not None else DQNConfig(hidden_sizes=(64, 32)),
+            seed=seed,
+        )
+        self.local = LocalProcess()
+        self._recent: deque[tuple[np.ndarray, np.ndarray]] = deque(maxlen=window)
+        self._observed_since_refresh = 0
+        self._bootstrapped = False
+        self.allocator: DCTAAllocator | None = None
+
+    # ------------------------------------------------------------------
+    def _optimal_selection(self, importance: np.ndarray) -> np.ndarray:
+        problem = self.geometry.scaled(importance=importance)
+        selection = np.zeros(self.geometry.n_tasks, dtype=int)
+        selection[density_greedy(problem).assigned_tasks()] = 1
+        return selection
+
+    def _refresh_local(self) -> None:
+        features = [f for f, _ in self._recent]
+        labels = [l for _, l in self._recent]
+        self.local.fit(features, labels)
+        self._observed_since_refresh = 0
+
+    def bootstrap(self, epochs: Sequence) -> "OnlineDCTA":
+        """Offline phase: ingest history and train both processes.
+
+        ``epochs`` must provide ``.sensing``, ``.features`` and
+        ``.true_importance`` (e.g. :class:`repro.core.scenario.Epoch`).
+        """
+        if not epochs:
+            raise DataError("bootstrap needs at least one historical epoch")
+        for epoch in epochs:
+            self.store.add(epoch.sensing, epoch.true_importance)
+            self._recent.append(
+                (epoch.features, self._optimal_selection(epoch.true_importance))
+            )
+        self.crl_model.fit(self.store)
+        self._refresh_local()
+        self.allocator = DCTAAllocator(
+            self.crl_model, self.local, w1=self.weights[0], w2=self.weights[1]
+        )
+        self._bootstrapped = True
+        return self
+
+    # ------------------------------------------------------------------
+    def plan_epoch(
+        self, workload: Sequence[SimTask], context: EpochContext
+    ) -> ExecutionPlan:
+        """Plan one epoch with the current cooperative model."""
+        if not self._bootstrapped:
+            raise DataError("controller not bootstrapped; call bootstrap() first")
+        return self.allocator.plan(workload, self.nodes, context)
+
+    def estimate_importance(self, sensing: np.ndarray) -> np.ndarray:
+        """The current environment-definition estimate for a sensing vector."""
+        if not self._bootstrapped:
+            raise DataError("controller not bootstrapped; call bootstrap() first")
+        return self.crl_model.estimate_importance(sensing)
+
+    def observe(self, context: EpochContext, realized_importance: np.ndarray) -> None:
+        """Feedback after an epoch: extend history and refresh periodically.
+
+        The environment store grows immediately (kNN sees the new epoch on
+        the next query); the local process retrains every
+        ``refresh_every`` observations on the sliding window.
+        """
+        if not self._bootstrapped:
+            raise DataError("controller not bootstrapped; call bootstrap() first")
+        realized = np.asarray(realized_importance, dtype=float).ravel()
+        if realized.size != self.geometry.n_tasks:
+            raise DataError(
+                f"realized importance has {realized.size} entries for "
+                f"{self.geometry.n_tasks} tasks"
+            )
+        if context.sensing is None or context.features is None:
+            raise DataError("observe needs context.sensing and context.features")
+        self.store.add(context.sensing, realized)
+        self._recent.append((context.features, self._optimal_selection(realized)))
+        self._observed_since_refresh += 1
+        if self._observed_since_refresh >= self.refresh_every:
+            self._refresh_local()
+
+    @property
+    def history_size(self) -> int:
+        """Number of environments currently in the store."""
+        return len(self.store)

@@ -1,0 +1,121 @@
+"""Multi-seed experiment statistics: mean, spread, and confidence intervals.
+
+A single-seed sweep can mislead — RM especially is high-variance. This
+module repeats an experiment across seeds and reduces the per-seed sweep
+results into mean ± Student-t confidence intervals per (method, sweep
+point), the form a credible evaluation section reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core.experiment import SweepResult
+from repro.errors import ConfigurationError, DataError
+from repro.utils.reporting import format_table
+
+
+@dataclass(frozen=True)
+class AggregatedSweep:
+    """Mean/CI reduction of repeated sweeps.
+
+    ``mean``, ``std``, ``ci_half_width`` map method -> array over sweep
+    points; the CI is a two-sided Student-t interval at ``confidence``.
+    """
+
+    sweep_name: str
+    sweep_values: tuple
+    n_seeds: int
+    confidence: float
+    mean: dict[str, np.ndarray]
+    std: dict[str, np.ndarray]
+    ci_half_width: dict[str, np.ndarray]
+
+    def table(self) -> str:
+        """Mean ± CI table, one row per sweep point."""
+        methods = sorted(self.mean)
+        headers = [self.sweep_name] + [f"{m} (s)" for m in methods]
+        rows = []
+        for i, value in enumerate(self.sweep_values):
+            row: list[object] = [value]
+            for method in methods:
+                row.append(
+                    f"{self.mean[method][i]:.4g} ± {self.ci_half_width[method][i]:.3g}"
+                )
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=f"mean over {self.n_seeds} seeds, {self.confidence:.0%} CI",
+        )
+
+    def mean_speedup(self, method: str, *, reference: str = "DCTA") -> float:
+        """Mean of per-point mean-PT ratios method/reference."""
+        if method not in self.mean or reference not in self.mean:
+            raise DataError(f"unknown method; have {sorted(self.mean)}")
+        return float(np.mean(self.mean[method] / self.mean[reference]))
+
+    def separated(self, method_a: str, method_b: str) -> bool:
+        """Whether the two methods' CIs are disjoint at every sweep point."""
+        low_a = self.mean[method_a] - self.ci_half_width[method_a]
+        high_a = self.mean[method_a] + self.ci_half_width[method_a]
+        low_b = self.mean[method_b] - self.ci_half_width[method_b]
+        high_b = self.mean[method_b] + self.ci_half_width[method_b]
+        return bool(np.all((high_a < low_b) | (high_b < low_a)))
+
+
+def aggregate_sweeps(
+    results: Sequence[SweepResult], *, confidence: float = 0.95
+) -> AggregatedSweep:
+    """Reduce same-shaped sweeps (one per seed) to mean ± CI."""
+    if not results:
+        raise DataError("aggregate_sweeps needs at least one result")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    first = results[0]
+    for result in results[1:]:
+        if result.sweep_values != first.sweep_values or set(result.times) != set(first.times):
+            raise DataError("sweep results differ in shape; cannot aggregate")
+    n = len(results)
+    mean: dict[str, np.ndarray] = {}
+    std: dict[str, np.ndarray] = {}
+    half: dict[str, np.ndarray] = {}
+    if n > 1:
+        t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    else:
+        t_value = 0.0
+    for method in first.times:
+        stacked = np.vstack([np.asarray(r.times[method]) for r in results])
+        mean[method] = stacked.mean(axis=0)
+        std[method] = stacked.std(axis=0, ddof=1) if n > 1 else np.zeros(stacked.shape[1])
+        half[method] = t_value * std[method] / np.sqrt(n) if n > 1 else np.zeros(stacked.shape[1])
+    return AggregatedSweep(
+        sweep_name=first.sweep_name,
+        sweep_values=first.sweep_values,
+        n_seeds=n,
+        confidence=confidence,
+        mean=mean,
+        std=std,
+        ci_half_width=half,
+    )
+
+
+def repeat_sweep(
+    sweep_factory: Callable[[int], SweepResult],
+    seeds: Sequence[int],
+    *,
+    confidence: float = 0.95,
+) -> AggregatedSweep:
+    """Run ``sweep_factory(seed)`` per seed and aggregate.
+
+    ``sweep_factory`` should construct the scenario/experiment from the
+    seed so runs are independent draws.
+    """
+    if not seeds:
+        raise DataError("repeat_sweep needs at least one seed")
+    results = [sweep_factory(int(seed)) for seed in seeds]
+    return aggregate_sweeps(results, confidence=confidence)

@@ -1,0 +1,74 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ordered by (time, sequence number), the sequence number breaking
+ties in insertion order so simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; ``payload`` is opaque to the queue."""
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of events with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at an absolute time >= now."""
+        if time < self.now - 1e-12:
+            raise SimulationError(f"cannot schedule into the past (t={time} < now={self.now})")
+        event = Event(max(time, self.now), next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        if event.time < self.now - 1e-12:
+            raise SimulationError(
+                f"event time {event.time} precedes current time {self.now}"
+            )
+        self.now = max(self.now, event.time)
+        return event
+
+    def run(self, handler: Callable[[Event], None], *, max_events: int = 10_000_000) -> int:
+        """Drain the queue through ``handler``; returns events processed."""
+        processed = 0
+        while self._heap:
+            handler(self.pop())
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+        return processed

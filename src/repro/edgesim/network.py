@@ -1,0 +1,85 @@
+"""Star WiFi network: a single shared channel at the controller.
+
+WiFi is a shared medium: every transfer between the controller and a
+worker node occupies the same radio, so transfers serialize. This is what
+makes processing time sensitive to both the number of tasks shipped and
+the channel bandwidth — the two levers behind the paper's Figs. 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StarNetwork:
+    """Shared-channel star topology parameters.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        Channel throughput in megabits per second.
+    latency_s:
+        Fixed per-transfer protocol overhead (association, ACKs).
+    """
+
+    bandwidth_mbps: float = 50.0
+    latency_s: float = 0.005
+
+    #: One radio: every transfer serializes through the same medium.
+    shared_medium: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth_mbps must be > 0, got {self.bandwidth_mbps}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency_s must be >= 0, got {self.latency_s}")
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` megabits across the channel."""
+        if size_mb < 0:
+            raise ConfigurationError(f"size_mb must be >= 0, got {size_mb}")
+        return self.latency_s + size_mb / self.bandwidth_mbps
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "StarNetwork":
+        """Sibling network at a different bandwidth (for the Fig. 11 sweep)."""
+        return StarNetwork(bandwidth_mbps=bandwidth_mbps, latency_s=self.latency_s)
+
+
+@dataclass(frozen=True)
+class SwitchedNetwork:
+    """Switched star: a dedicated full-duplex link per worker node.
+
+    Models the wired-Ethernet alternative to the paper's WiFi: transfers to
+    different nodes proceed in parallel (per-link serialization only).
+    Comparing the two isolates how much of an importance-blind policy's
+    penalty is channel *contention* versus compute placement — the
+    `test_ablation_topology` benchmark.
+    """
+
+    bandwidth_mbps: float = 50.0
+    latency_s: float = 0.001
+
+    shared_medium: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth_mbps must be > 0, got {self.bandwidth_mbps}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency_s must be >= 0, got {self.latency_s}")
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` megabits over one dedicated link."""
+        if size_mb < 0:
+            raise ConfigurationError(f"size_mb must be >= 0, got {size_mb}")
+        return self.latency_s + size_mb / self.bandwidth_mbps
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "SwitchedNetwork":
+        """Sibling network at a different per-link bandwidth."""
+        return SwitchedNetwork(bandwidth_mbps=bandwidth_mbps, latency_s=self.latency_s)

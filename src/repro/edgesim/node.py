@@ -1,0 +1,93 @@
+"""Edge node models: heterogeneous compute rates and memory capacities.
+
+The paper's testbed mixes Raspberry Pi 3 boards of models A+, B, and B+
+with a laptop controller; it calibrates computation time per bit (the Pi
+A+ at 4.75e-7 s/bit, following [33]). Presets below keep that calibration
+and scale the other devices by their relative CPU throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: The paper's calibrated compute time for a Raspberry Pi model A+.
+RPI_A_PLUS_S_PER_BIT = 4.75e-7
+
+
+@dataclass(frozen=True)
+class EdgeNode:
+    """One edge device.
+
+    Attributes
+    ----------
+    node_id:
+        Unique index in the testbed.
+    name:
+        Preset name (e.g. ``"rpi-b+"``).
+    compute_s_per_bit:
+        Seconds of compute per input bit (lower = faster).
+    memory_mb:
+        Task-resource capacity V_p used by the TATIM constraints.
+    is_controller:
+        Whether this node hosts allocation and decision aggregation.
+    """
+
+    node_id: int
+    name: str
+    compute_s_per_bit: float
+    memory_mb: float
+    is_controller: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compute_s_per_bit <= 0:
+            raise ConfigurationError(
+                f"compute_s_per_bit must be > 0, got {self.compute_s_per_bit}"
+            )
+        if self.memory_mb <= 0:
+            raise ConfigurationError(f"memory_mb must be > 0, got {self.memory_mb}")
+
+    def execution_time(self, input_mb: float) -> float:
+        """Seconds to process ``input_mb`` megabits of task input.
+
+        Sizes are in megabits (Mb) throughout the simulator, matching the
+        paper's "Average Input Data Size (Mb)" axis and the Mbps bandwidth
+        unit.
+        """
+        if input_mb < 0:
+            raise ConfigurationError(f"input_mb must be >= 0, got {input_mb}")
+        bits = input_mb * 1e6
+        return bits * self.compute_s_per_bit
+
+    @property
+    def relative_speed(self) -> float:
+        """Throughput relative to the Pi A+ baseline (higher = faster)."""
+        return RPI_A_PLUS_S_PER_BIT / self.compute_s_per_bit
+
+
+#: name -> (compute s/bit, memory Mb). Pi B/B+ are modestly faster than the
+#: A+ (more cores / higher clock); the laptop is ~20x the A+.
+NODE_PRESETS: dict[str, tuple[float, float]] = {
+    "rpi-a+": (RPI_A_PLUS_S_PER_BIT, 512.0),
+    "rpi-b": (RPI_A_PLUS_S_PER_BIT / 1.6, 1024.0),
+    "rpi-b+": (RPI_A_PLUS_S_PER_BIT / 2.0, 1024.0),
+    "laptop": (RPI_A_PLUS_S_PER_BIT / 20.0, 8192.0),
+}
+
+
+def make_node(preset: str, node_id: int, *, is_controller: bool = False) -> EdgeNode:
+    """Instantiate a preset node."""
+    try:
+        s_per_bit, memory = NODE_PRESETS[preset]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown node preset {preset!r}; choose from {sorted(NODE_PRESETS)}"
+        ) from None
+    return EdgeNode(
+        node_id=node_id,
+        name=preset,
+        compute_s_per_bit=s_per_bit,
+        memory_mb=memory,
+        is_controller=is_controller,
+    )

@@ -1,0 +1,47 @@
+"""Testbed presets mirroring the paper's Fig. 8 hardware."""
+
+from __future__ import annotations
+
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.node import EdgeNode, make_node
+from repro.errors import ConfigurationError
+
+#: The Fig. 8 worker mix: nine Raspberry Pis of models A+, B, and B+.
+_PI_MIX: tuple[str, ...] = (
+    "rpi-a+",
+    "rpi-b",
+    "rpi-b+",
+    "rpi-a+",
+    "rpi-b",
+    "rpi-b+",
+    "rpi-a+",
+    "rpi-b",
+    "rpi-b+",
+)
+
+
+def paper_testbed(*, bandwidth_mbps: float = 50.0) -> tuple[list[EdgeNode], StarNetwork]:
+    """The full Fig. 8 testbed: 9 Pis + 1 laptop controller over WiFi.
+
+    Returns (nodes, network); the laptop is ``nodes[0]`` and flagged as
+    controller (it also executes tasks, as the paper's operation node does).
+    """
+    nodes = [make_node("laptop", 0, is_controller=True)]
+    nodes += [make_node(preset, i + 1) for i, preset in enumerate(_PI_MIX)]
+    return nodes, StarNetwork(bandwidth_mbps=bandwidth_mbps)
+
+
+def scaled_testbed(
+    n_processors: int, *, bandwidth_mbps: float = 50.0
+) -> tuple[list[EdgeNode], StarNetwork]:
+    """First ``n_processors`` devices of the paper testbed (Fig. 9 sweep).
+
+    ``n_processors`` counts worker-capable devices including the laptop,
+    matching the paper's x-axis of 2..10 processors.
+    """
+    if not 1 <= n_processors <= 1 + len(_PI_MIX):
+        raise ConfigurationError(
+            f"n_processors must be in [1, {1 + len(_PI_MIX)}], got {n_processors}"
+        )
+    nodes, network = paper_testbed(bandwidth_mbps=bandwidth_mbps)
+    return nodes[:n_processors], network

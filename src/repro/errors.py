@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """A model was used for prediction before being fitted."""
+
+
+class DataError(ReproError):
+    """Input data is malformed (wrong shape, empty, NaNs where forbidden)."""
+
+
+class InfeasibleProblemError(ReproError):
+    """A TATIM / knapsack instance admits no feasible solution."""
+
+
+class InfeasibleAllocationError(ReproError):
+    """A proposed allocation violates the TATIM constraints (Eqs. 2-4)."""
+
+
+class SimulationError(ReproError):
+    """The edge discrete-event simulation reached an inconsistent state."""
+
+
+class TrainingError(ReproError):
+    """A learning procedure failed to make progress (diverged, empty data)."""

@@ -1,0 +1,20 @@
+"""Task importance (Definition 1) and its distributional analyses."""
+
+from repro.importance.importance import (
+    ImportanceEvaluator,
+    importance_profile,
+)
+from repro.importance.longtail import LongTailStats, long_tail_stats
+from repro.importance.dynamics import ImportanceDynamics, importance_dynamics
+from repro.importance.shapley import ShapleyImportanceEvaluator, compare_importance_metrics
+
+__all__ = [
+    "ShapleyImportanceEvaluator",
+    "compare_importance_metrics",
+    "ImportanceEvaluator",
+    "importance_profile",
+    "LongTailStats",
+    "long_tail_stats",
+    "ImportanceDynamics",
+    "importance_dynamics",
+]

@@ -1,0 +1,89 @@
+"""Importance dynamics over machines and operations (Observation 3, Figs. 4-5).
+
+The paper plots, per machine (chiller) and operation (load band), the mean
+and the variance of task importance across time, observing that machines
+operate in a small portion of operations and that importance fluctuates
+markedly even within one operation. Given an importance matrix
+(days × tasks), this module reduces it to those per-(machine, operation)
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.transfer.task import TaskModelSet
+
+
+@dataclass(frozen=True)
+class ImportanceDynamics:
+    """Per-(machine, operation) importance statistics.
+
+    ``mean`` and ``variance`` are (n_machines, n_operations) arrays indexed
+    by position in ``machine_ids`` / ``operation_ids``; cells for
+    (machine, operation) pairs with no task are NaN.
+    """
+
+    machine_ids: tuple[int, ...]
+    operation_ids: tuple[int, ...]
+    mean: np.ndarray
+    variance: np.ndarray
+
+    def machine_row(self, chiller_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """(means, variances) across operations for one machine."""
+        try:
+            row = self.machine_ids.index(chiller_id)
+        except ValueError:
+            raise DataError(f"chiller {chiller_id} has no tasks") from None
+        return self.mean[row], self.variance[row]
+
+    def temporal_fluctuation(self) -> float:
+        """Mean coefficient of variation across populated cells.
+
+        A single scalar capturing Observation 3: large values mean
+        importance cannot be treated as static.
+        """
+        populated = ~np.isnan(self.mean)
+        means = self.mean[populated]
+        stds = np.sqrt(self.variance[populated])
+        nonzero = means > 1e-12
+        if not np.any(nonzero):
+            return 0.0
+        return float(np.mean(stds[nonzero] / means[nonzero]))
+
+
+def importance_dynamics(
+    model_set: TaskModelSet, importance_matrix: np.ndarray
+) -> ImportanceDynamics:
+    """Reduce a (days × tasks) importance matrix to Fig. 4/5 statistics."""
+    matrix = np.asarray(importance_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise DataError(f"importance_matrix must be 2-D, got shape {matrix.shape}")
+    task_ids = model_set.task_ids
+    if matrix.shape[1] != len(task_ids):
+        raise DataError(
+            f"importance_matrix has {matrix.shape[1]} columns but the model set "
+            f"has {len(task_ids)} tasks"
+        )
+    machines = sorted({model_set.get(i).data.chiller_id for i in task_ids})
+    operations = sorted({model_set.get(i).data.band_index for i in task_ids})
+    mean = np.full((len(machines), len(operations)), np.nan)
+    variance = np.full((len(machines), len(operations)), np.nan)
+    machine_index = {m: i for i, m in enumerate(machines)}
+    operation_index = {o: i for i, o in enumerate(operations)}
+    for column, task_id in enumerate(task_ids):
+        data = model_set.get(task_id).data
+        row = machine_index[data.chiller_id]
+        col = operation_index[data.band_index]
+        series = matrix[:, column]
+        mean[row, col] = float(series.mean())
+        variance[row, col] = float(series.var())
+    return ImportanceDynamics(
+        machine_ids=tuple(machines),
+        operation_ids=tuple(operations),
+        mean=mean,
+        variance=variance,
+    )

@@ -1,0 +1,113 @@
+"""Shapley-value task importance — a principled extension of Definition 1.
+
+The paper's importance is the leave-one-out marginal against the *full*
+task set. When tasks overlap (two tasks covering adjacent PLR bands of the
+same chiller partially substitute for each other), leave-one-out can
+under-credit both. The Shapley value averages a task's marginal
+contribution over random coalitions, splitting shared credit fairly; it is
+the metric Taskonomy-style task-transfer analyses converge on.
+
+Exact Shapley needs 2^N evaluations; :class:`ShapleyImportanceEvaluator`
+uses permutation sampling (Castro et al. 2009): draw random orderings,
+walk each ordering accumulating tasks, and credit each task with the
+performance delta it causes on arrival. Unbiased, with variance shrinking
+as 1/sqrt(n_permutations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.building.dataset import BuildingOperationDataset
+from repro.errors import ConfigurationError, DataError
+from repro.transfer.decision import MTLDecisionModel
+from repro.transfer.task import TaskModelSet
+from repro.utils.rng import as_rng
+
+
+class ShapleyImportanceEvaluator:
+    """Permutation-sampled Shapley importance over the decision function.
+
+    Parameters
+    ----------
+    dataset, model_set:
+        The generated pipeline objects (as for
+        :class:`~repro.importance.importance.ImportanceEvaluator`).
+    n_permutations:
+        Sampled orderings; the estimator averages marginals over them.
+    seed:
+        Permutation sampling seed.
+    """
+
+    def __init__(
+        self,
+        dataset: BuildingOperationDataset,
+        model_set: TaskModelSet,
+        *,
+        n_permutations: int = 8,
+        seed=None,
+    ) -> None:
+        if n_permutations < 1:
+            raise ConfigurationError(f"n_permutations must be >= 1, got {n_permutations}")
+        self.dataset = dataset
+        self.model_set = model_set
+        self.n_permutations = int(n_permutations)
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _coalition_value(self, task_ids: list[int], day: int, cache: dict) -> float:
+        """H of the coalition (empty coalition = all-nameplate sequencing)."""
+        key = frozenset(task_ids)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        if task_ids:
+            model_set = self.model_set.restricted_to(task_ids)
+            # Include unfitted placeholders for the remaining tasks so the
+            # lookup falls back to nameplate for them.
+            value = MTLDecisionModel(self.dataset, model_set).overall_performance(day)
+        else:
+            from repro.transfer.task import LearningTask
+
+            bare = TaskModelSet(
+                [LearningTask(data=t.data, model=None) for t in self.model_set]
+            )
+            value = MTLDecisionModel(self.dataset, bare).overall_performance(day)
+        cache[key] = value
+        return value
+
+    def importance_for_day(self, day: int) -> np.ndarray:
+        """Shapley importance per task id (order of ``model_set.task_ids``)."""
+        task_ids = self.model_set.task_ids
+        totals = np.zeros(len(task_ids))
+        cache: dict = {}
+        for _ in range(self.n_permutations):
+            order = self._rng.permutation(len(task_ids))
+            coalition: list[int] = []
+            previous = self._coalition_value(coalition, day, cache)
+            for position in order:
+                coalition = coalition + [task_ids[position]]
+                current = self._coalition_value(coalition, day, cache)
+                totals[position] += current - previous
+                previous = current
+        return totals / self.n_permutations
+
+
+def compare_importance_metrics(
+    dataset: BuildingOperationDataset,
+    model_set: TaskModelSet,
+    day: int,
+    *,
+    n_permutations: int = 6,
+    seed=None,
+) -> dict[str, np.ndarray]:
+    """Leave-one-out (Definition 1) vs Shapley importance for one day."""
+    from repro.importance.importance import ImportanceEvaluator
+
+    loo = ImportanceEvaluator(dataset, model_set).importance_for_day(day)
+    shapley = ShapleyImportanceEvaluator(
+        dataset, model_set, n_permutations=n_permutations, seed=seed
+    ).importance_for_day(day)
+    return {"leave_one_out": loo, "shapley": shapley}

@@ -1,0 +1,75 @@
+"""From-scratch machine-learning substrate (numpy only).
+
+The paper's pipeline uses classical models throughout: linear SVMs with the
+squared-hinge loss of Eq. 8 for the local process, AdaBoost and Random
+Forest as local-process alternatives, kNN for the CRL environment
+definition, k-means for the offline clustering mode, and a multilayer
+perceptron as the Deep Q-network function approximator. None of these are
+available as dependencies in the build environment, so this subpackage
+implements them directly on numpy with a small, sklearn-like interface
+(`fit` / `predict` / `get_params`).
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, clone
+from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.svm import LinearSVC, LinearSVR
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.adaboost import AdaBoostClassifier, AdaBoostRegressor
+from repro.ml.knn import KNeighborsClassifier, KNeighborsRegressor
+from repro.ml.kmeans import KMeans
+from repro.ml.neural import MLP, Adam, SGD
+from repro.ml.logistic import LogisticRegression, OneVsRestClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.mlp_regressor import MLPRegressor
+from repro.ml.metrics import (
+    accuracy_score,
+    f1_score,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    rmse,
+)
+from repro.ml.model_selection import GridSearch, KFold, train_test_split
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "RegressorMixin",
+    "clone",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "StandardScaler",
+    "LinearRegression",
+    "RidgeRegression",
+    "LinearSVC",
+    "LinearSVR",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "AdaBoostClassifier",
+    "AdaBoostRegressor",
+    "KNeighborsClassifier",
+    "KNeighborsRegressor",
+    "KMeans",
+    "MLP",
+    "Adam",
+    "SGD",
+    "LogisticRegression",
+    "OneVsRestClassifier",
+    "GaussianNB",
+    "GradientBoostingRegressor",
+    "MLPRegressor",
+    "accuracy_score",
+    "f1_score",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "rmse",
+    "GridSearch",
+    "KFold",
+    "train_test_split",
+]

@@ -1,0 +1,149 @@
+"""AdaBoost: discrete AdaBoost.M1 for classification, AdaBoost.R2 for regression.
+
+These are the paper's alternative local-process models (Section IV-B
+compares SVM / AdaBoost / Random Forest and selects SVM); we implement them
+so the comparison itself can be reproduced as a benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, as_2d
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
+    """Discrete AdaBoost.M1 over depth-limited CART stumps."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 2,
+        learning_rate: float = 1.0,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_estimators = int(check_positive(n_estimators, name="n_estimators"))
+        self.max_depth = int(check_positive(max_depth, name="max_depth"))
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        self.seed = seed
+        self.estimators_: list[DecisionTreeClassifier] | None = None
+        self.estimator_weights_: list[float] | None = None
+
+    def fit(self, X, y) -> "AdaBoostClassifier":
+        features = as_2d(X)
+        labels = np.asarray(y).ravel()
+        check_same_length(features, labels)
+        self.classes_ = np.unique(labels)
+        n = labels.size
+        weights = np.full(n, 1.0 / n)
+        estimators: list[DecisionTreeClassifier] = []
+        alphas: list[float] = []
+        rngs = spawn_rngs(self.seed, self.n_estimators)
+        for rng in rngs:
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth, seed=int(rng.integers(0, 2**31 - 1))
+            )
+            tree.fit(features, labels, sample_weight=weights)
+            predictions = tree.predict(features)
+            missed = predictions != labels
+            error = float(weights[missed].sum())
+            if error >= 1.0 - 1.0 / self.classes_.size:
+                # Worse than chance: resampling gave a bad draw; skip round.
+                continue
+            error = max(error, 1e-10)
+            alpha = self.learning_rate * (
+                np.log((1.0 - error) / error) + np.log(self.classes_.size - 1.0)
+            )
+            weights *= np.exp(alpha * missed)
+            weights /= weights.sum()
+            estimators.append(tree)
+            alphas.append(alpha)
+            if error <= 1e-10:
+                break
+        if not estimators:
+            raise TrainingError("AdaBoost made no progress: every round was worse than chance")
+        self.estimators_ = estimators
+        self.estimator_weights_ = alphas
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "estimators_")
+        n_rows = as_2d(X).shape[0]
+        votes = np.zeros((n_rows, self.classes_.size))
+        for alpha, tree in zip(self.estimator_weights_, self.estimators_):
+            predictions = tree.predict(X)
+            for column, klass in enumerate(self.classes_):
+                votes[:, column] += alpha * (predictions == klass)
+        return self.classes_[np.argmax(votes, axis=1)]
+
+
+class AdaBoostRegressor(BaseEstimator, RegressorMixin):
+    """AdaBoost.R2 (Drucker 1997) with linear loss over CART trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 3,
+        learning_rate: float = 1.0,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_estimators = int(check_positive(n_estimators, name="n_estimators"))
+        self.max_depth = int(check_positive(max_depth, name="max_depth"))
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        self.seed = seed
+        self.estimators_: list[DecisionTreeRegressor] | None = None
+        self.estimator_weights_: list[float] | None = None
+
+    def fit(self, X, y) -> "AdaBoostRegressor":
+        features = as_2d(X)
+        targets = np.asarray(y, dtype=float).ravel()
+        check_same_length(features, targets)
+        n = targets.size
+        weights = np.full(n, 1.0 / n)
+        estimators: list[DecisionTreeRegressor] = []
+        betas: list[float] = []
+        rngs = spawn_rngs(self.seed, self.n_estimators)
+        for rng in rngs:
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, seed=int(rng.integers(0, 2**31 - 1))
+            )
+            tree.fit(features, targets, sample_weight=weights)
+            errors = np.abs(tree.predict(features) - targets)
+            max_error = errors.max()
+            if max_error == 0.0:
+                estimators.append(tree)
+                betas.append(1e-10)
+                break
+            relative = errors / max_error
+            average_loss = float(np.sum(weights * relative))
+            if average_loss >= 0.5:
+                continue
+            beta = average_loss / (1.0 - average_loss)
+            weights *= np.power(beta, self.learning_rate * (1.0 - relative))
+            weights /= weights.sum()
+            estimators.append(tree)
+            betas.append(beta)
+        if not estimators:
+            raise TrainingError("AdaBoost.R2 made no progress: every round had loss >= 0.5")
+        self.estimators_ = estimators
+        self.estimator_weights_ = [np.log(1.0 / max(beta, 1e-10)) for beta in betas]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Weighted-median combination, as in the original AdaBoost.R2."""
+        check_fitted(self, "estimators_")
+        predictions = np.vstack([tree.predict(X) for tree in self.estimators_])
+        alphas = np.asarray(self.estimator_weights_, dtype=float)
+        out = np.empty(predictions.shape[1])
+        half = alphas.sum() / 2.0
+        for column in range(predictions.shape[1]):
+            order = np.argsort(predictions[:, column])
+            cumulative = np.cumsum(alphas[order])
+            pick = int(np.searchsorted(cumulative, half))
+            pick = min(pick, order.size - 1)
+            out[column] = predictions[order[pick], column]
+        return out

@@ -1,0 +1,82 @@
+"""Estimator base classes and the `clone` helper.
+
+The interface intentionally mirrors the familiar sklearn surface so that the
+MTL strategies in :mod:`repro.transfer` can swap SVM / AdaBoost / Random
+Forest models without special cases.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score, r2_score
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection for all models.
+
+    Subclasses must accept all hyper-parameters as keyword arguments in
+    ``__init__`` and store them under the same attribute names; fitted state
+    must use a trailing underscore (``coef_``) so :func:`clone` can produce
+    an unfitted copy.
+    """
+
+    def get_params(self) -> dict[str, Any]:
+        """Return the constructor hyper-parameters as a dict."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self" and parameter.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters by name; unknown names raise ``ValueError``."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"unknown parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical hyper-parameters."""
+    params = {key: copy.deepcopy(value) for key, value in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+class RegressorMixin:
+    """Adds an R^2 ``score`` method to regressors."""
+
+    def score(self, X, y) -> float:
+        return r2_score(y, self.predict(X))
+
+
+class ClassifierMixin:
+    """Adds an accuracy ``score`` method to classifiers."""
+
+    def score(self, X, y) -> float:
+        return accuracy_score(y, self.predict(X))
+
+
+def as_2d(X) -> np.ndarray:
+    """Coerce a feature matrix to 2-D float ndarray (1-D becomes one column)."""
+    array = np.asarray(X, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"feature matrix must be 2-D, got shape {array.shape}")
+    return array

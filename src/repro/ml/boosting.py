@@ -1,0 +1,90 @@
+"""Gradient boosting over CART regression trees.
+
+A stronger ensemble regressor for the MTL task models: fits shallow trees
+to the residuals of the running prediction with shrinkage. Used as an
+optional base model in the transfer registry and as another local-process
+candidate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, as_2d
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+    """Least-squares gradient boosting with shrinkage and subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to every tree's contribution.
+    max_depth:
+        Depth of the weak learners.
+    subsample:
+        Fraction of rows used per round (stochastic gradient boosting).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_estimators = int(check_positive(n_estimators, name="n_estimators"))
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        self.max_depth = int(check_positive(max_depth, name="max_depth"))
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError(f"subsample must be in (0, 1], got {subsample}")
+        self.subsample = float(subsample)
+        self.seed = seed
+        self.initial_: float | None = None
+        self.estimators_: list[DecisionTreeRegressor] | None = None
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        features = as_2d(X)
+        targets = np.asarray(y, dtype=float).ravel()
+        check_same_length(features, targets)
+        self.initial_ = float(targets.mean())
+        prediction = np.full(targets.size, self.initial_)
+        estimators = []
+        rngs = spawn_rngs(self.seed, self.n_estimators)
+        n = targets.size
+        sample_size = max(1, int(round(self.subsample * n)))
+        for rng in rngs:
+            residual = targets - prediction
+            if self.subsample < 1.0:
+                rows = rng.choice(n, size=sample_size, replace=False)
+            else:
+                rows = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, seed=int(rng.integers(0, 2**31 - 1))
+            )
+            tree.fit(features[rows], residual[rows])
+            prediction += self.learning_rate * tree.predict(features)
+            estimators.append(tree)
+        self.estimators_ = estimators
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "estimators_")
+        out = np.full(as_2d(X).shape[0], self.initial_)
+        for tree in self.estimators_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    def staged_predict(self, X):
+        """Yield predictions after each boosting round (for early stopping)."""
+        check_fitted(self, "estimators_")
+        out = np.full(as_2d(X).shape[0], self.initial_)
+        for tree in self.estimators_:
+            out = out + self.learning_rate * tree.predict(X)
+            yield out.copy()

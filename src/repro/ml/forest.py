@@ -1,0 +1,86 @@
+"""Random forests: bagged CART trees with per-node feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, as_2d
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+class _BaseForest(BaseEstimator):
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = 8,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        seed: int | None = 0,
+    ) -> None:
+        self.n_estimators = int(check_positive(n_estimators, name="n_estimators"))
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.estimators_: list | None = None
+
+    def _fit_trees(self, features: np.ndarray, targets: np.ndarray, tree_class) -> None:
+        rngs = spawn_rngs(self.seed, self.n_estimators)
+        estimators = []
+        n = features.shape[0]
+        for rng in rngs:
+            index = rng.integers(0, n, size=n)
+            tree = tree_class(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(features[index], targets[index])
+            estimators.append(tree)
+        self.estimators_ = estimators
+
+
+class RandomForestRegressor(_BaseForest, RegressorMixin):
+    """Ensemble mean of bootstrap-trained regression trees."""
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        features = as_2d(X)
+        targets = np.asarray(y, dtype=float).ravel()
+        check_same_length(features, targets)
+        self._fit_trees(features, targets, DecisionTreeRegressor)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "estimators_")
+        predictions = np.vstack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest, ClassifierMixin):
+    """Soft-voting ensemble of bootstrap-trained classification trees."""
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        features = as_2d(X)
+        labels = np.asarray(y).ravel()
+        check_same_length(features, labels)
+        self.classes_ = np.unique(labels)
+        self._fit_trees(features, labels, DecisionTreeClassifier)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "estimators_")
+        n_rows = as_2d(X).shape[0]
+        total = np.zeros((n_rows, self.classes_.size))
+        for tree in self.estimators_:
+            # Trees may have seen a subset of classes in their bootstrap
+            # sample; align their probability columns onto the full set.
+            probabilities = tree.predict_proba(X)
+            column_map = np.searchsorted(self.classes_, tree.classes_)
+            total[:, column_map] += probabilities
+        return total / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,96 @@
+"""k-means clustering with k-means++ initialization.
+
+Used by the *offline* environment-definition mode discussed in the paper's
+Section VII ("divides historical samples into multiple clusters in advance,
+e.g., using K-means"), implemented as an alternative to the online kNN mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError, TrainingError
+from repro.ml.base import BaseEstimator, as_2d
+from repro.ml.knn import pairwise_distances
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_fitted, check_positive
+
+
+class KMeans(BaseEstimator):
+    """Lloyd's algorithm with k-means++ seeding and empty-cluster repair."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 4,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_clusters = int(check_positive(n_clusters, name="n_clusters"))
+        self.max_iter = int(check_positive(max_iter, name="max_iter"))
+        self.tol = check_positive(tol, name="tol", strict=False)
+        self.n_init = int(check_positive(n_init, name="n_init"))
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def _init_centers(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = data.shape[0]
+        centers = [data[rng.integers(0, n)]]
+        for _ in range(1, self.n_clusters):
+            distances = pairwise_distances(data, np.vstack(centers)).min(axis=1) ** 2
+            total = distances.sum()
+            if total == 0.0:
+                centers.append(data[rng.integers(0, n)])
+                continue
+            centers.append(data[rng.choice(n, p=distances / total)])
+        return np.vstack(centers)
+
+    def _run_once(self, data: np.ndarray, rng: np.random.Generator):
+        centers = self._init_centers(data, rng)
+        labels = np.zeros(data.shape[0], dtype=int)
+        for _ in range(self.max_iter):
+            distances = pairwise_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for cluster in range(self.n_clusters):
+                members = data[labels == cluster]
+                if members.shape[0] == 0:
+                    # Empty cluster: re-seed at the farthest point.
+                    farthest = np.argmax(distances.min(axis=1))
+                    new_centers[cluster] = data[farthest]
+                else:
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        inertia = float(np.sum((data - centers[labels]) ** 2))
+        return centers, labels, inertia
+
+    def fit(self, X) -> "KMeans":
+        data = as_2d(X)
+        if data.shape[0] < self.n_clusters:
+            raise DataError(
+                f"need at least n_clusters={self.n_clusters} samples, got {data.shape[0]}"
+            )
+        rng = as_rng(self.seed)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._run_once(data, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        if best is None:
+            raise TrainingError("k-means failed to produce any clustering")
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "cluster_centers_")
+        return np.argmin(pairwise_distances(as_2d(X), self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).labels_

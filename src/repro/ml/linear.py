@@ -1,0 +1,79 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+These are the workhorse task models for COP prediction in the synthetic
+green-building dataset, and also the final-stage combiner inside the
+cooperative DCTA model when its weights are fit from validation data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, as_2d
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via `numpy.linalg.lstsq` (rank-robust)."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = bool(fit_intercept)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, X, y) -> "LinearRegression":
+        features = as_2d(X)
+        targets = np.asarray(y, dtype=float).ravel()
+        check_same_length(features, targets)
+        design = features
+        if self.fit_intercept:
+            design = np.hstack([features, np.ones((features.shape[0], 1))])
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = solution[:-1]
+            self.intercept_ = float(solution[-1])
+        else:
+            self.coef_ = solution
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        return as_2d(X) @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(BaseEstimator, RegressorMixin):
+    """L2-regularized least squares solved in closed form.
+
+    The intercept is never penalized: features are centered before solving
+    so the intercept absorbs the target mean.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        self.alpha = check_positive(alpha, name="alpha", strict=False)
+        self.fit_intercept = bool(fit_intercept)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, X, y) -> "RidgeRegression":
+        features = as_2d(X)
+        targets = np.asarray(y, dtype=float).ravel()
+        check_same_length(features, targets)
+        if self.fit_intercept:
+            feature_mean = features.mean(axis=0)
+            target_mean = targets.mean()
+            centered_x = features - feature_mean
+            centered_y = targets - target_mean
+        else:
+            feature_mean = np.zeros(features.shape[1])
+            target_mean = 0.0
+            centered_x = features
+            centered_y = targets
+        gram = centered_x.T @ centered_x + self.alpha * np.eye(features.shape[1])
+        self.coef_ = np.linalg.solve(gram, centered_x.T @ centered_y)
+        self.intercept_ = float(target_mean - feature_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        return as_2d(X) @ self.coef_ + self.intercept_

@@ -1,0 +1,146 @@
+"""Logistic regression and a one-vs-rest multiclass wrapper.
+
+Logistic regression is a natural fourth candidate for the paper's local
+process (Section IV-B compares SVM/AdaBoost/RF); the one-vs-rest wrapper
+lifts any binary classifier in the substrate (including the Eq. 8 SVM) to
+multiclass problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.ml.base import BaseEstimator, ClassifierMixin, as_2d, clone
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Binary logistic regression trained by mini-batch SGD.
+
+    Parameters
+    ----------
+    C:
+        Inverse L2 regularization strength.
+    epochs, batch_size, seed:
+        SGD schedule parameters (step size decays harmonically).
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epochs: int = 80,
+        batch_size: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        self.C = check_positive(C, name="C")
+        self.epochs = int(check_positive(epochs, name="epochs"))
+        self.batch_size = int(check_positive(batch_size, name="batch_size"))
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "LogisticRegression":
+        features = as_2d(X)
+        labels = np.asarray(y).ravel()
+        check_same_length(features, labels)
+        self.classes_ = np.unique(labels)
+        if self.classes_.size == 1:
+            self.coef_ = np.zeros(features.shape[1])
+            self.intercept_ = 0.0
+            self._single_class = self.classes_[0]
+            return self
+        if self.classes_.size != 2:
+            raise DataError(
+                f"LogisticRegression is binary; got {self.classes_.size} classes "
+                "(wrap in OneVsRestClassifier for multiclass)"
+            )
+        self._single_class = None
+        targets = (labels == self.classes_[1]).astype(float)
+        rng = as_rng(self.seed)
+        weights = np.zeros(features.shape[1])
+        bias = 0.0
+        n = features.shape[0]
+        step = 0
+        regularization = 1.0 / (self.C * n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                step += 1
+                learning_rate = 1.0 / (1.0 + 0.01 * step)
+                logits = np.clip(features[batch] @ weights + bias, -35.0, 35.0)
+                probabilities = 1.0 / (1.0 + np.exp(-logits))
+                error = probabilities - targets[batch]
+                gradient_w = features[batch].T @ error / batch.size
+                gradient_b = float(error.mean())
+                # Multiplicative weight decay, clamped so a strong
+                # regularizer (small C) shrinks instead of oscillating.
+                weights *= max(0.0, 1.0 - learning_rate * regularization)
+                weights -= learning_rate * gradient_w
+                bias -= learning_rate * gradient_b
+        self.coef_ = weights
+        self.intercept_ = bias
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        return as_2d(X) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = np.clip(self.decision_function(X), -35.0, 35.0)
+        if getattr(self, "_single_class", None) is not None:
+            return np.ones((scores.size, 1))
+        positive = 1.0 / (1.0 + np.exp(-scores))
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        if getattr(self, "_single_class", None) is not None:
+            return np.full(as_2d(X).shape[0], self._single_class)
+        return np.where(self.decision_function(X) >= 0.0, self.classes_[1], self.classes_[0])
+
+
+class OneVsRestClassifier(BaseEstimator, ClassifierMixin):
+    """Multiclass lift of any binary classifier with a decision function."""
+
+    def __init__(self, base_estimator: BaseEstimator | None = None) -> None:
+        self.base_estimator = (
+            base_estimator if base_estimator is not None else LogisticRegression()
+        )
+        self.classes_: np.ndarray | None = None
+        self.estimators_: list[BaseEstimator] | None = None
+
+    def fit(self, X, y) -> "OneVsRestClassifier":
+        features = as_2d(X)
+        labels = np.asarray(y).ravel()
+        check_same_length(features, labels)
+        self.classes_ = np.unique(labels)
+        estimators = []
+        for klass in self.classes_:
+            binary = (labels == klass).astype(int)
+            model = clone(self.base_estimator)
+            model.fit(features, binary)
+            estimators.append(model)
+        self.estimators_ = estimators
+        return self
+
+    def decision_matrix(self, X) -> np.ndarray:
+        """(n_samples, n_classes) per-class scores."""
+        check_fitted(self, "estimators_")
+        columns = []
+        for model in self.estimators_:
+            if hasattr(model, "decision_function"):
+                columns.append(np.asarray(model.decision_function(X), dtype=float))
+            elif hasattr(model, "predict_proba"):
+                probabilities = model.predict_proba(X)
+                positive_column = probabilities.shape[1] - 1
+                columns.append(probabilities[:, positive_column])
+            else:
+                columns.append(np.asarray(model.predict(X), dtype=float))
+        return np.column_stack(columns)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_matrix(X), axis=1)]

@@ -1,0 +1,71 @@
+"""Evaluation metrics for the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true, dtype=float).ravel()
+    pred = np.asarray(y_pred, dtype=float).ravel()
+    if true.size == 0:
+        raise DataError("metric inputs must not be empty")
+    if true.shape != pred.shape:
+        raise DataError(f"y_true and y_pred differ in shape: {true.shape} vs {pred.shape}")
+    return true, pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    true, pred = _pair(y_true, y_pred)
+    return float(np.mean((true - pred) ** 2))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    true, pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(true - pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 0.0 when the target is constant and exact."""
+    true, pred = _pair(y_true, y_pred)
+    residual = float(np.sum((true - pred) ** 2))
+    total = float(np.sum((true - true.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    true = np.asarray(y_true).ravel()
+    pred = np.asarray(y_pred).ravel()
+    if true.size == 0:
+        raise DataError("metric inputs must not be empty")
+    if true.shape != pred.shape:
+        raise DataError(f"y_true and y_pred differ in shape: {true.shape} vs {pred.shape}")
+    return float(np.mean(true == pred))
+
+
+def f1_score(y_true, y_pred, *, positive=1) -> float:
+    """Binary F1 with respect to the ``positive`` label (0 when degenerate)."""
+    true = np.asarray(y_true).ravel()
+    pred = np.asarray(y_pred).ravel()
+    if true.shape != pred.shape:
+        raise DataError(f"y_true and y_pred differ in shape: {true.shape} vs {pred.shape}")
+    tp = float(np.sum((true == positive) & (pred == positive)))
+    fp = float(np.sum((true != positive) & (pred == positive)))
+    fn = float(np.sum((true == positive) & (pred != positive)))
+    if tp == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2.0 * precision * recall / (precision + recall)

@@ -1,0 +1,143 @@
+"""Train/test splitting, K-fold cross validation, and grid search."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.ml.base import BaseEstimator, as_2d, clone
+from repro.utils.rng import as_rng
+
+
+def train_test_split(X, y, *, test_size: float = 0.25, seed: int | None = 0):
+    """Shuffle and split into train/test; returns (X_train, X_test, y_train, y_test)."""
+    if not 0.0 < test_size < 1.0:
+        raise ConfigurationError(f"test_size must be in (0, 1), got {test_size}")
+    features = as_2d(X)
+    targets = np.asarray(y)
+    if features.shape[0] != targets.shape[0]:
+        raise DataError("X and y must have the same number of rows")
+    n = features.shape[0]
+    n_test = max(1, int(round(test_size * n)))
+    if n_test >= n:
+        raise DataError(f"test_size={test_size} leaves no training data for n={n}")
+    order = as_rng(seed).permutation(n)
+    test_index = order[:n_test]
+    train_index = order[n_test:]
+    return (
+        features[train_index],
+        features[test_index],
+        targets[train_index],
+        targets[test_index],
+    )
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int | None = 0) -> None:
+        if n_splits < 2:
+            raise ConfigurationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterable[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) pairs covering all samples."""
+        if n_samples < self.n_splits:
+            raise DataError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = as_rng(self.seed).permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    n_splits: int = 5,
+    scorer: Callable | None = None,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Per-fold scores of a cloned estimator (default scorer: ``estimator.score``)."""
+    features = as_2d(X)
+    targets = np.asarray(y)
+    scores = []
+    for train_index, test_index in KFold(n_splits=n_splits, seed=seed).split(features.shape[0]):
+        model = clone(estimator)
+        model.fit(features[train_index], targets[train_index])
+        if scorer is None:
+            scores.append(model.score(features[test_index], targets[test_index]))
+        else:
+            scores.append(scorer(targets[test_index], model.predict(features[test_index])))
+    return np.asarray(scores, dtype=float)
+
+
+class GridSearch:
+    """Exhaustive hyper-parameter search with K-fold validation.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype estimator; cloned for every candidate.
+    param_grid:
+        Mapping from parameter name to the values to try.
+    n_splits:
+        Folds per candidate.
+    scorer:
+        Optional ``scorer(y_true, y_pred) -> float`` (higher is better); the
+        default uses the estimator's own ``score``.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: Mapping[str, Sequence],
+        *,
+        n_splits: int = 3,
+        scorer: Callable | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if not param_grid:
+            raise ConfigurationError("param_grid must not be empty")
+        self.estimator = estimator
+        self.param_grid = dict(param_grid)
+        self.n_splits = n_splits
+        self.scorer = scorer
+        self.seed = seed
+        self.best_params_: dict | None = None
+        self.best_score_: float | None = None
+        self.best_estimator_: BaseEstimator | None = None
+        self.results_: list[dict] | None = None
+
+    def fit(self, X, y) -> "GridSearch":
+        names = list(self.param_grid)
+        results = []
+        best_score = -np.inf
+        for values in product(*(self.param_grid[name] for name in names)):
+            params = dict(zip(names, values))
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(
+                candidate, X, y, n_splits=self.n_splits, scorer=self.scorer, seed=self.seed
+            )
+            mean_score = float(scores.mean())
+            results.append({"params": params, "mean_score": mean_score, "scores": scores})
+            if mean_score > best_score:
+                best_score = mean_score
+                self.best_params_ = params
+                self.best_score_ = mean_score
+        self.results_ = results
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self

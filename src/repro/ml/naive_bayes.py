@@ -1,0 +1,74 @@
+"""Gaussian Naive Bayes classifier.
+
+A probabilistic baseline for the local process: fast, calibrated-ish
+probabilities, no hyper-parameters to tune — useful as the sanity floor
+that any learned local model must clear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, as_2d
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Per-class diagonal-Gaussian likelihoods with smoothed variances.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every variance
+        (numerical floor for constant features).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = check_positive(var_smoothing, name="var_smoothing")
+        self.classes_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.var_: np.ndarray | None = None
+        self.class_prior_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "GaussianNB":
+        features = as_2d(X)
+        labels = np.asarray(y).ravel()
+        check_same_length(features, labels)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n_classes = self.classes_.size
+        n_features = features.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        counts = np.zeros(n_classes)
+        for klass in range(n_classes):
+            rows = features[encoded == klass]
+            counts[klass] = rows.shape[0]
+            self.theta_[klass] = rows.mean(axis=0)
+            self.var_[klass] = rows.var(axis=0)
+        epsilon = self.var_smoothing * float(features.var(axis=0).max() or 1.0)
+        self.var_ += epsilon
+        self.class_prior_ = counts / counts.sum()
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        check_fitted(self, "theta_")
+        features = as_2d(X)
+        out = np.zeros((features.shape[0], self.classes_.size))
+        for klass in range(self.classes_.size):
+            log_prior = np.log(self.class_prior_[klass])
+            diff = features - self.theta_[klass]
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[klass]) + diff**2 / self.var_[klass],
+                axis=1,
+            )
+            out[:, klass] = log_prior + log_likelihood
+        return out
+
+    def predict_proba(self, X) -> np.ndarray:
+        joint = self._joint_log_likelihood(X)
+        joint -= joint.max(axis=1, keepdims=True)
+        probabilities = np.exp(joint)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]

@@ -1,0 +1,199 @@
+"""Multilayer perceptron with backpropagation, plus SGD and Adam optimizers.
+
+This is the function approximator behind the Deep Q-network of the paper's
+CRL model (Section III-D, Algorithm 1). It is a plain fully-connected net
+with ReLU (or tanh) hidden activations and a linear output layer — exactly
+what DQN needs to regress Q-values — and a squared-error loss so the
+training step matches Algorithm 1 line 4:
+
+    L(s, a | θ) = (r + max_a' Q(s', a'|θ) − Q(s, a|θ))^2
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+_ACTIVATIONS = {
+    "relu": (lambda z: np.maximum(z, 0.0), lambda z: (z > 0.0).astype(float)),
+    "tanh": (np.tanh, lambda z: 1.0 - np.tanh(z) ** 2),
+    "linear": (lambda z: z, lambda z: np.ones_like(z)),
+}
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in parameters]
+        for parameter, gradient, velocity in zip(parameters, gradients, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * gradient
+            parameter += velocity
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = check_positive(learning_rate, name="learning_rate")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in parameters]
+            self._v = [np.zeros_like(p) for p in parameters]
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for parameter, gradient, m, v in zip(parameters, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * gradient
+            v *= self.beta2
+            v += (1.0 - self.beta2) * gradient**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class MLP:
+    """Fully-connected network with a linear output head.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes including input and output, e.g. ``(state_dim, 64, 64, n_actions)``.
+    activation:
+        Hidden activation: ``"relu"``, ``"tanh"`` or ``"linear"``.
+    optimizer:
+        An :class:`SGD` or :class:`Adam` instance (default: Adam).
+    seed:
+        Seed for He-style weight initialization.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: tuple[int, ...],
+        activation: str = "relu",
+        optimizer=None,
+        seed: int | None = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigurationError(
+                f"layer_sizes needs at least input and output sizes, got {layer_sizes}"
+            )
+        if any(size < 1 for size in layer_sizes):
+            raise ConfigurationError(f"all layer sizes must be >= 1, got {layer_sizes}")
+        if activation not in _ACTIVATIONS:
+            raise ConfigurationError(
+                f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}"
+            )
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.activation = activation
+        self.optimizer = optimizer if optimizer is not None else Adam()
+        rng = as_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        """Forward pass; returns the linear outputs (no softmax)."""
+        return self._forward_cached(np.asarray(X, dtype=float))[0]
+
+    def _forward_cached(self, X: np.ndarray):
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.layer_sizes[0]:
+            raise DataError(
+                f"expected input of size {self.layer_sizes[0]}, got {X.shape[1]}"
+            )
+        act, _ = _ACTIVATIONS[self.activation]
+        pre_activations = []
+        activations = [X]
+        hidden = X
+        last = len(self.weights) - 1
+        for i, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            z = hidden @ weight + bias
+            pre_activations.append(z)
+            hidden = z if i == last else act(z)
+            activations.append(hidden)
+        return hidden, pre_activations, activations
+
+    def train_batch(self, X: np.ndarray, targets: np.ndarray) -> float:
+        """One optimizer step on mean squared error; returns the loss."""
+        X = np.asarray(X, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        outputs, pre_activations, activations = self._forward_cached(X)
+        if targets.ndim == 1:
+            targets = targets.reshape(outputs.shape)
+        if targets.shape != outputs.shape:
+            raise DataError(
+                f"targets shape {targets.shape} does not match outputs {outputs.shape}"
+            )
+        n = X.shape[0] if X.ndim == 2 else 1
+        delta = 2.0 * (outputs - targets) / n
+        loss = float(np.mean((outputs - targets) ** 2))
+        _, act_grad = _ACTIVATIONS[self.activation]
+        weight_gradients: list[np.ndarray] = [None] * len(self.weights)
+        bias_gradients: list[np.ndarray] = [None] * len(self.biases)
+        for layer in reversed(range(len(self.weights))):
+            weight_gradients[layer] = activations[layer].T @ delta
+            bias_gradients[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self.weights[layer].T) * act_grad(pre_activations[layer - 1])
+        parameters = self.weights + self.biases
+        gradients = weight_gradients + bias_gradients
+        self.optimizer.step(parameters, gradients)
+        return loss
+
+    # ------------------------------------------------------------------
+    def get_parameters(self) -> list[np.ndarray]:
+        """Copies of all weights then biases (for target-network sync)."""
+        return [w.copy() for w in self.weights] + [b.copy() for b in self.biases]
+
+    def set_parameters(self, parameters: list[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_parameters`."""
+        expected = len(self.weights) + len(self.biases)
+        if len(parameters) != expected:
+            raise ConfigurationError(
+                f"expected {expected} parameter arrays, got {len(parameters)}"
+            )
+        count = len(self.weights)
+        for i in range(count):
+            if parameters[i].shape != self.weights[i].shape:
+                raise ConfigurationError("weight shape mismatch in set_parameters")
+            self.weights[i] = parameters[i].copy()
+        for i in range(len(self.biases)):
+            if parameters[count + i].shape != self.biases[i].shape:
+                raise ConfigurationError("bias shape mismatch in set_parameters")
+            self.biases[i] = parameters[count + i].copy()
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-sync this network's parameters from another MLP."""
+        self.set_parameters(other.get_parameters())

@@ -1,0 +1,120 @@
+"""Feature preprocessing: scalers and categorical encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.ml.base import BaseEstimator, as_2d
+from repro.utils.validation import check_fitted
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean unit-variance scaling per feature.
+
+    Constant features get a unit scale so transforming them is a no-op
+    (centered at zero) rather than a division by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        array = as_2d(X)
+        self.mean_ = array.mean(axis=0)
+        scale = array.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        array = as_2d(X)
+        if array.shape[1] != self.mean_.shape[0]:
+            raise DataError(
+                f"expected {self.mean_.shape[0]} features, got {array.shape[1]}"
+            )
+        return (array - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        return as_2d(X) * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to a target range (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if not low < high:
+            raise DataError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(low), float(high))
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        array = as_2d(X)
+        self.data_min_ = array.min(axis=0)
+        self.data_max_ = array.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        array = as_2d(X)
+        if array.shape[1] != self.data_min_.shape[0]:
+            raise DataError(
+                f"expected {self.data_min_.shape[0]} features, got {array.shape[1]}"
+            )
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        low, high = self.feature_range
+        unit = (array - self.data_min_) / span
+        return unit * (high - low) + low
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        low, high = self.feature_range
+        unit = (as_2d(X) - low) / (high - low)
+        span = self.data_max_ - self.data_min_
+        return unit * span + self.data_min_
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encoding of a single categorical column.
+
+    Unseen categories at transform time map to the all-zeros row (the
+    behaviour needed for streaming building telemetry where a new chiller
+    model type may appear after training).
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list | None = None
+        self._index: dict | None = None
+
+    def fit(self, values) -> "OneHotEncoder":
+        flat = list(np.asarray(values, dtype=object).ravel())
+        if not flat:
+            raise DataError("OneHotEncoder requires at least one value")
+        self.categories_ = sorted(set(flat), key=str)
+        self._index = {category: i for i, category in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        check_fitted(self, "categories_")
+        flat = np.asarray(values, dtype=object).ravel()
+        out = np.zeros((flat.size, len(self.categories_)))
+        for row, value in enumerate(flat):
+            column = self._index.get(value)
+            if column is not None:
+                out[row, column] = 1.0
+        return out
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)

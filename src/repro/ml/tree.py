@@ -1,0 +1,239 @@
+"""CART decision trees (regression and classification).
+
+The trees are the base learners for :mod:`repro.ml.forest` and
+:mod:`repro.ml.adaboost`. Splits are exact: for every feature the sorted
+unique midpoints are scanned with an incremental impurity update, so fitting
+is O(n_features * n log n) per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, as_2d
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_fitted, check_positive, check_same_length
+
+
+@dataclass
+class _Node:
+    """A tree node: either a split (feature/threshold) or a leaf (value)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | float | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_mse(features: np.ndarray, targets: np.ndarray, columns: np.ndarray, min_leaf: int):
+    """Best (feature, threshold) minimizing weighted child MSE, or None."""
+    n = targets.size
+    best = None
+    best_score = np.inf
+    total_sum = targets.sum()
+    total_sq = float(targets @ targets)
+    parent_score = total_sq - total_sum**2 / n
+    for column in columns:
+        order = np.argsort(features[:, column], kind="stable")
+        sorted_x = features[order, column]
+        sorted_y = targets[order]
+        prefix_sum = np.cumsum(sorted_y)
+        prefix_sq = np.cumsum(sorted_y**2)
+        for i in range(min_leaf, n - min_leaf + 1):
+            if i < 1 or i >= n or sorted_x[i] == sorted_x[i - 1]:
+                continue
+            left_sum, left_sq = prefix_sum[i - 1], prefix_sq[i - 1]
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            score = (left_sq - left_sum**2 / i) + (right_sq - right_sum**2 / (n - i))
+            if score < best_score - 1e-12:
+                best_score = score
+                best = (int(column), float((sorted_x[i] + sorted_x[i - 1]) / 2.0))
+    # Zero-gain splits are allowed on impure nodes (the XOR case: no single
+    # split helps, but the children become separable); pure nodes stop.
+    if best is None or parent_score <= 1e-12:
+        return None
+    return best
+
+
+def _best_split_gini(features: np.ndarray, labels: np.ndarray, n_classes: int, columns: np.ndarray, min_leaf: int):
+    """Best (feature, threshold) minimizing weighted Gini impurity, or None."""
+    n = labels.size
+    total_counts = np.bincount(labels, minlength=n_classes).astype(float)
+    parent_gini = 1.0 - np.sum((total_counts / n) ** 2)
+    best = None
+    best_score = np.inf
+    for column in columns:
+        order = np.argsort(features[:, column], kind="stable")
+        sorted_x = features[order, column]
+        sorted_y = labels[order]
+        left_counts = np.zeros(n_classes)
+        for i in range(1, n):
+            left_counts[sorted_y[i - 1]] += 1.0
+            if i < min_leaf or n - i < min_leaf or sorted_x[i] == sorted_x[i - 1]:
+                continue
+            right_counts = total_counts - left_counts
+            gini_left = 1.0 - np.sum((left_counts / i) ** 2)
+            gini_right = 1.0 - np.sum((right_counts / (n - i)) ** 2)
+            score = (i * gini_left + (n - i) * gini_right) / n
+            if score < best_score - 1e-12:
+                best_score = score
+                best = (int(column), float((sorted_x[i] + sorted_x[i - 1]) / 2.0))
+    if best is None or parent_gini <= 1e-12:
+        return None
+    return best
+
+
+class _BaseTree(BaseEstimator):
+    """Shared recursive construction and traversal for both tree types."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = int(check_positive(min_samples_leaf, name="min_samples_leaf"))
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: _Node | None = None
+        self.n_features_: int | None = None
+
+    def _feature_subset_size(self, n_features: int) -> int:
+        spec = self.max_features
+        if spec is None:
+            return n_features
+        if spec == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if spec == "log2":
+            return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+        if isinstance(spec, float):
+            return max(1, min(n_features, int(round(spec * n_features))))
+        return max(1, min(n_features, int(spec)))
+
+    def _grow(self, features, targets, depth, rng) -> _Node:
+        node = _Node(value=self._leaf_value(targets))
+        if self.max_depth is not None and depth >= self.max_depth:
+            return node
+        if targets.size < 2 * self.min_samples_leaf:
+            return node
+        k = self._feature_subset_size(features.shape[1])
+        if k < features.shape[1]:
+            columns = rng.choice(features.shape[1], size=k, replace=False)
+        else:
+            columns = np.arange(features.shape[1])
+        split = self._best_split(features, targets, columns)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1, rng)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1, rng)
+        return node
+
+    def _apply(self, X) -> list[_Node]:
+        check_fitted(self, "root_")
+        array = as_2d(X)
+        leaves = []
+        for row in array:
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            leaves.append(node)
+        return leaves
+
+    @property
+    def depth_(self) -> int:
+        """Depth of the fitted tree (0 for a stump that never split)."""
+        check_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    # Subclass hooks -----------------------------------------------------
+    def _leaf_value(self, targets):
+        raise NotImplementedError
+
+    def _best_split(self, features, targets, columns):
+        raise NotImplementedError
+
+
+class DecisionTreeRegressor(_BaseTree, RegressorMixin):
+    """CART regression tree minimizing squared error."""
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        features = as_2d(X)
+        targets = np.asarray(y, dtype=float).ravel()
+        check_same_length(features, targets)
+        if sample_weight is not None:
+            # Weighted fitting is approximated by weighted resampling, which
+            # keeps the exact-split routines unweighted and fast. Used by
+            # AdaBoost.R2.
+            weights = np.asarray(sample_weight, dtype=float)
+            weights = weights / weights.sum()
+            rng = as_rng(self.seed)
+            index = rng.choice(targets.size, size=targets.size, p=weights)
+            features, targets = features[index], targets[index]
+        self.n_features_ = features.shape[1]
+        self.root_ = self._grow(features, targets, 0, as_rng(self.seed))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        return np.array([leaf.value for leaf in self._apply(X)])
+
+    def _leaf_value(self, targets) -> float:
+        return float(targets.mean())
+
+    def _best_split(self, features, targets, columns):
+        return _best_split_mse(features, targets, columns, self.min_samples_leaf)
+
+
+class DecisionTreeClassifier(_BaseTree, ClassifierMixin):
+    """CART classification tree minimizing Gini impurity."""
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        features = as_2d(X)
+        labels = np.asarray(y).ravel()
+        check_same_length(features, labels)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight, dtype=float)
+            weights = weights / weights.sum()
+            rng = as_rng(self.seed)
+            index = rng.choice(encoded.size, size=encoded.size, p=weights)
+            features, encoded = features[index], encoded[index]
+        self.n_features_ = features.shape[1]
+        self._n_classes = self.classes_.size
+        self.root_ = self._grow(features, encoded, 0, as_rng(self.seed))
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        return np.vstack([leaf.value for leaf in self._apply(X)])
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def _leaf_value(self, targets) -> np.ndarray:
+        counts = np.bincount(targets, minlength=self._n_classes).astype(float)
+        return counts / counts.sum()
+
+    def _best_split(self, features, targets, columns):
+        return _best_split_gini(features, targets, self._n_classes, columns, self.min_samples_leaf)

@@ -1,0 +1,34 @@
+"""Reinforcement learning for TATIM: the allocation MDP, DQN, and CRL."""
+
+from repro.rl.env import AllocationEnv
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.prioritized import PrioritizedReplayBuffer
+from repro.rl.schedules import (
+    ConstantEpsilon,
+    EpsilonSchedule,
+    ExponentialDecay,
+    LinearDecay,
+    PiecewiseSchedule,
+)
+from repro.rl.qlearning import QLearningAgent
+from repro.rl.reinforce import ReinforceAgent
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.crl import CRLModel, EnvironmentStore
+
+__all__ = [
+    "AllocationEnv",
+    "ReplayBuffer",
+    "Transition",
+    "PrioritizedReplayBuffer",
+    "EpsilonSchedule",
+    "ConstantEpsilon",
+    "ExponentialDecay",
+    "LinearDecay",
+    "PiecewiseSchedule",
+    "QLearningAgent",
+    "ReinforceAgent",
+    "DQNAgent",
+    "DQNConfig",
+    "CRLModel",
+    "EnvironmentStore",
+]

@@ -1,0 +1,247 @@
+"""Clustered Reinforcement Learning (CRL) — the paper's Algorithm 1.
+
+CRL deals with the *environment-dynamic knapsack*: the item values (task
+importance) drift with context, so a single fixed-environment RL agent
+mis-prices tasks. CRL instead
+
+1. maintains a **historical environment store** of (sensing vector Z,
+   importance vector I) pairs — the paper's E = [e_1 … e_N'];
+2. performs **environment definition**: given the current Z, retrieve the
+   most similar historical environment, either *online* via kNN over Z
+   (paper's deployed mode) or *offline* via k-means clusters (the
+   Section VII alternative);
+3. trains one **DQN** per environment (offline: per cluster; online: per
+   distinct retrieved neighbourhood, cached) on the TATIM instance with
+   that environment's importance; and
+4. answers allocation queries with a fast greedy rollout — the cheap
+   inference phase that gives the data-driven approach its speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.ml.kmeans import KMeans
+from repro.ml.knn import nearest_indices
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.env import AllocationEnv
+from repro.rl.replay import Transition
+from repro.tatim.greedy import density_greedy
+from repro.tatim.problem import TATIMProblem
+from repro.tatim.solution import Allocation
+from repro.utils.rng import as_rng
+
+
+class EnvironmentStore:
+    """Historical environments: (sensing Z, per-task importance I) pairs."""
+
+    def __init__(self) -> None:
+        self._sensing: list[np.ndarray] = []
+        self._importance: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._sensing)
+
+    def add(self, sensing: np.ndarray, importance: np.ndarray) -> None:
+        sensing = np.asarray(sensing, dtype=float).ravel()
+        importance = np.asarray(importance, dtype=float).ravel()
+        if self._sensing:
+            if sensing.size != self._sensing[0].size:
+                raise DataError(
+                    f"sensing dim {sensing.size} != stored dim {self._sensing[0].size}"
+                )
+            if importance.size != self._importance[0].size:
+                raise DataError(
+                    f"importance dim {importance.size} != stored dim {self._importance[0].size}"
+                )
+        self._sensing.append(sensing)
+        self._importance.append(importance)
+
+    @property
+    def sensing_matrix(self) -> np.ndarray:
+        if not self._sensing:
+            raise DataError("environment store is empty")
+        return np.vstack(self._sensing)
+
+    @property
+    def importance_matrix(self) -> np.ndarray:
+        if not self._importance:
+            raise DataError("environment store is empty")
+        return np.vstack(self._importance)
+
+    def knn_importance(self, sensing: np.ndarray, k: int = 5) -> np.ndarray:
+        """Environment definition e = kNN(E, Z): mean importance of the k
+        historically most similar days."""
+        references = self.sensing_matrix
+        query = np.asarray(sensing, dtype=float).reshape(1, -1)
+        index = nearest_indices(query, references, min(k, len(self)))[0]
+        return self.importance_matrix[index].mean(axis=0)
+
+
+class CRLModel:
+    """Clustered RL allocator over a fixed TATIM geometry.
+
+    Parameters
+    ----------
+    geometry:
+        A :class:`TATIMProblem` providing the fixed task sizes and
+        processor budgets; its importance vector is a placeholder that gets
+        substituted per environment.
+    mode:
+        ``"offline"`` — k-means clusters over sensing vectors, one agent
+        per cluster (fast inference, the default); ``"online"`` — kNN
+        environment definition per query with per-neighbourhood agent
+        caching (the Section VII online mode).
+    n_clusters, knn_k:
+        Clustering / neighbourhood sizes.
+    episodes:
+        DQN training episodes per environment.
+    seed_demonstrations:
+        If True (default), each per-environment agent's replay buffer is
+        pre-seeded with episodes replaying the density-greedy allocation,
+        so the terminal reward signal is present from the first gradient
+        step (a standard learning-from-demonstration warm start). Disable
+        to measure pure exploration (ablation bench).
+    """
+
+    def __init__(
+        self,
+        geometry: TATIMProblem,
+        *,
+        mode: str = "offline",
+        n_clusters: int = 4,
+        knn_k: int = 5,
+        episodes: int = 120,
+        dqn_config: DQNConfig | None = None,
+        seed_demonstrations: bool = True,
+        seed=None,
+    ) -> None:
+        if mode not in ("offline", "online"):
+            raise ConfigurationError(f"mode must be 'offline' or 'online', got {mode!r}")
+        if n_clusters < 1 or knn_k < 1 or episodes < 1:
+            raise ConfigurationError("n_clusters, knn_k and episodes must be >= 1")
+        self.geometry = geometry
+        self.mode = mode
+        self.n_clusters = int(n_clusters)
+        self.knn_k = int(knn_k)
+        self.episodes = int(episodes)
+        self.seed_demonstrations = bool(seed_demonstrations)
+        self.dqn_config = dqn_config if dqn_config is not None else DQNConfig()
+        self._rng = as_rng(seed)
+        self.store: EnvironmentStore | None = None
+        self._kmeans: KMeans | None = None
+        self._cluster_agents: dict[int, DQNAgent] = {}
+        self._online_agents: dict[tuple[int, ...], DQNAgent] = {}
+
+    # ------------------------------------------------------------------
+    def _train_agent(self, importance: np.ndarray) -> DQNAgent:
+        problem = self.geometry.scaled(importance=importance)
+        env = AllocationEnv(problem)
+        agent = DQNAgent(
+            env.state_dim,
+            env.n_actions,
+            self.dqn_config,
+            seed=int(self._rng.integers(0, 2**31 - 1)),
+        )
+        if self.seed_demonstrations:
+            self._push_demonstration(agent, env, problem)
+        agent.train(env, self.episodes)
+        return agent
+
+    @staticmethod
+    def _push_demonstration(agent: DQNAgent, env: AllocationEnv, problem: TATIMProblem) -> None:
+        """Replay the density-greedy allocation into the agent's buffer.
+
+        The episode assigns each greedy-selected task on its greedy
+        processor (in per-processor passes), then closes processors in
+        order, producing a full trajectory that ends in the terminal
+        reward. Transitions mirror exactly what on-policy collection would
+        have stored.
+        """
+        demo = density_greedy(problem)
+        assignment = demo.as_assignment()
+        state = env.reset()
+        plan: list[int] = []
+        for processor in range(problem.n_processors):
+            plan.extend(task for task, host in sorted(assignment.items()) if host == processor)
+            plan.append(env.close_action)
+        # Map each planned task assignment to the step where its processor
+        # is current; the plan above already interleaves closes correctly.
+        for action in plan:
+            next_state, reward, done, _ = env.step(action)
+            next_feasible = env.feasible_actions() if not done else np.array([], dtype=int)
+            agent.buffer.push(
+                Transition(
+                    state=state,
+                    action=action,
+                    reward=reward,
+                    next_state=next_state,
+                    done=done,
+                    next_feasible=next_feasible,
+                )
+            )
+            state = next_state
+        env.reset()
+
+    def fit(self, store: EnvironmentStore) -> "CRLModel":
+        """Training phase of Algorithm 1 over the historical store."""
+        if len(store) == 0:
+            raise DataError("cannot fit CRL on an empty environment store")
+        self.store = store
+        if self.mode == "offline":
+            k = min(self.n_clusters, len(store))
+            self._kmeans = KMeans(n_clusters=k, seed=self._rng)
+            labels = self._kmeans.fit_predict(store.sensing_matrix)
+            importance = store.importance_matrix
+            for cluster in np.unique(labels):
+                mean_importance = importance[labels == cluster].mean(axis=0)
+                self._cluster_agents[int(cluster)] = self._train_agent(mean_importance)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.store is None:
+            raise NotFittedError("CRLModel is not fitted; call fit(store) first")
+
+    # ------------------------------------------------------------------
+    def estimate_importance(self, sensing: np.ndarray) -> np.ndarray:
+        """The environment definition step: estimated I for the current Z."""
+        self._require_fitted()
+        return self.store.knn_importance(sensing, self.knn_k)
+
+    def _agent_for(self, sensing: np.ndarray, importance: np.ndarray) -> DQNAgent:
+        if self.mode == "offline":
+            cluster = int(self._kmeans.predict(np.asarray(sensing, dtype=float).reshape(1, -1))[0])
+            return self._cluster_agents[cluster]
+        # Online: cache one agent per distinct kNN neighbourhood.
+        references = self.store.sensing_matrix
+        query = np.asarray(sensing, dtype=float).reshape(1, -1)
+        neighbourhood = tuple(
+            sorted(int(i) for i in nearest_indices(query, references, min(self.knn_k, len(self.store)))[0])
+        )
+        agent = self._online_agents.get(neighbourhood)
+        if agent is None:
+            agent = self._train_agent(importance)
+            self._online_agents[neighbourhood] = agent
+        return agent
+
+    def allocate(self, sensing: np.ndarray) -> Allocation:
+        """Prediction phase of Algorithm 1: u = F1((e, s0); θ*)."""
+        self._require_fitted()
+        importance = self.estimate_importance(sensing)
+        agent = self._agent_for(sensing, importance)
+        env = AllocationEnv(self.geometry.scaled(importance=importance))
+        return agent.solve(env)
+
+    def selection_scores(self, sensing: np.ndarray) -> np.ndarray:
+        """Per-task scores in [0, 1] for cooperative combination (Eq. 6).
+
+        Allocated tasks score their (normalized) estimated importance;
+        unallocated tasks score 0. This is the general process F1's soft
+        output consumed by the DCTA combiner.
+        """
+        importance = self.estimate_importance(sensing)
+        allocation = self.allocate(sensing)
+        scale = float(importance.max()) or 1.0
+        selected = allocation.matrix.sum(axis=1).astype(float)
+        return selected * importance / scale

@@ -1,0 +1,160 @@
+"""The TATIM allocation environment — the MDP of Section III-D.
+
+Design follows the paper's key choices:
+
+- **Environment** ``e``: the geometry (task importance × processor
+  capacity) is encoded into the observation so the same agent architecture
+  works across environments.
+- **State**: which tasks have been selected so far (the paper's 0/1
+  selection matrix), plus remaining per-processor budgets — a fixed-length
+  vector suitable "as an input to a neural network".
+- **Action**: exactly one micro-action per step, keeping the action space
+  linear instead of 2^{N×M}: action ``j < N`` assigns task j to the
+  *current* processor; action ``N`` closes the current processor and moves
+  on. The episode ends when the last processor closes.
+- **Reward**: terminal-only — Σ I_j of all allocated tasks when the agent
+  reaches the terminal state, 0 otherwise (the paper's r(t)). A dense
+  variant (+I_j per assignment) is available for the reward-shaping
+  ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.tatim.problem import TATIMProblem
+from repro.tatim.solution import Allocation
+
+
+class AllocationEnv:
+    """Sequential TATIM allocation as an episodic MDP.
+
+    Parameters
+    ----------
+    problem:
+        The TATIM instance to allocate. The observation layout depends only
+        on (n_tasks, n_processors), so agents transfer across instances
+        with the same geometry — that is what CRL's per-cluster training
+        relies on.
+    dense_reward:
+        If True, emit +I_j on each assignment instead of the terminal-only
+        sum (ablation mode; default False matches the paper).
+    """
+
+    def __init__(self, problem: TATIMProblem, *, dense_reward: bool = False) -> None:
+        self.problem = problem
+        self.dense_reward = bool(dense_reward)
+        self.n_tasks = problem.n_tasks
+        self.n_processors = problem.n_processors
+        self._importance_scale = float(problem.importance.max()) or 1.0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        """Task assignments plus the "close current processor" action."""
+        return self.n_tasks + 1
+
+    @property
+    def close_action(self) -> int:
+        return self.n_tasks
+
+    @property
+    def state_dim(self) -> int:
+        return 4 * self.n_tasks + 3 * self.n_processors
+
+    # ------------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        self._assigned = np.full(self.n_tasks, -1, dtype=int)
+        self._remaining_time = self.problem.processor_time_limits().astype(float).copy()
+        self._remaining_capacity = self.problem.capacities.astype(float).copy()
+        self._current = 0
+        self._done = False
+        return self.state_vector()
+
+    def state_vector(self) -> np.ndarray:
+        """Fixed-length observation: selection state ++ geometry ++ budgets."""
+        problem = self.problem
+        selected = (self._assigned >= 0).astype(float)
+        processor_onehot = np.zeros(self.n_processors)
+        if not self._done:
+            processor_onehot[self._current] = 1.0
+        mean_capacity = float(problem.capacities.mean())
+        limits = problem.processor_time_limits()
+        return np.concatenate(
+            [
+                selected,
+                problem.importance / self._importance_scale,
+                problem.times / float(limits.mean()),
+                problem.resources / mean_capacity,
+                processor_onehot,
+                self._remaining_time / limits,
+                self._remaining_capacity / problem.capacities,
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def feasible_actions(self) -> np.ndarray:
+        """Actions legal in the current state (closing is always legal)."""
+        if self._done:
+            return np.array([], dtype=int)
+        fits = (
+            (self._assigned < 0)
+            & (self.problem.times <= self._remaining_time[self._current] + 1e-12)
+            & (self.problem.resources <= self._remaining_capacity[self._current] + 1e-12)
+        )
+        return np.append(np.flatnonzero(fits), self.close_action)
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply one action; returns (state, reward, done, info)."""
+        if self._done:
+            raise SimulationError("episode already terminated; call reset()")
+        action = int(action)
+        reward = 0.0
+        if action == self.close_action:
+            self._current += 1
+            if self._current >= self.n_processors:
+                self._done = True
+                if not self.dense_reward:
+                    reward = self.total_importance()
+        elif 0 <= action < self.n_tasks:
+            if self._assigned[action] >= 0:
+                raise SimulationError(f"task {action} is already assigned")
+            if (
+                self.problem.times[action] > self._remaining_time[self._current] + 1e-12
+                or self.problem.resources[action]
+                > self._remaining_capacity[self._current] + 1e-12
+            ):
+                raise SimulationError(
+                    f"task {action} does not fit on processor {self._current}"
+                )
+            self._assigned[action] = self._current
+            self._remaining_time[self._current] -= self.problem.times[action]
+            self._remaining_capacity[self._current] -= self.problem.resources[action]
+            if self.dense_reward:
+                reward = float(self.problem.importance[action])
+        else:
+            raise ConfigurationError(f"action {action} outside [0, {self.n_actions})")
+        return self.state_vector(), reward, self._done, {"current": self._current}
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def total_importance(self) -> float:
+        """Σ I_j over currently assigned tasks (the terminal reward)."""
+        mask = self._assigned >= 0
+        return float(self.problem.importance[mask].sum())
+
+    def allocation(self) -> Allocation:
+        """The allocation built so far as a validated matrix."""
+        assignment = {
+            int(task): int(processor)
+            for task, processor in enumerate(self._assigned)
+            if processor >= 0
+        }
+        return Allocation.from_assignment(
+            assignment, self.n_tasks, self.n_processors
+        ).validate(self.problem)

@@ -1,0 +1,118 @@
+"""Prioritized experience replay (Schaul et al. 2016, proportional variant).
+
+In the allocation MDP the reward is terminal-only, so the few transitions
+that actually carry reward signal are rare in a uniform sample. Prioritized
+replay samples transitions proportionally to their last TD error
+(p_i = (|δ_i| + ε)^α) and corrects the induced bias with importance-
+sampling weights w_i = (N·P(i))^{-β}. Drop-in alternative to
+:class:`repro.rl.replay.ReplayBuffer` via the shared push/sample surface;
+the DQN agent applies the weights when the buffer provides them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.rl.replay import Transition
+from repro.utils.rng import as_rng
+
+
+class PrioritizedReplayBuffer:
+    """Proportional prioritized replay with IS-weight correction.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size.
+    alpha:
+        Prioritization strength (0 = uniform).
+    beta:
+        Importance-sampling correction strength (1 = full correction).
+    epsilon:
+        Priority floor so zero-error transitions stay sampleable.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 50_000,
+        *,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        epsilon: float = 1e-3,
+        seed=None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+        self.capacity = int(capacity)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.epsilon = float(epsilon)
+        self._storage: list[Transition] = []
+        self._priorities: list[float] = []
+        self._cursor = 0
+        self._max_priority = 1.0
+        self._rng = as_rng(seed)
+        self._last_indices: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    # ------------------------------------------------------------------
+    def push(self, transition: Transition) -> None:
+        """Insert with maximal priority (every transition gets one look)."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+            self._priorities.append(self._max_priority)
+        else:
+            self._storage[self._cursor] = transition
+            self._priorities[self._cursor] = self._max_priority
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        """Priority-proportional sample; records indices for the update."""
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if not self._storage:
+            raise DataError("cannot sample from an empty replay buffer")
+        priorities = np.asarray(self._priorities, dtype=float) ** self.alpha
+        probabilities = priorities / priorities.sum()
+        size = min(batch_size, len(self._storage))
+        indices = self._rng.choice(len(self._storage), size=size, p=probabilities)
+        self._last_indices = indices
+        self._last_probabilities = probabilities[indices]
+        return [self._storage[i] for i in indices]
+
+    def last_sample_weights(self) -> np.ndarray:
+        """IS weights of the most recent sample, normalized to max 1."""
+        if self._last_indices is None:
+            raise DataError("no sample drawn yet")
+        n = len(self._storage)
+        weights = (n * self._last_probabilities) ** (-self.beta)
+        return weights / weights.max()
+
+    def update_priorities(self, td_errors: np.ndarray) -> None:
+        """Set the last sample's priorities from its TD errors."""
+        if self._last_indices is None:
+            raise DataError("no sample drawn yet")
+        errors = np.abs(np.asarray(td_errors, dtype=float)).ravel()
+        if errors.size != self._last_indices.size:
+            raise DataError(
+                f"{errors.size} TD errors for {self._last_indices.size} sampled transitions"
+            )
+        for index, error in zip(self._last_indices, errors):
+            priority = float(error + self.epsilon)
+            self._priorities[int(index)] = priority
+            self._max_priority = max(self._max_priority, priority)
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._priorities.clear()
+        self._cursor = 0
+        self._last_indices = None

@@ -1,0 +1,127 @@
+"""REINFORCE (Monte-Carlo policy gradient) on the allocation MDP.
+
+A policy-gradient alternative to the value-based DQN: a linear-softmax
+policy over the environment's state features, updated with the classic
+Williams estimator
+
+    ∇J = E[ Σ_t ∇ log π(a_t | s_t) · (G − b) ]
+
+where G is the episode return (the terminal Σ I_j reward — no
+discounting needed, γ=1) and b a running-mean baseline. Infeasible
+actions are masked out of the softmax, so sampled trajectories are always
+valid allocations. The linear policy keeps the gradient exact and the
+implementation dependency-free; it is deliberately *weaker* than the DQN
+(no state interactions), making the DQN-vs-REINFORCE ablation informative
+about how much the value network's capacity buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rl.env import AllocationEnv
+from repro.tatim.solution import Allocation
+from repro.utils.rng import as_rng
+
+
+class ReinforceAgent:
+    """Linear-softmax REINFORCE with a running-mean baseline.
+
+    Parameters
+    ----------
+    state_dim, n_actions:
+        Environment geometry.
+    learning_rate:
+        Step size of the policy-gradient ascent.
+    temperature:
+        Softmax temperature (higher = more exploration).
+    baseline_decay:
+        Exponential-moving-average factor of the return baseline.
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        n_actions: int,
+        *,
+        learning_rate: float = 0.05,
+        temperature: float = 1.0,
+        baseline_decay: float = 0.9,
+        seed=None,
+    ) -> None:
+        if state_dim < 1 or n_actions < 1:
+            raise ConfigurationError("state_dim and n_actions must be >= 1")
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be > 0, got {learning_rate}")
+        if temperature <= 0:
+            raise ConfigurationError(f"temperature must be > 0, got {temperature}")
+        if not 0.0 <= baseline_decay < 1.0:
+            raise ConfigurationError(
+                f"baseline_decay must be in [0, 1), got {baseline_decay}"
+            )
+        self.state_dim = int(state_dim)
+        self.n_actions = int(n_actions)
+        self.learning_rate = float(learning_rate)
+        self.temperature = float(temperature)
+        self.baseline_decay = float(baseline_decay)
+        self.weights = np.zeros((state_dim, n_actions))
+        self.baseline = 0.0
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _policy(self, state: np.ndarray, feasible: np.ndarray) -> np.ndarray:
+        """Masked softmax over feasible actions (probabilities over them)."""
+        logits = (state @ self.weights)[feasible] / self.temperature
+        logits -= logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+    def act(self, state: np.ndarray, feasible: np.ndarray, *, greedy: bool = False) -> int:
+        if feasible.size == 0:
+            raise ConfigurationError("no feasible actions to act on")
+        probabilities = self._policy(state, feasible)
+        if greedy:
+            return int(feasible[int(np.argmax(probabilities))])
+        return int(self._rng.choice(feasible, p=probabilities))
+
+    # ------------------------------------------------------------------
+    def train_episode(self, env: AllocationEnv) -> float:
+        """Sample one episode and apply the policy-gradient update."""
+        state = env.reset()
+        trajectory: list[tuple[np.ndarray, np.ndarray, int]] = []
+        episode_return = 0.0
+        while not env.done:
+            feasible = env.feasible_actions()
+            action = self.act(state, feasible)
+            trajectory.append((state, feasible, action))
+            state, reward, _, _ = env.step(action)
+            episode_return += reward
+        advantage = episode_return - self.baseline
+        self.baseline = (
+            self.baseline_decay * self.baseline
+            + (1.0 - self.baseline_decay) * episode_return
+        )
+        # ∇ log π for linear softmax: x ⊗ (1{a} − π) over feasible actions.
+        gradient = np.zeros_like(self.weights)
+        for features, feasible, action in trajectory:
+            probabilities = self._policy(features, feasible)
+            delta = np.zeros(self.n_actions)
+            delta[feasible] -= probabilities
+            delta[action] += 1.0
+            gradient += np.outer(features, delta) / self.temperature
+        self.weights += self.learning_rate * advantage * gradient / max(len(trajectory), 1)
+        return episode_return
+
+    def train(self, env: AllocationEnv, episodes: int) -> np.ndarray:
+        if episodes < 1:
+            raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
+        return np.array([self.train_episode(env) for _ in range(episodes)])
+
+    def solve(self, env: AllocationEnv) -> Allocation:
+        """Greedy rollout of the learned policy."""
+        state = env.reset()
+        while not env.done:
+            action = self.act(state, env.feasible_actions(), greedy=True)
+            state, _, _, _ = env.step(action)
+        return env.allocation()

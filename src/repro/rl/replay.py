@@ -1,0 +1,62 @@
+"""Experience replay buffer for DQN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple plus the next state's feasible actions.
+
+    Feasible actions must be stored because the Bellman backup's
+    ``max_a' Q(s', a')`` must range over *legal* actions only — masking at
+    training time, not just acting time, is what keeps the learned Q from
+    chasing unreachable assignments.
+    """
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    next_feasible: np.ndarray
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 50_000, *, seed=None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._storage: list[Transition] = []
+        self._cursor = 0
+        self._rng = as_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def push(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if not self._storage:
+            raise DataError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, len(self._storage), size=min(batch_size, len(self._storage)))
+        return [self._storage[i] for i in indices]
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._cursor = 0

@@ -1,0 +1,117 @@
+"""Exploration schedules for ε-greedy agents.
+
+The DQN's built-in multiplicative decay is one point in a family; these
+schedule objects make the exploration plan explicit and swappable:
+
+- :class:`ConstantEpsilon` — fixed exploration (tabular baselines).
+- :class:`ExponentialDecay` — the DQN default, as an object.
+- :class:`LinearDecay` — reach the floor at a known episode.
+- :class:`PiecewiseSchedule` — arbitrary breakpoints with interpolation.
+
+All expose ``value(step)`` and are pure functions of the step index, so
+resuming an agent at step k reproduces the exact exploration state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class EpsilonSchedule:
+    """Interface: exploration rate as a function of the (episode) step."""
+
+    def value(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ConfigurationError(f"step must be >= 0, got {step}")
+        return float(np.clip(self.value(step), 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class ConstantEpsilon(EpsilonSchedule):
+    """Always the same exploration rate."""
+
+    epsilon: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {self.epsilon}")
+
+    def value(self, step: int) -> float:
+        return self.epsilon
+
+
+@dataclass(frozen=True)
+class ExponentialDecay(EpsilonSchedule):
+    """ε(k) = max(end, start · decay^k) — the DQN default as an object."""
+
+    start: float = 1.0
+    end: float = 0.05
+    decay: float = 0.995
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.end <= self.start <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= end <= start <= 1, got start={self.start}, end={self.end}"
+            )
+        if not 0.0 < self.decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {self.decay}")
+
+    def value(self, step: int) -> float:
+        return max(self.end, self.start * self.decay**step)
+
+
+@dataclass(frozen=True)
+class LinearDecay(EpsilonSchedule):
+    """Linear ramp from start to end over ``horizon`` steps, then flat."""
+
+    start: float = 1.0
+    end: float = 0.05
+    horizon: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.end <= self.start <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= end <= start <= 1, got start={self.start}, end={self.end}"
+            )
+        if self.horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {self.horizon}")
+
+    def value(self, step: int) -> float:
+        if step >= self.horizon:
+            return self.end
+        fraction = step / self.horizon
+        return self.start + fraction * (self.end - self.start)
+
+
+class PiecewiseSchedule(EpsilonSchedule):
+    """Linear interpolation between (step, epsilon) breakpoints."""
+
+    def __init__(self, breakpoints: list[tuple[int, float]]) -> None:
+        if len(breakpoints) < 2:
+            raise ConfigurationError("need at least two breakpoints")
+        steps = [s for s, _ in breakpoints]
+        if steps != sorted(steps) or len(set(steps)) != len(steps):
+            raise ConfigurationError("breakpoint steps must be strictly increasing")
+        for _, epsilon in breakpoints:
+            if not 0.0 <= epsilon <= 1.0:
+                raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.breakpoints = [(int(s), float(e)) for s, e in breakpoints]
+
+    def value(self, step: int) -> float:
+        points = self.breakpoints
+        if step <= points[0][0]:
+            return points[0][1]
+        if step >= points[-1][0]:
+            return points[-1][1]
+        for (s0, e0), (s1, e1) in zip(points, points[1:]):
+            if s0 <= step <= s1:
+                fraction = (step - s0) / (s1 - s0)
+                return e0 + fraction * (e1 - e0)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,32 @@
+"""TATIM: Task Allocation with Task Importance for MTL (Definition 4).
+
+A 0-1 multiply-constrained multiple-knapsack problem (Theorem 1): maximize
+the total importance of allocated tasks subject to a per-processor
+execution-time budget and resource capacity, each task on at most one
+processor. The subpackage provides the problem/solution datatypes, an exact
+branch-and-bound solver for small instances, density-greedy heuristics, a
+single-knapsack dynamic program, and random instance generators.
+"""
+
+from repro.tatim.problem import TATIMProblem
+from repro.tatim.solution import Allocation
+from repro.tatim.greedy import best_fit_greedy, density_greedy, importance_greedy
+from repro.tatim.exact import branch_and_bound, single_knapsack_dp
+from repro.tatim.local_search import improve_allocation
+from repro.tatim.lagrangian import LagrangianResult, lagrangian_bound
+from repro.tatim.generators import random_instance, longtail_instance
+
+__all__ = [
+    "TATIMProblem",
+    "Allocation",
+    "density_greedy",
+    "importance_greedy",
+    "best_fit_greedy",
+    "branch_and_bound",
+    "single_knapsack_dp",
+    "improve_allocation",
+    "LagrangianResult",
+    "lagrangian_bound",
+    "random_instance",
+    "longtail_instance",
+]

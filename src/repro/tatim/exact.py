@@ -1,0 +1,167 @@
+"""Exact TATIM solvers.
+
+:func:`branch_and_bound` solves the multiply-constrained multiple-knapsack
+exactly by depth-first search over tasks in density order, branching on
+"place on processor p" / "leave out", pruned with a fractional
+aggregate-budget bound. Exponential worst case — the problem is NP-complete
+(Theorem 1) — but instances with ≲25 tasks and a few processors solve
+quickly, which is what the correctness tests and the optimality-gap
+benchmarks need.
+
+:func:`single_knapsack_dp` is the classic pseudo-polynomial dynamic program
+for the one-processor case with integer-scaled weights; it provides an
+independent witness against which the B&B result is validated in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tatim.problem import TATIMProblem
+from repro.tatim.solution import Allocation
+
+
+def branch_and_bound(problem: TATIMProblem, *, max_nodes: int = 2_000_000) -> Allocation:
+    """Optimal allocation by pruned depth-first search.
+
+    Raises
+    ------
+    ConfigurationError
+        If the node budget is exhausted before the search completes
+        (instance too large for exact solving).
+    """
+    order = np.argsort(problem.density(), kind="stable")[::-1]
+    times = problem.times[order]
+    resources = problem.resources[order]
+    importance = problem.importance[order]
+    n_tasks = problem.n_tasks
+    n_processors = problem.n_processors
+
+    # Suffix fractional bounds: bound[i] is an upper bound on the profit
+    # obtainable from tasks i.. given *fresh* aggregate budgets; adding the
+    # current profit plus bound[i] scaled is optimistic but valid since
+    # remaining budgets only shrink.
+    suffix_importance = np.concatenate([np.cumsum(importance[::-1])[::-1], [0.0]])
+
+    best_value = -1.0
+    best_assignment: dict[int, int] = {}
+    nodes = 0
+
+    remaining_time = [float(t) for t in problem.processor_time_limits()]
+    remaining_capacity = list(problem.capacities.astype(float))
+    current: dict[int, int] = {}
+
+    # Orders over the *permuted* task positions, used by the bound: one by
+    # time density, one by resource density.
+    time_order = np.argsort(importance / np.maximum(times, 1e-12), kind="stable")[::-1]
+    resource_order = np.argsort(importance / np.maximum(resources, 1e-12), kind="stable")[::-1]
+
+    def fractional_bound(index: int) -> float:
+        """Valid upper bound for tasks index.. against remaining budgets.
+
+        Minimum of two single-constraint fractional relaxations (time-only
+        and resource-only); each drops the other constraint entirely, so
+        each over-estimates the true optimum of the remaining subproblem.
+        """
+        bounds = []
+        for order, weights, budget in (
+            (time_order, times, sum(remaining_time)),
+            (resource_order, resources, sum(remaining_capacity)),
+        ):
+            total = 0.0
+            remaining = budget
+            for position in order:
+                if position < index:
+                    continue
+                if remaining <= 1e-12:
+                    break
+                fraction = min(1.0, remaining / weights[position])
+                total += fraction * importance[position]
+                remaining -= fraction * weights[position]
+            bounds.append(total)
+        return min(bounds)
+
+    def search(index: int, value: float) -> None:
+        nonlocal best_value, best_assignment, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise ConfigurationError(
+                f"branch_and_bound exceeded {max_nodes} nodes; instance too large"
+            )
+        if value > best_value:
+            best_value = value
+            best_assignment = dict(current)
+        if index >= n_tasks:
+            return
+        if value + min(suffix_importance[index], fractional_bound(index)) <= best_value + 1e-12:
+            return
+        # Branch: place on each feasible processor (deduplicating symmetric
+        # processors by their remaining-state signature), then skip.
+        seen_states: set[tuple[float, float]] = set()
+        for processor in range(n_processors):
+            state = (round(remaining_time[processor], 9), round(remaining_capacity[processor], 9))
+            if state in seen_states:
+                continue
+            seen_states.add(state)
+            if (
+                times[index] <= remaining_time[processor] + 1e-12
+                and resources[index] <= remaining_capacity[processor] + 1e-12
+            ):
+                remaining_time[processor] -= times[index]
+                remaining_capacity[processor] -= resources[index]
+                current[index] = processor
+                search(index + 1, value + importance[index])
+                del current[index]
+                remaining_time[processor] += times[index]
+                remaining_capacity[processor] += resources[index]
+        search(index + 1, value)
+
+    search(0, 0.0)
+    # Map the density-order indices back to original task ids.
+    assignment = {int(order[i]): p for i, p in best_assignment.items()}
+    return Allocation.from_assignment(assignment, n_tasks, n_processors).validate(problem)
+
+
+def single_knapsack_dp(
+    problem: TATIMProblem, *, resolution: int = 1000
+) -> Allocation:
+    """Exact single-processor TATIM by 2-D dynamic programming.
+
+    Times and resources are scaled to integers on a ``resolution`` grid
+    (ceiling-rounded, so the result is always feasible; with exact integer
+    inputs at the grid scale it is optimal).
+    """
+    if problem.n_processors != 1:
+        raise ConfigurationError(
+            f"single_knapsack_dp handles exactly one processor, got {problem.n_processors}"
+        )
+    if resolution < 1:
+        raise ConfigurationError(f"resolution must be >= 1, got {resolution}")
+    time_scale = resolution / float(problem.processor_time_limits()[0])
+    capacity = float(problem.capacities[0])
+    resource_scale = resolution / capacity
+    times = np.minimum(np.ceil(problem.times * time_scale).astype(int), resolution + 1)
+    resources = np.minimum(np.ceil(problem.resources * resource_scale).astype(int), resolution + 1)
+
+    # value[t, v] = best profit using time budget t and resource budget v.
+    value = np.zeros((resolution + 1, resolution + 1))
+    choice = np.zeros((problem.n_tasks, resolution + 1, resolution + 1), dtype=bool)
+    for task in range(problem.n_tasks):
+        t_need, v_need = times[task], resources[task]
+        if t_need > resolution or v_need > resolution:
+            continue
+        shifted = value[: resolution + 1 - t_need, : resolution + 1 - v_need] + problem.importance[task]
+        region = value[t_need:, v_need:]
+        take = shifted > region
+        choice[task, t_need:, v_need:] = take
+        region[take] = shifted[take]
+    # Backtrack.
+    t_left, v_left = resolution, resolution
+    assignment: dict[int, int] = {}
+    for task in reversed(range(problem.n_tasks)):
+        if choice[task, t_left, v_left]:
+            assignment[task] = 0
+            t_left -= times[task]
+            v_left -= resources[task]
+    return Allocation.from_assignment(assignment, problem.n_tasks, 1).validate(problem)

@@ -1,0 +1,168 @@
+"""The TATIM problem datatype (paper Definition 4).
+
+Given tasks j with importance I_j, execution time t_j, and resource demand
+v_j, and processors p with a common time limit T and per-processor resource
+capacity V_p, maximize Σ_j Σ_p I_j · u_{j,p} subject to
+
+    Σ_p u_{j,p} ≤ 1            for every task j          (Eq. 2)
+    Σ_j t_j · u_{j,p} ≤ T      for every processor p     (Eq. 3)
+    Σ_j v_j · u_{j,p} ≤ V_p    for every processor p     (Eq. 4)
+
+Note on Eq. 2: the paper writes it with equality, but under finite
+capacities an equality version is generally infeasible and would make the
+objective a constant; Theorem 1's reduction to the multiple knapsack
+problem (where each item is packed *at most* once) confirms the intended
+reading, which is what we implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.validation import check_array
+
+
+def _fractional_bound(importance: np.ndarray, weights: np.ndarray, budget: float) -> float:
+    """Fractional single-constraint knapsack value: a valid LP upper bound."""
+    order = np.argsort(importance / np.maximum(weights, 1e-12), kind="stable")[::-1]
+    total = 0.0
+    remaining = budget
+    for task in order:
+        if remaining <= 0:
+            break
+        fraction = min(1.0, remaining / weights[task])
+        total += fraction * importance[task]
+        remaining -= fraction * weights[task]
+    return total
+
+
+@dataclass(frozen=True)
+class TATIMProblem:
+    """One TATIM instance.
+
+    Attributes
+    ----------
+    importance:
+        I_j >= 0, one per task (the knapsack profits).
+    times:
+        t_j > 0, execution time per task.
+    resources:
+        v_j > 0, resource demand per task.
+    time_limit:
+        T > 0, the shared per-processor execution-time budget.
+    capacities:
+        V_p > 0, one per processor.
+    """
+
+    importance: np.ndarray
+    times: np.ndarray
+    resources: np.ndarray
+    time_limit: float
+    capacities: np.ndarray
+    #: Optional per-processor time budgets overriding the shared ``time_limit``
+    #: (the Section VII extension: "changing the budget constraints" to model
+    #: heterogeneously powerful edge nodes). ``None`` means every processor
+    #: uses ``time_limit``.
+    time_limits: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        importance = check_array(self.importance, name="importance", ndim=1)
+        times = check_array(self.times, name="times", ndim=1)
+        resources = check_array(self.resources, name="resources", ndim=1)
+        capacities = check_array(self.capacities, name="capacities", ndim=1)
+        if not importance.size == times.size == resources.size:
+            raise DataError(
+                "importance, times and resources must agree in length, got "
+                f"{importance.size}, {times.size}, {resources.size}"
+            )
+        if np.any(importance < 0):
+            raise DataError("importance values must be non-negative")
+        if np.any(times <= 0) or np.any(resources <= 0):
+            raise DataError("task times and resources must be strictly positive")
+        if self.time_limit <= 0:
+            raise ConfigurationError(f"time_limit must be > 0, got {self.time_limit}")
+        if np.any(capacities <= 0):
+            raise DataError("processor capacities must be strictly positive")
+        object.__setattr__(self, "importance", importance)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "resources", resources)
+        object.__setattr__(self, "capacities", capacities)
+        object.__setattr__(self, "time_limit", float(self.time_limit))
+        if self.time_limits is not None:
+            limits = check_array(self.time_limits, name="time_limits", ndim=1)
+            if limits.size != capacities.size:
+                raise DataError(
+                    f"time_limits has {limits.size} entries for {capacities.size} processors"
+                )
+            if np.any(limits <= 0):
+                raise DataError("per-processor time limits must be strictly positive")
+            object.__setattr__(self, "time_limits", limits)
+
+    @property
+    def n_tasks(self) -> int:
+        return int(self.importance.size)
+
+    @property
+    def n_processors(self) -> int:
+        return int(self.capacities.size)
+
+    def processor_time_limits(self) -> np.ndarray:
+        """The effective per-processor time budgets (length n_processors)."""
+        if self.time_limits is not None:
+            return self.time_limits
+        return np.full(self.n_processors, self.time_limit)
+
+    def task_fits(self, task: int, processor: int) -> bool:
+        """Whether the task alone fits on an empty processor."""
+        return (
+            self.times[task] <= self.processor_time_limits()[processor]
+            and self.resources[task] <= self.capacities[processor]
+        )
+
+    def density(self) -> np.ndarray:
+        """Profit density I_j / (t_j/T + v_j/mean(V)) used by greedy orders.
+
+        Both constraint dimensions are normalized by their budgets so that
+        neither time nor resource dominates the ordering by scale alone.
+        """
+        mean_capacity = float(self.capacities.mean())
+        mean_limit = float(self.processor_time_limits().mean())
+        weight = self.times / mean_limit + self.resources / mean_capacity
+        return self.importance / np.maximum(weight, 1e-12)
+
+    def upper_bound(self) -> float:
+        """A fast valid upper bound on the optimum.
+
+        Minimum of two single-constraint fractional-knapsack relaxations:
+        one dropping the resource constraints (aggregate time budget M·T),
+        one dropping the time constraints (aggregate capacity ΣV_p). Each
+        relaxation only removes constraints, so each is a valid upper
+        bound; their minimum is the tighter of the two. (Filling a single
+        greedy pass against *both* budgets at once is NOT a valid bound —
+        the two-constraint LP optimum can exceed it.)
+        """
+        time_bound = _fractional_bound(
+            self.importance, self.times, float(self.processor_time_limits().sum())
+        )
+        resource_bound = _fractional_bound(
+            self.importance, self.resources, float(self.capacities.sum())
+        )
+        return float(min(time_bound, resource_bound))
+
+    def scaled(self, *, importance: np.ndarray | None = None) -> "TATIMProblem":
+        """A sibling instance with substituted importance (same geometry).
+
+        Used when the environment's importance estimate changes between
+        decision epochs while the task/processor geometry is fixed.
+        """
+        return TATIMProblem(
+            importance=importance if importance is not None else self.importance,
+            times=self.times,
+            resources=self.resources,
+            time_limit=self.time_limit,
+            capacities=self.capacities,
+            time_limits=self.time_limits,
+        )

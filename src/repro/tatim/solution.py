@@ -1,0 +1,121 @@
+"""Allocation matrices u = [u_{j,p}] and their feasibility checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError, InfeasibleAllocationError
+from repro.tatim.problem import TATIMProblem
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A binary task-to-processor assignment.
+
+    ``matrix[j, p] == 1`` iff task j runs on processor p. Unallocated tasks
+    have an all-zero row (the knapsack "left out" state).
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix)
+        if matrix.ndim != 2:
+            raise DataError(f"allocation matrix must be 2-D, got shape {matrix.shape}")
+        if not np.all(np.isin(matrix, (0, 1))):
+            raise DataError("allocation matrix entries must be 0 or 1")
+        object.__setattr__(self, "matrix", matrix.astype(int))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n_tasks: int, n_processors: int) -> "Allocation":
+        return cls(np.zeros((n_tasks, n_processors), dtype=int))
+
+    @classmethod
+    def from_assignment(cls, assignment: dict[int, int], n_tasks: int, n_processors: int) -> "Allocation":
+        """Build from a {task: processor} mapping (unlisted tasks stay out)."""
+        matrix = np.zeros((n_tasks, n_processors), dtype=int)
+        for task, processor in assignment.items():
+            if not 0 <= task < n_tasks:
+                raise DataError(f"task index {task} out of range")
+            if not 0 <= processor < n_processors:
+                raise DataError(f"processor index {processor} out of range")
+            matrix[task, processor] = 1
+        return cls(matrix)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_processors(self) -> int:
+        return int(self.matrix.shape[1])
+
+    def assigned_tasks(self) -> np.ndarray:
+        """Sorted indices of tasks that were allocated anywhere."""
+        return np.flatnonzero(self.matrix.sum(axis=1) > 0)
+
+    def processor_of(self, task: int) -> int | None:
+        """Processor hosting ``task``, or None if unallocated."""
+        row = self.matrix[task]
+        hits = np.flatnonzero(row)
+        return int(hits[0]) if hits.size else None
+
+    def tasks_on(self, processor: int) -> np.ndarray:
+        """Sorted indices of tasks placed on ``processor``."""
+        return np.flatnonzero(self.matrix[:, processor] > 0)
+
+    def as_assignment(self) -> dict[int, int]:
+        """The {task: processor} mapping of allocated tasks."""
+        return {int(j): int(self.processor_of(j)) for j in self.assigned_tasks()}
+
+    # ------------------------------------------------------------------
+    def objective(self, problem: TATIMProblem) -> float:
+        """Σ_j Σ_p I_j · u_{j,p} — the TATIM objective."""
+        self._check_shape(problem)
+        return float(self.matrix.sum(axis=1) @ problem.importance)
+
+    def violations(self, problem: TATIMProblem) -> list[str]:
+        """Human-readable list of violated constraints (empty = feasible)."""
+        self._check_shape(problem)
+        problems: list[str] = []
+        per_task = self.matrix.sum(axis=1)
+        multi = np.flatnonzero(per_task > 1)
+        for task in multi:
+            problems.append(f"task {task} assigned to {per_task[task]} processors (Eq. 2)")
+        time_use = problem.times @ self.matrix
+        limits = problem.processor_time_limits()
+        over_time = np.flatnonzero(time_use > limits + 1e-9)
+        for processor in over_time:
+            problems.append(
+                f"processor {processor} time {time_use[processor]:.4g} > "
+                f"T={limits[processor]:.4g} (Eq. 3)"
+            )
+        resource_use = problem.resources @ self.matrix
+        over_capacity = np.flatnonzero(resource_use > problem.capacities + 1e-9)
+        for processor in over_capacity:
+            problems.append(
+                f"processor {processor} resource {resource_use[processor]:.4g} > "
+                f"V={problem.capacities[processor]:.4g} (Eq. 4)"
+            )
+        return problems
+
+    def is_feasible(self, problem: TATIMProblem) -> bool:
+        return not self.violations(problem)
+
+    def validate(self, problem: TATIMProblem) -> "Allocation":
+        """Raise :class:`InfeasibleAllocationError` unless feasible."""
+        violated = self.violations(problem)
+        if violated:
+            raise InfeasibleAllocationError("; ".join(violated))
+        return self
+
+    def _check_shape(self, problem: TATIMProblem) -> None:
+        if self.matrix.shape != (problem.n_tasks, problem.n_processors):
+            raise DataError(
+                f"allocation shape {self.matrix.shape} does not match problem "
+                f"({problem.n_tasks} tasks, {problem.n_processors} processors)"
+            )

@@ -1,0 +1,41 @@
+"""Multi-task transfer learning (MTL) on the synthetic building tasks.
+
+Implements the three MTL regimes the paper's dataset supports —
+independent, self-adapted (instance transfer), and clustered — over any of
+the substrate models (SVM / AdaBoost / Random Forest / Ridge), plus the
+decision function H(J; θ) that scores a set of trained task models by the
+quality of the chiller-sequencing decisions they induce.
+"""
+
+from repro.transfer.task import LearningTask, TaskModelSet
+from repro.transfer.strategies import (
+    ClusteredMTL,
+    FineTunedMTL,
+    IndependentMTL,
+    MTLStrategy,
+    SelfAdaptedMTL,
+)
+from repro.transfer.decision import MTLDecisionModel
+from repro.transfer.evaluation import (
+    errors_by_scarcity,
+    holdout_errors,
+    split_tasks_chronological,
+)
+from repro.transfer.registry import available_strategies, make_base_model, make_strategy
+
+__all__ = [
+    "LearningTask",
+    "TaskModelSet",
+    "MTLStrategy",
+    "IndependentMTL",
+    "SelfAdaptedMTL",
+    "ClusteredMTL",
+    "FineTunedMTL",
+    "MTLDecisionModel",
+    "split_tasks_chronological",
+    "holdout_errors",
+    "errors_by_scarcity",
+    "available_strategies",
+    "make_base_model",
+    "make_strategy",
+]

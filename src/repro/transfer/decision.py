@@ -1,0 +1,129 @@
+"""The decision function H(J; θ) over chiller sequencing.
+
+Implements the paper's example instantiation
+
+    H(J; θ) = 1 − |D − D(θ)| / D
+
+where ``D`` is the ideal decision performance (the minimum true power the
+plant could draw) and ``D(θ)`` is the power realized when sequencing uses
+the task models' COP predictions. Tasks that are absent from the model set
+(never trained, dropped for leave-one-out importance, or not allocated)
+fall back to the machine's nameplate COP estimate — the prediction an
+operator would use without any data-driven model — so excluding a task
+degrades exactly the decisions that task would have informed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.building.chiller import Chiller
+from repro.building.dataset import BuildingOperationDataset
+from repro.building.sequencing import decision_performance
+from repro.errors import DataError
+from repro.transfer.task import TaskModelSet
+
+#: Defaults used to complete a decision-time feature vector: the sequencer
+#: knows (plr, temperature) but not yet the hydronic telemetry of the hour.
+DEFAULT_HUMIDITY = 0.68
+DEFAULT_CONDITION = 1.0
+DEFAULT_DELTA_T = 5.5
+WATER_SPECIFIC_HEAT = 4.186
+
+
+def nameplate_cop(chiller: Chiller) -> float:
+    """The no-model fallback COP estimate.
+
+    Without a data-driven task, the operator only knows the catalog rating —
+    not the machine's age degradation, unit bias, or part-load behaviour —
+    so sequencing decisions made from this estimate are systematically off
+    for old or off-design-operated machines. That error is what makes a
+    dropped task *cost* something, i.e. what gives tasks their importance.
+    """
+    return chiller.model_type.rated_cop
+
+
+class MTLDecisionModel:
+    """Scores trained task models by the decisions they induce.
+
+    Parameters
+    ----------
+    dataset:
+        The generated building dataset (provides plants and scenarios).
+    model_set:
+        The fitted θ to evaluate.
+    humidity, condition:
+        Decision-time context defaults; override with the day's sensed
+        values when available.
+    """
+
+    def __init__(
+        self,
+        dataset: BuildingOperationDataset,
+        model_set: TaskModelSet,
+        *,
+        humidity: float = DEFAULT_HUMIDITY,
+        condition: float = DEFAULT_CONDITION,
+    ) -> None:
+        self.dataset = dataset
+        self.model_set = model_set
+        self.humidity = float(humidity)
+        self.condition = float(condition)
+        self._cache: dict[tuple[int, int, float, float], float] = {}
+
+    # ------------------------------------------------------------------
+    def _feature_row(self, chiller: Chiller, plr: float, outdoor_temp: float) -> np.ndarray:
+        """Decision-time feature vector matching TASK_FEATURE_COLUMNS."""
+        load_share = plr * chiller.capacity_kw
+        flow = load_share / (WATER_SPECIFIC_HEAT * DEFAULT_DELTA_T)
+        return np.array(
+            [[plr, outdoor_temp, self.humidity, self.condition, flow, DEFAULT_DELTA_T]]
+        )
+
+    def predicted_cop(self, chiller: Chiller, plr: float, outdoor_temp: float) -> float:
+        """COP prediction used by the sequencer (cached per operating point)."""
+        key = (chiller.building_id, chiller.chiller_id, round(plr, 4), round(outdoor_temp, 2))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        task = self.model_set.lookup(chiller.building_id, chiller.chiller_id, plr)
+        if task is None or not task.is_fitted:
+            value = nameplate_cop(chiller)
+        else:
+            value = float(task.predict(self._feature_row(chiller, plr, outdoor_temp))[0])
+            value = float(np.clip(value, 0.5, 12.0))
+        self._cache[key] = value
+        return value
+
+    def cop_fn(self):
+        """A CopFunction closure for :func:`repro.building.sequencing.sequence_chillers`."""
+        return lambda chiller, plr, temp: self.predicted_cop(chiller, plr, temp)
+
+    # ------------------------------------------------------------------
+    def building_performance(
+        self, building_id: int, scenarios: Sequence[tuple[float, float]]
+    ) -> float:
+        """H restricted to one building's plant over the given scenarios."""
+        if not 0 <= building_id < len(self.dataset.plants):
+            raise DataError(f"building_id {building_id} out of range")
+        plant = self.dataset.plants[building_id]
+        return decision_performance(plant.chillers, scenarios, cop_fn=self.cop_fn())
+
+    def overall_performance(self, day: int) -> float:
+        """H(J; θ) across all buildings for decision epoch ``day``."""
+        scores = []
+        for building_id in range(len(self.dataset.plants)):
+            scenarios = self.dataset.scenarios_for_day(building_id, day)
+            if scenarios:
+                scores.append(self.building_performance(building_id, scenarios))
+        if not scores:
+            raise DataError(f"no positive-load scenarios on day {day}")
+        return float(np.mean(scores))
+
+    def with_model_set(self, model_set: TaskModelSet) -> "MTLDecisionModel":
+        """A sibling evaluator with a different θ (cache not shared)."""
+        return MTLDecisionModel(
+            self.dataset, model_set, humidity=self.humidity, condition=self.condition
+        )

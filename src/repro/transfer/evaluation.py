@@ -1,0 +1,95 @@
+"""Held-out evaluation utilities for MTL task models.
+
+Training-set error always flatters no-transfer baselines (they overfit
+their own scarce samples), so credible MTL comparisons need per-task
+chronological splits and held-out scoring. These helpers standardize that
+protocol — the same one `benchmarks/test_mtl_strategies.py` reports with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.building.dataset import TaskData
+from repro.errors import ConfigurationError, DataError
+from repro.transfer.task import TaskModelSet
+
+
+def split_tasks_chronological(
+    tasks: Sequence[TaskData],
+    *,
+    holdout_fraction: float = 0.3,
+    scarce_budget: int | None = None,
+) -> tuple[list[TaskData], dict[int, tuple[np.ndarray, np.ndarray]]]:
+    """Per-task chronological split: early rows train, late rows test.
+
+    Chronological (not random) splitting matches deployment — models
+    trained on the past predict the future. When ``scarce_budget`` is
+    given, the scarcest quartile of tasks is additionally capped at that
+    many training rows, instantiating the paper's "insufficient training
+    samples on the edge" regime.
+
+    Returns (train_tasks, holdouts) where ``holdouts[task_id] = (X, y)``.
+    """
+    if not tasks:
+        raise DataError("split needs at least one task")
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ConfigurationError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    if scarce_budget is not None and scarce_budget < 1:
+        raise ConfigurationError(f"scarce_budget must be >= 1, got {scarce_budget}")
+    counts = sorted(task.n_samples for task in tasks)
+    threshold = counts[len(counts) // 4]
+    train_tasks: list[TaskData] = []
+    holdouts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for task in tasks:
+        if task.n_samples < 3:
+            raise DataError(
+                f"task {task.task_id} has only {task.n_samples} samples; cannot split"
+            )
+        cut = max(2, int(round((1.0 - holdout_fraction) * task.n_samples)))
+        cut = min(cut, task.n_samples - 1)
+        if scarce_budget is not None and task.n_samples <= threshold:
+            cut = min(cut, scarce_budget)
+        train_tasks.append(replace(task, X=task.X[:cut], y=task.y[:cut]))
+        holdouts[task.task_id] = (task.X[cut:], task.y[cut:])
+    return train_tasks, holdouts
+
+
+def holdout_errors(
+    model_set: TaskModelSet,
+    holdouts: dict[int, tuple[np.ndarray, np.ndarray]],
+) -> dict[int, float]:
+    """Per-task relative MAE on held-out rows."""
+    errors: dict[int, float] = {}
+    for task in model_set:
+        held = holdouts.get(task.task_id)
+        if held is None:
+            raise DataError(f"no holdout recorded for task {task.task_id}")
+        X, y = held
+        if y.size == 0:
+            raise DataError(f"task {task.task_id} has an empty holdout")
+        predictions = task.predict(X)
+        errors[task.task_id] = float(np.mean(np.abs(predictions - y) / y))
+    return errors
+
+
+def errors_by_scarcity(
+    model_set: TaskModelSet,
+    holdouts: dict[int, tuple[np.ndarray, np.ndarray]],
+) -> tuple[float, float]:
+    """(mean error over scarcest quartile, mean error over the rest)."""
+    per_task = holdout_errors(model_set, holdouts)
+    counts = sorted(task.data.n_samples for task in model_set)
+    threshold = counts[len(counts) // 4]
+    scarce, rich = [], []
+    for task in model_set:
+        bucket = scarce if task.data.n_samples <= threshold else rich
+        bucket.append(per_task[task.task_id])
+    if not scarce or not rich:
+        raise DataError("scarcity split produced an empty bucket")
+    return float(np.mean(scarce)), float(np.mean(rich))

@@ -1,0 +1,76 @@
+"""Factory registry for the MTL strategy × base-model grid.
+
+The paper's dataset supports three MTL regimes over three base models
+(SVM, AdaBoost, Random Forest). This registry builds any combination by
+name so experiments can sweep the grid declaratively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.base import BaseEstimator
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.mlp_regressor import MLPRegressor
+from repro.ml.svm import LinearSVR
+from repro.transfer.strategies import (
+    ClusteredMTL,
+    FineTunedMTL,
+    IndependentMTL,
+    MTLStrategy,
+    SelfAdaptedMTL,
+)
+
+_BASE_MODELS = {
+    "svm": lambda seed: LinearSVR(seed=seed),
+    "adaboost": lambda seed: AdaBoostRegressor(n_estimators=15, max_depth=3, seed=seed),
+    "random_forest": lambda seed: RandomForestRegressor(n_estimators=15, max_depth=6, seed=seed),
+    "ridge": lambda seed: RidgeRegression(alpha=1.0),
+    "gradient_boosting": lambda seed: GradientBoostingRegressor(
+        n_estimators=30, max_depth=3, seed=seed
+    ),
+    "mlp": lambda seed: MLPRegressor(hidden_sizes=(32,), epochs=60, seed=seed),
+}
+
+_STRATEGIES = {
+    "independent": lambda base, seed: IndependentMTL(base, seed=seed),
+    "self_adapted": lambda base, seed: SelfAdaptedMTL(base, seed=seed),
+    "clustered": lambda base, seed: ClusteredMTL(base, seed=seed),
+    "fine_tuned": lambda base, seed: FineTunedMTL(base, seed=seed),
+}
+
+
+def available_strategies() -> list[str]:
+    """Names accepted by :func:`make_strategy` (strategy axis)."""
+    return sorted(_STRATEGIES)
+
+
+def available_base_models() -> list[str]:
+    """Names accepted by :func:`make_base_model` (model axis)."""
+    return sorted(_BASE_MODELS)
+
+
+def make_base_model(name: str, *, seed: int | None = 0) -> BaseEstimator:
+    """Instantiate a base estimator by registry name."""
+    try:
+        factory = _BASE_MODELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown base model {name!r}; choose from {available_base_models()}"
+        ) from None
+    return factory(seed)
+
+
+def make_strategy(
+    strategy: str, base_model: str = "ridge", *, seed: int | None = 0
+) -> MTLStrategy:
+    """Instantiate an MTL strategy over a base model, both by name."""
+    try:
+        factory = _STRATEGIES[strategy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; choose from {available_strategies()}"
+        ) from None
+    return factory(make_base_model(base_model, seed=seed), seed)

@@ -1,0 +1,38 @@
+"""Shared utilities: seeded randomness, validation, statistics, reporting."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+from repro.utils.stats import (
+    contribution_curve,
+    gini_coefficient,
+    rolling_mean,
+    summarize,
+    top_share,
+)
+from repro.utils.reporting import format_table, speedup_table
+from repro.utils.ascii_charts import bar_chart, line_chart
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_fitted",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "contribution_curve",
+    "gini_coefficient",
+    "rolling_mean",
+    "summarize",
+    "top_share",
+    "format_table",
+    "speedup_table",
+    "bar_chart",
+    "line_chart",
+]

@@ -1,0 +1,109 @@
+"""Terminal-native charts: the figures, as text.
+
+The benchmark harness prints the paper figures' data as tables; these
+helpers add the visual layer without a plotting dependency — horizontal
+bar charts for categorical comparisons (Fig. 3-style) and multi-series
+line charts on a character grid for the sweep figures (Figs. 9-11-style).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+#: Glyphs for multi-series line charts, assigned in series order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if len(labels) != len(values):
+        raise DataError(f"{len(labels)} labels for {len(values)} values")
+    if not labels:
+        raise DataError("bar_chart needs at least one bar")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    numeric = np.asarray(values, dtype=float)
+    if np.any(numeric < 0):
+        raise DataError("bar_chart requires non-negative values")
+    top = float(numeric.max()) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, numeric):
+        bar = "█" * max(1 if value > 0 else 0, int(round(width * value / top)))
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series gets a glyph from :data:`SERIES_GLYPHS`; points are mapped
+    onto a ``height`` × ``width`` grid spanning the data ranges, and a
+    legend line follows the plot.
+    """
+    if not series:
+        raise DataError("line_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("width must be >= 10 and height >= 4")
+    x = np.asarray(x_values, dtype=float)
+    if x.size < 2:
+        raise DataError("line_chart needs at least two x values")
+    for name, values in series.items():
+        if len(values) != x.size:
+            raise DataError(f"series {name!r} has {len(values)} points for {x.size} x values")
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for xi, yi in zip(x, np.asarray(values, dtype=float)):
+            column = int(round((xi - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y_high - yi) / (y_high - y_low) * (height - 1)))
+            grid[row][column] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_width = max(len(f"{y_high:.3g}"), len(f"{y_low:.3g}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{y_high:.3g}".rjust(axis_width)
+        elif row_index == height - 1:
+            prefix = f"{y_low:.3g}".rjust(axis_width)
+        else:
+            prefix = " " * axis_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    lines.append(
+        " " * axis_width + f"  {x_low:.3g}".ljust(width // 2) + f"{x_high:.3g}".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label}  [{legend}]" if y_label else f"[{legend}]")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output aligned and copy-pasteable into
+EXPERIMENTS.md without pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None) -> str:
+    """Render a monospaced table with one header row.
+
+    Floats are shown with four significant digits; everything else uses
+    ``str``. Column widths adapt to the longest cell.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    sweep_name: str,
+    sweep_values: Sequence[object],
+    times: Mapping[str, Sequence[float]],
+    *,
+    reference: str = "DCTA",
+) -> str:
+    """Render per-method processing times plus speedups relative to ``reference``.
+
+    This is the shape of the paper's Figs. 9-11: one row per sweep point,
+    one column per allocation method, and trailing columns with the
+    ``method/reference`` processing-time ratios.
+    """
+    methods = list(times)
+    if reference not in methods:
+        raise ValueError(f"reference {reference!r} missing from times ({methods})")
+    headers = [sweep_name] + [f"{m} (s)" for m in methods] + [
+        f"{m}/{reference}" for m in methods if m != reference
+    ]
+    rows = []
+    for i, value in enumerate(sweep_values):
+        base = times[reference][i]
+        row: list[object] = [value] + [times[m][i] for m in methods]
+        row += [times[m][i] / base if base > 0 else float("inf") for m in methods if m != reference]
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,39 @@
+"""Seeded random-number helpers.
+
+All stochastic components in the library accept a ``seed`` argument that can
+be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`. :func:`as_rng` normalizes the three forms
+so that every module handles randomness identically and experiments are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Passing an existing generator returns it unchanged, so callers can
+    thread a single generator through a pipeline and keep a global ordering
+    of random draws.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    Children are created via :meth:`numpy.random.Generator.spawn`, which
+    guarantees statistical independence; this is the sanctioned way to give
+    each parallel component (e.g., each edge node, each ensemble member) its
+    own stream without correlated draws.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return list(as_rng(seed).spawn(count))

@@ -1,0 +1,83 @@
+"""Model persistence: save and load trained components.
+
+The paper's footnote notes that "though the training phase may be long, it
+merely needs to be conducted once in advance" — which only pays off if the
+trained artifacts survive a controller restart. This module persists the
+two trained processes:
+
+- :func:`save_mlp` / :func:`load_mlp` — the Q-networks (architecture +
+  parameters) as a single ``.npz`` file;
+- :func:`save_environment_store` / :func:`load_environment_store` — the
+  CRL historical-environment memory.
+
+Only numpy's own serialization is used; no pickle, so the artifacts are
+safe to load from untrusted storage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.ml.neural import MLP, Adam
+from repro.rl.crl import EnvironmentStore
+
+
+def save_mlp(network: MLP, path: str | Path) -> Path:
+    """Persist an MLP's architecture and parameters to ``path`` (.npz)."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "layer_sizes": np.asarray(network.layer_sizes, dtype=int),
+        "activation": np.asarray([network.activation]),
+    }
+    for index, weight in enumerate(network.weights):
+        arrays[f"weight_{index}"] = weight
+    for index, bias in enumerate(network.biases):
+        arrays[f"bias_{index}"] = bias
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_mlp(path: str | Path, *, learning_rate: float = 1e-3) -> MLP:
+    """Reconstruct an MLP saved by :func:`save_mlp`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "layer_sizes" not in data:
+            raise DataError(f"{path} is not a saved MLP (missing layer_sizes)")
+        layer_sizes = tuple(int(s) for s in data["layer_sizes"])
+        activation = str(data["activation"][0])
+        network = MLP(layer_sizes, activation=activation, optimizer=Adam(learning_rate))
+        n_layers = len(layer_sizes) - 1
+        parameters = [data[f"weight_{i}"] for i in range(n_layers)]
+        parameters += [data[f"bias_{i}"] for i in range(n_layers)]
+        network.set_parameters(parameters)
+    return network
+
+
+def save_environment_store(store: EnvironmentStore, path: str | Path) -> Path:
+    """Persist an environment store's (Z, I) history to ``path`` (.npz)."""
+    if len(store) == 0:
+        raise DataError("refusing to save an empty environment store")
+    path = Path(path)
+    np.savez(
+        path,
+        sensing=store.sensing_matrix,
+        importance=store.importance_matrix,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_environment_store(path: str | Path) -> EnvironmentStore:
+    """Reconstruct a store saved by :func:`save_environment_store`."""
+    store = EnvironmentStore()
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "sensing" not in data or "importance" not in data:
+            raise DataError(f"{path} is not a saved environment store")
+        sensing = data["sensing"]
+        importance = data["importance"]
+        if sensing.shape[0] != importance.shape[0]:
+            raise DataError("corrupt store: sensing/importance row mismatch")
+        for row in range(sensing.shape[0]):
+            store.add(sensing[row], importance[row])
+    return store

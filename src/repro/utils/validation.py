@@ -1,0 +1,81 @@
+"""Input validation helpers shared across the library.
+
+These raise :class:`repro.errors.DataError` /
+:class:`repro.errors.ConfigurationError` with actionable messages instead of
+letting numpy broadcast mistakes silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+
+
+def check_array(
+    values: Any,
+    *,
+    name: str = "array",
+    ndim: int | None = None,
+    allow_empty: bool = False,
+    dtype: type | None = float,
+) -> np.ndarray:
+    """Coerce ``values`` to an ndarray and validate shape and finiteness.
+
+    Parameters
+    ----------
+    values:
+        Anything :func:`numpy.asarray` accepts.
+    name:
+        Identifier used in error messages.
+    ndim:
+        Required number of dimensions, or ``None`` to accept any.
+    allow_empty:
+        Whether a zero-element array is acceptable.
+    dtype:
+        Target dtype (``None`` keeps the input dtype).
+    """
+    array = np.asarray(values, dtype=dtype)
+    if ndim is not None and array.ndim != ndim:
+        raise DataError(f"{name} must be {ndim}-dimensional, got shape {array.shape}")
+    if not allow_empty and array.size == 0:
+        raise DataError(f"{name} must not be empty")
+    if np.issubdtype(array.dtype, np.floating) and not np.all(np.isfinite(array)):
+        raise DataError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_same_length(first: Sequence, second: Sequence, *, names: tuple[str, str] = ("X", "y")) -> None:
+    """Raise :class:`DataError` unless the two sequences have equal length."""
+    if len(first) != len(second):
+        raise DataError(
+            f"{names[0]} and {names[1]} must have the same length, got {len(first)} and {len(second)}"
+        )
+
+
+def check_positive(value: float, *, name: str, strict: bool = True) -> float:
+    """Validate that a scalar parameter is positive (or non-negative)."""
+    numeric = float(value)
+    if strict and numeric <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and numeric < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return numeric
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate that a scalar lies in the closed interval [0, 1]."""
+    numeric = float(value)
+    if not 0.0 <= numeric <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return numeric
+
+
+def check_fitted(model: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``model`` carries ``attribute``."""
+    if getattr(model, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(model).__name__} is not fitted yet; call fit() before predict()"
+        )

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.allocation.base import place_by_scores, tatim_from_workload
+from repro.edgesim.node import make_node
+from repro.edgesim.workload import SimTask
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture
+def nodes():
+    return [make_node("laptop", 0), make_node("rpi-b", 1), make_node("rpi-a+", 2)]
+
+
+@pytest.fixture
+def tasks():
+    return [
+        SimTask(i, input_mb=100.0 + 50 * i, memory_mb=50.0, true_importance=1.0 / (i + 1))
+        for i in range(6)
+    ]
+
+
+class TestTatimFromWorkload:
+    def test_dimensions(self, tasks, nodes):
+        problem = tatim_from_workload(tasks, nodes)
+        assert problem.n_tasks == 6
+        assert problem.n_processors == 3
+
+    def test_importance_defaults_to_true(self, tasks, nodes):
+        problem = tatim_from_workload(tasks, nodes)
+        assert problem.importance[0] == pytest.approx(1.0)
+
+    def test_importance_override(self, tasks, nodes):
+        problem = tatim_from_workload(tasks, nodes, importance=np.full(6, 0.5))
+        assert np.allclose(problem.importance, 0.5)
+
+    def test_capacities_from_node_memory(self, tasks, nodes):
+        problem = tatim_from_workload(tasks, nodes)
+        assert np.allclose(problem.capacities, [node.memory_mb for node in nodes])
+
+    def test_default_time_limit_forces_selection(self, tasks, nodes):
+        problem = tatim_from_workload(tasks, nodes)
+        # T = half an equal share: all tasks cannot fit simultaneously.
+        assert problem.times.sum() > problem.n_processors * problem.time_limit
+
+    def test_empty_rejected(self, nodes):
+        with pytest.raises(DataError):
+            tatim_from_workload([], nodes)
+
+
+class TestPlaceByScores:
+    def test_all_tasks_planned(self, tasks, nodes):
+        plan = place_by_scores(tasks, nodes, np.arange(6, dtype=float))
+        assert len(plan) == 6
+
+    def test_order_follows_scores(self, tasks, nodes):
+        scores = np.array([0.1, 0.9, 0.5, 0.3, 0.8, 0.2])
+        plan = place_by_scores(tasks, nodes, scores)
+        planned_order = [task_id for task_id, _ in plan.assignments]
+        assert planned_order[:3] == [1, 4, 2]
+
+    def test_high_score_tasks_get_fast_nodes(self, tasks, nodes):
+        scores = np.array([1.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        plan = place_by_scores(tasks, nodes, scores)
+        first_task, first_node = plan.assignments[0]
+        assert first_task == 0
+        assert first_node == 0  # the laptop finishes it earliest
+
+    def test_time_budget_creates_overflow_tail(self, tasks, nodes):
+        tiny_budget = 1.0  # seconds; nothing heavy fits
+        plan = place_by_scores(tasks, nodes, np.ones(6), time_limit_s=tiny_budget)
+        assert len(plan) == 6  # overflow tasks still appear in the tail
+
+    def test_memory_capacity_respected_in_selection(self, nodes):
+        big = [SimTask(0, 100.0, 10_000.0, 1.0), SimTask(1, 100.0, 50.0, 0.5)]
+        plan = place_by_scores(big, nodes, np.array([1.0, 0.5]), time_limit_s=1e9)
+        # Task 0 exceeds every node's memory; it lands in the overflow tail,
+        # so task 1 must be the first (in-budget) assignment.
+        assert plan.assignments[0][0] == 1
+
+    def test_score_length_mismatch(self, tasks, nodes):
+        with pytest.raises(DataError):
+            place_by_scores(tasks, nodes, np.ones(3))
+
+    def test_no_nodes_rejected(self, tasks):
+        with pytest.raises(ConfigurationError):
+            place_by_scores(tasks, [], np.ones(6))

@@ -1,0 +1,100 @@
+"""RM, DML, and Oracle baseline allocators."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.dml import DMLAllocator
+from repro.allocation.oracle import OracleAllocator
+from repro.allocation.random_mapping import RandomMapping
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.node import make_node
+from repro.edgesim.simulator import EdgeSimulator
+from repro.edgesim.workload import WorkloadGenerator
+from repro.errors import DataError
+
+
+@pytest.fixture
+def nodes():
+    return [make_node("laptop", 0), make_node("rpi-b", 1), make_node("rpi-a+", 2)]
+
+
+@pytest.fixture
+def tasks():
+    return WorkloadGenerator(n_tasks=20, mean_input_mb=100.0, seed=0).draw()
+
+
+class TestRandomMapping:
+    def test_plans_every_task_once(self, tasks, nodes):
+        plan = RandomMapping(seed=0).plan(tasks, nodes)
+        planned = [task_id for task_id, _ in plan.assignments]
+        assert sorted(planned) == list(range(20))
+
+    def test_uses_known_nodes_only(self, tasks, nodes):
+        plan = RandomMapping(seed=1).plan(tasks, nodes)
+        node_ids = {node.node_id for node in nodes}
+        assert all(node in node_ids for _, node in plan.assignments)
+
+    def test_different_seeds_differ(self, tasks, nodes):
+        a = RandomMapping(seed=1).plan(tasks, nodes)
+        b = RandomMapping(seed=2).plan(tasks, nodes)
+        assert a.assignments != b.assignments
+
+    def test_importance_blind(self, tasks, nodes):
+        """RM ignores importance: order is uncorrelated with it."""
+        plan = RandomMapping(seed=3).plan(tasks, nodes)
+        order = [task_id for task_id, _ in plan.assignments]
+        importance_rank = np.argsort([-t.true_importance for t in tasks])
+        assert order != list(importance_rank)
+
+    def test_empty_rejected(self, nodes):
+        with pytest.raises(DataError):
+            RandomMapping().plan([], nodes)
+
+
+class TestDML:
+    def test_plans_every_task(self, tasks, nodes):
+        plan = DMLAllocator().plan(tasks, nodes)
+        assert sorted(t for t, _ in plan.assignments) == list(range(20))
+
+    def test_largest_tasks_first(self, tasks, nodes):
+        plan = DMLAllocator().plan(tasks, nodes)
+        sizes = [next(t.input_mb for t in tasks if t.task_id == tid) for tid, _ in plan.assignments]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_balances_load_better_than_random(self, tasks, nodes):
+        """DML's LPT placement yields a lower makespan than random placement."""
+
+        def makespan(plan):
+            finish = {node.node_id: 0.0 for node in nodes}
+            lookup = {node.node_id: node for node in nodes}
+            for task_id, node_id in plan.assignments:
+                task = next(t for t in tasks if t.task_id == task_id)
+                finish[node_id] += lookup[node_id].execution_time(task.input_mb)
+            return max(finish.values())
+
+        dml_span = makespan(DMLAllocator().plan(tasks, nodes))
+        random_spans = [
+            makespan(RandomMapping(seed=s).plan(tasks, nodes)) for s in range(5)
+        ]
+        assert dml_span <= min(random_spans) + 1e-9
+
+
+class TestOracle:
+    def test_oracle_beats_baselines_in_simulation(self, tasks, nodes):
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.8)
+        oracle_pt = simulator.run(tasks, OracleAllocator().plan(tasks, nodes)).processing_time
+        rm_pt = np.mean(
+            [
+                simulator.run(tasks, RandomMapping(seed=s).plan(tasks, nodes)).processing_time
+                for s in range(3)
+            ]
+        )
+        dml_pt = simulator.run(tasks, DMLAllocator().plan(tasks, nodes)).processing_time
+        assert oracle_pt < rm_pt
+        assert oracle_pt < dml_pt
+
+    def test_orders_by_true_importance(self, tasks, nodes):
+        plan = OracleAllocator(time_limit_s=1e9).plan(tasks, nodes)
+        importance = {t.task_id: t.true_importance for t in tasks}
+        planned = [importance[t] for t, _ in plan.assignments]
+        assert planned == sorted(planned, reverse=True)

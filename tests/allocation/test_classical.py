@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.allocation.base import EpochContext, tatim_from_workload
+from repro.allocation.classical import ClassicalAllocator
+from repro.edgesim.testbed import scaled_testbed
+from repro.errors import ConfigurationError, DataError
+from repro.rl.crl import EnvironmentStore
+
+
+@pytest.fixture(scope="module")
+def classical_setup(small_scenario):
+    nodes, network = scaled_testbed(4)
+    geometry = tatim_from_workload(small_scenario.tasks, nodes)
+    allocator = ClassicalAllocator(geometry, small_scenario.environment_store())
+    return small_scenario, nodes, allocator
+
+
+class TestClassicalAllocator:
+    def test_invalid_construction(self, classical_setup):
+        scenario, nodes, allocator = classical_setup
+        with pytest.raises(ConfigurationError):
+            ClassicalAllocator(allocator.geometry, EnvironmentStore())
+        with pytest.raises(ConfigurationError):
+            ClassicalAllocator(allocator.geometry, allocator.store, knn_k=0)
+
+    def test_requires_sensing(self, classical_setup):
+        scenario, nodes, allocator = classical_setup
+        workload = scenario.workload_for(scenario.eval_epochs[0])
+        with pytest.raises(ConfigurationError):
+            allocator.plan(workload, nodes, None)
+
+    def test_geometry_mismatch(self, classical_setup):
+        scenario, nodes, allocator = classical_setup
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)[:-1]
+        with pytest.raises(DataError):
+            allocator.plan(workload, nodes, EpochContext(sensing=epoch.sensing))
+
+    def test_plans_all_tasks_with_measured_latency(self, classical_setup):
+        scenario, nodes, allocator = classical_setup
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)
+        plan = allocator.plan(workload, nodes, EpochContext(sensing=epoch.sensing))
+        assert sorted(t for t, _ in plan.assignments) == [t.task_id for t in workload]
+        assert plan.allocation_time > 0.0
+
+    def test_front_of_plan_tracks_estimated_importance(self, classical_setup):
+        scenario, nodes, allocator = classical_setup
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)
+        plan = allocator.plan(workload, nodes, EpochContext(sensing=epoch.sensing))
+        estimate = allocator.store.knn_importance(epoch.sensing, allocator.knn_k)
+        first_task = plan.assignments[0][0]
+        # The first dispatched task is among the top-estimated third.
+        rank = int(np.argsort(-estimate).tolist().index(first_task))
+        assert rank < max(2, len(workload) // 3)
+
+    def test_local_search_can_be_disabled(self, classical_setup):
+        scenario, nodes, allocator = classical_setup
+        bare = ClassicalAllocator(
+            allocator.geometry, allocator.store, local_search_rounds=0
+        )
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)
+        plan = bare.plan(workload, nodes, EpochContext(sensing=epoch.sensing))
+        assert len(plan) == len(workload)

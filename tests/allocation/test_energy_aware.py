@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.allocation.base import EpochContext
+from repro.allocation.energy_aware import EnergyAwareDCTA
+from repro.core.experiment import build_allocators
+from repro.edgesim.energy import energy_of_run
+from repro.edgesim.simulator import EdgeSimulator
+from repro.edgesim.testbed import scaled_testbed
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def setup(small_scenario):
+    nodes, network = scaled_testbed(5)
+    allocators = build_allocators(
+        small_scenario, nodes, crl_episodes=15, crl_clusters=2, dqn_hidden=(16,), seed=0
+    )
+    energy_aware = EnergyAwareDCTA(allocators["DCTA"])
+    return small_scenario, nodes, network, allocators, energy_aware
+
+
+class TestEnergyAwareDCTA:
+    def test_invalid_slack(self, setup):
+        *_, allocators, _ = setup[:4], setup[4]
+        with pytest.raises(ConfigurationError):
+            EnergyAwareDCTA(setup[3]["DCTA"], makespan_slack=0.5)
+
+    def test_requires_context(self, setup):
+        scenario, nodes, _, _, energy_aware = setup
+        workload = scenario.workload_for(scenario.eval_epochs[0])
+        with pytest.raises(ConfigurationError):
+            energy_aware.plan(workload, nodes, None)
+
+    def test_plans_all_tasks(self, setup):
+        scenario, nodes, _, _, energy_aware = setup
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)
+        context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+        plan = energy_aware.plan(workload, nodes, context)
+        assert sorted(t for t, _ in plan.assignments) == [t.task_id for t in workload]
+
+    def test_dispatch_order_matches_dcta_scores(self, setup):
+        scenario, nodes, _, allocators, energy_aware = setup
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)
+        context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+        scores = allocators["DCTA"].combined_scores(epoch.sensing, epoch.features)
+        plan = energy_aware.plan(workload, nodes, context)
+        planned_scores = [scores[t] for t, _ in plan.assignments]
+        assert planned_scores == sorted(planned_scores, reverse=True)
+
+    def test_compute_energy_not_worse_and_pt_bounded(self, setup):
+        """Energy-aware placement trims compute joules while the makespan
+        guard keeps PT (and hence the idle-energy floor) bounded."""
+        scenario, nodes, network, allocators, energy_aware = setup
+        simulator = EdgeSimulator(nodes, network, quality_threshold=0.9)
+        dcta_compute, aware_compute = 0.0, 0.0
+        dcta_pt, aware_pt = 0.0, 0.0
+        for epoch in scenario.eval_epochs:
+            workload = scenario.workload_for(epoch)
+            context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+            for allocator, bucket in ((allocators["DCTA"], "d"), (energy_aware, "e")):
+                plan = allocator.plan(workload, nodes, context)
+                result = simulator.run(workload, plan)
+                report = energy_of_run(nodes, workload, plan, result, network)
+                if bucket == "d":
+                    dcta_compute += report.compute_j
+                    dcta_pt += result.processing_time
+                else:
+                    aware_compute += report.compute_j
+                    aware_pt += result.processing_time
+        assert aware_compute <= dcta_compute * 1.1
+        assert aware_pt <= dcta_pt * (energy_aware.makespan_slack + 1.0)
+
+    def test_gate_still_crossed(self, setup):
+        scenario, nodes, network, _, energy_aware = setup
+        simulator = EdgeSimulator(nodes, network, quality_threshold=0.9)
+        epoch = scenario.eval_epochs[0]
+        workload = scenario.workload_for(epoch)
+        context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+        result = simulator.run(workload, energy_aware.plan(workload, nodes, context))
+        assert result.gate_crossed

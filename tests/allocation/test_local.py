@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.allocation.local import LocalProcess, compare_local_models, default_local_candidates
+from repro.errors import DataError, NotFittedError
+from repro.utils.rng import as_rng
+
+
+def synthetic_epochs(n_epochs, n_tasks=20, noise=0.3, seed=0):
+    """Feature matrices whose first column predicts the selection label."""
+    rng = as_rng(seed)
+    features, labels = [], []
+    for _ in range(n_epochs):
+        signal = rng.random(n_tasks)
+        matrix = np.column_stack(
+            [signal + noise * rng.normal(size=n_tasks), rng.normal(size=n_tasks)]
+        )
+        labels.append((signal > 0.5).astype(int))
+        features.append(matrix)
+    return features, labels
+
+
+class TestLocalProcess:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LocalProcess().scores(np.zeros((3, 2)))
+
+    def test_learns_selection_signal(self):
+        train_x, train_y = synthetic_epochs(20, seed=1)
+        test_x, test_y = synthetic_epochs(5, seed=2)
+        process = LocalProcess().fit(train_x, train_y)
+        assert process.accuracy(test_x, test_y) > 0.75
+
+    def test_scores_in_unit_interval(self):
+        train_x, train_y = synthetic_epochs(10, seed=3)
+        process = LocalProcess().fit(train_x, train_y)
+        scores = process.scores(train_x[0])
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_scores_ranked_by_signal(self):
+        train_x, train_y = synthetic_epochs(30, noise=0.1, seed=4)
+        process = LocalProcess().fit(train_x, train_y)
+        matrix = np.column_stack([np.array([0.05, 0.95]), np.zeros(2)])
+        scores = process.scores(matrix)
+        assert scores[1] > scores[0]
+
+    def test_predict_selection_binary(self):
+        train_x, train_y = synthetic_epochs(10, seed=5)
+        process = LocalProcess().fit(train_x, train_y)
+        selection = process.predict_selection(train_x[0])
+        assert set(np.unique(selection)) <= {0, 1}
+
+    def test_epoch_alignment_enforced(self):
+        with pytest.raises(DataError):
+            LocalProcess().fit([np.zeros((3, 2))], [])
+
+    def test_stack_epochs_row_count(self):
+        X, y = LocalProcess.stack_epochs(
+            [np.zeros((3, 2)), np.zeros((4, 2))], [np.zeros(3), np.zeros(4)]
+        )
+        assert X.shape == (7, 2)
+        assert y.shape == (7,)
+
+
+class TestCompareLocalModels:
+    def test_all_candidates_evaluated(self):
+        train_x, train_y = synthetic_epochs(15, seed=6)
+        test_x, test_y = synthetic_epochs(5, seed=7)
+        results = compare_local_models(train_x, train_y, test_x, test_y)
+        assert set(results) == {"SVM", "AdaBoost", "RandomForest"}
+        assert all(0.0 <= v <= 1.0 for v in results.values())
+
+    def test_candidates_beat_chance_on_learnable_signal(self):
+        train_x, train_y = synthetic_epochs(25, noise=0.15, seed=8)
+        test_x, test_y = synthetic_epochs(8, noise=0.15, seed=9)
+        results = compare_local_models(train_x, train_y, test_x, test_y)
+        for name, accuracy in results.items():
+            assert accuracy > 0.6, name
+
+    def test_default_candidates_match_paper_set(self):
+        assert set(default_local_candidates()) == {"SVM", "AdaBoost", "RandomForest"}

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    PTExperiment,
+    SweepResult,
+    build_allocators,
+    optimal_selection_labels,
+)
+from repro.edgesim.testbed import scaled_testbed
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def experiment(small_scenario):
+    return PTExperiment(small_scenario, crl_episodes=15, seed=0)
+
+
+class TestBuildAllocators:
+    def test_paper_policy_set(self, small_scenario):
+        nodes, _ = scaled_testbed(3)
+        allocators = build_allocators(small_scenario, nodes, crl_episodes=10, dqn_hidden=(16,))
+        assert set(allocators) == {"RM", "DML", "CRL", "DCTA"}
+
+    def test_oracle_optional(self, small_scenario):
+        nodes, _ = scaled_testbed(3)
+        allocators = build_allocators(
+            small_scenario, nodes, crl_episodes=10, dqn_hidden=(16,), include_oracle=True
+        )
+        assert "Oracle" in allocators
+
+
+class TestOptimalSelectionLabels:
+    def test_binary_and_nonempty(self, small_scenario):
+        nodes, _ = scaled_testbed(3)
+        labels = optimal_selection_labels(small_scenario, small_scenario.history_epochs[0], nodes)
+        assert set(np.unique(labels)) <= {0, 1}
+        assert labels.sum() > 0
+
+    def test_selection_prefers_important_tasks(self, small_scenario):
+        nodes, _ = scaled_testbed(3)
+        epoch = small_scenario.history_epochs[0]
+        labels = optimal_selection_labels(small_scenario, epoch, nodes)
+        selected_mean = epoch.true_importance[labels == 1].mean()
+        if (labels == 0).any():
+            unselected_mean = epoch.true_importance[labels == 0].mean()
+            assert selected_mean > unselected_mean
+
+
+class TestSweeps:
+    def test_processor_sweep_shapes(self, experiment):
+        result = experiment.sweep_processors((2, 4))
+        assert result.sweep_values == (2, 4)
+        assert set(result.times) == {"RM", "DML", "CRL", "DCTA"}
+        assert all(len(v) == 2 for v in result.times.values())
+
+    def test_bandwidth_sweep_monotone_for_dcta(self, experiment):
+        result = experiment.sweep_bandwidth((10, 120), n_processors=4)
+        assert result.times["DCTA"][1] <= result.times["DCTA"][0]
+
+    def test_input_size_sweep_monotone(self, experiment):
+        result = experiment.sweep_input_size((100, 800), n_processors=4)
+        for method in result.times:
+            assert result.times[method][1] > result.times[method][0]
+
+    def test_dcta_wins_in_sweep(self, experiment):
+        result = experiment.sweep_bandwidth((40,), n_processors=4)
+        for method in ("RM", "DML"):
+            assert result.times[method][0] > result.times["DCTA"][0]
+
+
+class TestSweepResult:
+    def test_speedup_math(self):
+        result = SweepResult("M", (1, 2), {"RM": [10.0, 8.0], "DCTA": [5.0, 2.0]})
+        assert np.allclose(result.speedup_over("RM"), [2.0, 4.0])
+        assert result.mean_speedup("RM") == pytest.approx(3.0)
+
+    def test_table_renders(self):
+        result = SweepResult("M", (1,), {"RM": [10.0], "DCTA": [5.0]})
+        assert "RM/DCTA" in result.table()
+
+    def test_unknown_method_rejected(self):
+        result = SweepResult("M", (1,), {"DCTA": [1.0]})
+        with pytest.raises(DataError):
+            result.speedup_over("RM")

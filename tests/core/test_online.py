@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.allocation.base import EpochContext, tatim_from_workload
+from repro.core.online import OnlineDCTA
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.edgesim.testbed import scaled_testbed
+from repro.errors import ConfigurationError, DataError
+from repro.rl.dqn import DQNConfig
+
+
+@pytest.fixture(scope="module")
+def online_setup():
+    scenario = SyntheticScenario(
+        ScenarioConfig(n_tasks=12, n_regimes=2, n_history=10, n_eval=6, seed=4)
+    )
+    nodes, _ = scaled_testbed(4)
+    geometry = tatim_from_workload(scenario.tasks, nodes)
+    controller = OnlineDCTA(
+        geometry,
+        nodes,
+        window=12,
+        refresh_every=2,
+        crl_episodes=10,
+        crl_clusters=2,
+        dqn_config=DQNConfig(hidden_sizes=(16,)),
+        seed=0,
+    ).bootstrap(scenario.history_epochs)
+    return scenario, nodes, controller
+
+
+class TestConstruction:
+    def test_invalid_window(self, online_setup):
+        scenario, nodes, controller = online_setup
+        with pytest.raises(ConfigurationError):
+            OnlineDCTA(controller.geometry, nodes, window=1)
+
+    def test_unbootstrapped_rejected(self, online_setup):
+        scenario, nodes, controller = online_setup
+        fresh = OnlineDCTA(controller.geometry, nodes, crl_episodes=2)
+        epoch = scenario.eval_epochs[0]
+        with pytest.raises(DataError):
+            fresh.plan_epoch(
+                scenario.workload_for(epoch),
+                EpochContext(sensing=epoch.sensing, features=epoch.features),
+            )
+
+    def test_empty_bootstrap_rejected(self, online_setup):
+        scenario, nodes, controller = online_setup
+        with pytest.raises(DataError):
+            OnlineDCTA(controller.geometry, nodes, crl_episodes=2).bootstrap([])
+
+
+class TestOnlineLoop:
+    def test_plan_and_observe_cycle(self, online_setup):
+        scenario, nodes, controller = online_setup
+        before = controller.history_size
+        for epoch in scenario.eval_epochs[:3]:
+            workload = scenario.workload_for(epoch)
+            context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+            plan = controller.plan_epoch(workload, context)
+            assert len(plan) == len(workload)
+            controller.observe(context, epoch.true_importance)
+        assert controller.history_size == before + 3
+
+    def test_observe_validates_shapes(self, online_setup):
+        scenario, nodes, controller = online_setup
+        epoch = scenario.eval_epochs[0]
+        context = EpochContext(sensing=epoch.sensing, features=epoch.features)
+        with pytest.raises(DataError):
+            controller.observe(context, np.ones(3))
+
+    def test_observe_requires_context_fields(self, online_setup):
+        scenario, nodes, controller = online_setup
+        epoch = scenario.eval_epochs[0]
+        with pytest.raises(DataError):
+            controller.observe(
+                EpochContext(sensing=None, features=epoch.features),
+                epoch.true_importance,
+            )
+
+
+class TestDriftAdaptation:
+    def test_estimates_track_new_regime(self):
+        """After observing a novel regime, kNN estimates move toward it."""
+        scenario = SyntheticScenario(
+            ScenarioConfig(n_tasks=10, n_regimes=2, n_history=8, n_eval=2, seed=9)
+        )
+        nodes, _ = scaled_testbed(3)
+        geometry = tatim_from_workload(scenario.tasks, nodes)
+        controller = OnlineDCTA(
+            geometry,
+            nodes,
+            window=10,
+            refresh_every=1,
+            crl_episodes=5,
+            crl_clusters=2,
+            dqn_config=DQNConfig(hidden_sizes=(8,)),
+            seed=0,
+        ).bootstrap(scenario.history_epochs)
+
+        # A brand-new regime: sensing far away, importance reversed.
+        rng = np.random.default_rng(0)
+        novel_sensing = np.full(scenario.config.sensing_dim, 30.0)
+        novel_importance = np.linspace(1.0, 0.01, 10)
+        error_before = float(
+            np.mean(np.abs(controller.estimate_importance(novel_sensing) - novel_importance))
+        )
+        for _ in range(6):
+            context = EpochContext(
+                sensing=novel_sensing + rng.normal(0, 0.2, size=novel_sensing.size),
+                features=scenario.eval_epochs[0].features,
+            )
+            controller.observe(
+                context, novel_importance * np.exp(rng.normal(0, 0.05, size=10))
+            )
+        error_after = float(
+            np.mean(np.abs(controller.estimate_importance(novel_sensing) - novel_importance))
+        )
+        assert error_after < error_before

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.core.planner import bandwidth_needed, capacity_table, processors_needed
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture(scope="module")
+def planner_scenario():
+    return SyntheticScenario(
+        ScenarioConfig(n_tasks=10, n_regimes=2, n_history=6, n_eval=1, seed=2)
+    )
+
+
+class TestProcessorsNeeded:
+    def test_loose_target_needs_one_device(self, planner_scenario):
+        assert processors_needed(planner_scenario, 1e9) == 1
+
+    def test_impossible_target_returns_none(self, planner_scenario):
+        assert processors_needed(planner_scenario, 1e-6) is None
+
+    def test_monotone_in_target(self, planner_scenario):
+        tight = processors_needed(planner_scenario, 120.0)
+        loose = processors_needed(planner_scenario, 4000.0)
+        if tight is not None and loose is not None:
+            assert loose <= tight
+
+    def test_invalid_target(self, planner_scenario):
+        with pytest.raises(ConfigurationError):
+            processors_needed(planner_scenario, 0.0)
+
+
+class TestBandwidthNeeded:
+    def test_loose_target_hits_floor(self, planner_scenario):
+        assert bandwidth_needed(planner_scenario, 1e9, low_mbps=5.0) == 5.0
+
+    def test_impossible_target_returns_none(self, planner_scenario):
+        assert bandwidth_needed(planner_scenario, 1e-6) is None
+
+    def test_result_actually_meets_target(self, planner_scenario):
+        from repro.core.planner import _mean_pt
+        from repro.allocation.oracle import OracleAllocator
+
+        target = 200.0
+        needed = bandwidth_needed(planner_scenario, target, tolerance_mbps=2.0)
+        if needed is not None:
+            achieved = _mean_pt(planner_scenario, OracleAllocator(), 10, needed, 0.9)
+            assert achieved <= target + 1e-6
+
+    def test_invalid_range(self, planner_scenario):
+        with pytest.raises(ConfigurationError):
+            bandwidth_needed(planner_scenario, 10.0, low_mbps=100.0, high_mbps=10.0)
+
+
+class TestCapacityTable:
+    def test_rows_align_with_targets(self, planner_scenario):
+        rows = capacity_table(planner_scenario, [1e9])
+        assert len(rows) == 1
+        target, processors, bandwidth = rows[0]
+        assert target == 1e9
+        assert processors == 1
+
+    def test_empty_targets_rejected(self, planner_scenario):
+        with pytest.raises(DataError):
+            capacity_table(planner_scenario, [])

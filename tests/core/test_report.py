@@ -1,0 +1,52 @@
+import pytest
+
+from repro.core.report import ReportConfig, generate_report
+from repro.errors import ConfigurationError
+
+
+class TestReportConfig:
+    def test_defaults_valid(self):
+        ReportConfig()
+
+    def test_minimum_days(self):
+        with pytest.raises(ConfigurationError):
+            ReportConfig(building_days=2)
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = ReportConfig(
+            building_days=8,
+            scenario_tasks=10,
+            scenario_history=8,
+            scenario_eval=1,
+            crl_episodes=6,
+            processor_points=(2, 4),
+            size_points=(200, 600),
+            bandwidth_points=(20, 80),
+            seed=1,
+        )
+        return generate_report(config)
+
+    def test_all_sections_present(self, report):
+        for section in (
+            "Fig. 2 — task-importance long tail",
+            "Fig. 9 — PT vs processors",
+            "Fig. 10 — PT vs input size (Mb)",
+            "Fig. 11 — PT vs bandwidth (Mbps)",
+            "Verdict",
+        ):
+            assert section in report
+
+    def test_all_methods_reported(self, report):
+        for method in ("RM", "DML", "CRL", "DCTA"):
+            assert method in report
+
+    def test_charts_rendered(self, report):
+        assert "█" in report  # bar chart
+        assert "PT (s)" in report  # line chart label
+
+    def test_paper_reference_values_quoted(self, report):
+        assert "12.72%" in report
+        assert "2.70x" in report

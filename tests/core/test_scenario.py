@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.core.scenario import Epoch, ScenarioConfig, SyntheticScenario
+from repro.errors import ConfigurationError
+from repro.utils.stats import gini_coefficient
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    def test_history_must_cover_regimes(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n_regimes=5, n_history=3)
+
+    def test_minimum_tasks(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n_tasks=1)
+
+
+class TestScenario:
+    def test_epoch_counts(self, small_scenario):
+        config = small_scenario.config
+        assert len(small_scenario.history_epochs) == config.n_history
+        assert len(small_scenario.eval_epochs) == config.n_eval
+
+    def test_task_population_fixed(self, small_scenario):
+        assert len(small_scenario.tasks) == small_scenario.config.n_tasks
+
+    def test_epoch_fields(self, small_scenario):
+        epoch = small_scenario.history_epochs[0]
+        config = small_scenario.config
+        assert epoch.sensing.shape == (config.sensing_dim,)
+        assert epoch.true_importance.shape == (config.n_tasks,)
+        assert epoch.features.shape[0] == config.n_tasks
+        assert 0 <= epoch.regime < config.n_regimes
+
+    def test_importance_normalized(self, small_scenario):
+        for epoch in small_scenario.history_epochs:
+            assert epoch.true_importance.max() == pytest.approx(1.0)
+            assert np.all(epoch.true_importance >= 0.0)
+
+    def test_same_regime_epochs_share_structure(self):
+        scenario = SyntheticScenario(
+            ScenarioConfig(n_tasks=30, n_regimes=2, n_history=12, n_eval=2, seed=3)
+        )
+        by_regime = {0: [], 1: []}
+        for epoch in scenario.history_epochs:
+            by_regime[epoch.regime].append(epoch.true_importance)
+        # Within-regime correlation should exceed cross-regime correlation.
+        within = np.corrcoef(by_regime[0][0], by_regime[0][1])[0, 1]
+        across = np.corrcoef(by_regime[0][0], by_regime[1][0])[0, 1]
+        assert within > across
+
+    def test_sensing_separates_regimes(self, small_scenario):
+        centroids = {}
+        for epoch in small_scenario.history_epochs:
+            centroids.setdefault(epoch.regime, []).append(epoch.sensing)
+        means = [np.mean(v, axis=0) for v in centroids.values()]
+        assert np.linalg.norm(means[0] - means[1]) > 1.0
+
+    def test_environment_store_size(self, small_scenario):
+        store = small_scenario.environment_store()
+        assert len(store) == small_scenario.config.n_history
+
+    def test_workload_carries_epoch_importance(self, small_scenario):
+        epoch = small_scenario.eval_epochs[0]
+        workload = small_scenario.workload_for(epoch)
+        for task in workload:
+            assert task.true_importance == pytest.approx(
+                float(epoch.true_importance[task.task_id])
+            )
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticScenario(ScenarioConfig(n_tasks=10, n_history=4, n_eval=1, n_regimes=2, seed=9))
+        b = SyntheticScenario(ScenarioConfig(n_tasks=10, n_history=4, n_eval=1, n_regimes=2, seed=9))
+        assert np.allclose(
+            a.history_epochs[0].true_importance, b.history_epochs[0].true_importance
+        )
+
+    def test_importance_long_tailed(self):
+        scenario = SyntheticScenario(ScenarioConfig(n_tasks=100, n_history=4, n_eval=1, n_regimes=2, seed=0))
+        gini = gini_coefficient(scenario.history_epochs[0].true_importance)
+        assert gini > 0.4

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.core.experiment import SweepResult
+from repro.core.statistics import AggregatedSweep, aggregate_sweeps, repeat_sweep
+from repro.errors import ConfigurationError, DataError
+
+
+def make_result(offset: float) -> SweepResult:
+    return SweepResult(
+        "M",
+        (2, 4),
+        {"RM": [10.0 + offset, 8.0 + offset], "DCTA": [5.0 + offset / 2, 2.0 + offset / 2]},
+    )
+
+
+class TestAggregateSweeps:
+    def test_mean_computed(self):
+        agg = aggregate_sweeps([make_result(0.0), make_result(2.0)])
+        assert np.allclose(agg.mean["RM"], [11.0, 9.0])
+        assert agg.n_seeds == 2
+
+    def test_single_seed_zero_ci(self):
+        agg = aggregate_sweeps([make_result(0.0)])
+        assert np.all(agg.ci_half_width["RM"] == 0.0)
+
+    def test_ci_shrinks_with_more_seeds(self):
+        rng = np.random.default_rng(0)
+        few = aggregate_sweeps([make_result(float(rng.normal())) for _ in range(3)])
+        many = aggregate_sweeps([make_result(float(rng.normal())) for _ in range(30)])
+        assert many.ci_half_width["RM"].mean() < few.ci_half_width["RM"].mean()
+
+    def test_shape_mismatch_rejected(self):
+        other = SweepResult("M", (2, 6), {"RM": [1.0, 1.0], "DCTA": [1.0, 1.0]})
+        with pytest.raises(DataError):
+            aggregate_sweeps([make_result(0.0), other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            aggregate_sweeps([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_sweeps([make_result(0.0)], confidence=1.5)
+
+    def test_mean_speedup(self):
+        agg = aggregate_sweeps([make_result(0.0)])
+        assert agg.mean_speedup("RM") == pytest.approx((10 / 5 + 8 / 2) / 2)
+
+    def test_table_renders_ci(self):
+        agg = aggregate_sweeps([make_result(0.0), make_result(1.0)])
+        text = agg.table()
+        assert "±" in text and "95%" in text
+
+    def test_separation_check(self):
+        # RM and DCTA are far apart with tiny variance: separated.
+        agg = aggregate_sweeps([make_result(0.0), make_result(0.01)])
+        assert agg.separated("RM", "DCTA")
+
+
+class TestRepeatSweep:
+    def test_factory_called_per_seed(self):
+        calls = []
+
+        def factory(seed: int) -> SweepResult:
+            calls.append(seed)
+            return make_result(float(seed))
+
+        agg = repeat_sweep(factory, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert agg.n_seeds == 3
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(DataError):
+            repeat_sweep(lambda s: make_result(0.0), [])

@@ -1,0 +1,88 @@
+"""Failure injection: node crashes mid-epoch and work is re-dispatched."""
+
+import numpy as np
+import pytest
+
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.node import make_node
+from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
+from repro.edgesim.workload import SimTask
+from repro.errors import DataError
+
+
+@pytest.fixture
+def nodes():
+    return [make_node("laptop", 0), make_node("rpi-b", 1)]
+
+
+@pytest.fixture
+def tasks():
+    return [
+        SimTask(0, input_mb=50.0, memory_mb=10.0, true_importance=0.5),
+        SimTask(1, input_mb=50.0, memory_mb=10.0, true_importance=0.3),
+        SimTask(2, input_mb=50.0, memory_mb=10.0, true_importance=0.2),
+    ]
+
+
+class TestNodeFailures:
+    def test_failure_before_start_reroutes_everything(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.99)
+        plan = ExecutionPlan(((0, 1), (1, 1), (2, 1)))  # all on the Pi
+        clean = simulator.run(tasks, plan)
+        failed = simulator.run(tasks, plan, failures={1: 0.0})
+        assert failed.gate_crossed
+        # Work moved to the (faster) laptop; it still completes.
+        assert failed.tasks_executed == 3
+        assert np.isfinite(failed.processing_time)
+
+    def test_mid_run_failure_increases_pt(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.99)
+        plan = ExecutionPlan(((0, 1), (1, 1), (2, 1)))
+        clean = simulator.run(tasks, plan)
+        # Fail the Pi after the first transfer has landed but before its
+        # work finishes; the lost execution must be redone elsewhere.
+        failed = simulator.run(tasks, plan, failures={1: clean.processing_time * 0.5})
+        assert failed.gate_crossed
+        assert failed.processing_time >= clean.processing_time * 0.5
+
+    def test_all_nodes_failed_never_crosses_gate(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.5)
+        plan = ExecutionPlan(((0, 0), (1, 1)))
+        result = simulator.run(tasks, plan, failures={0: 0.0, 1: 0.0})
+        assert not result.gate_crossed
+        assert result.processing_time == float("inf")
+        assert result.tasks_executed == 0
+
+    def test_failure_after_completion_is_harmless(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.5)
+        plan = ExecutionPlan(((0, 0), (1, 0), (2, 0)))
+        clean = simulator.run(tasks, plan)
+        failed = simulator.run(tasks, plan, failures={1: clean.processing_time * 10})
+        assert failed.processing_time == pytest.approx(clean.processing_time)
+
+    def test_surviving_node_takes_over(self, tasks):
+        """With the fast node dead, everything runs on the slow one."""
+        nodes = [make_node("laptop", 0), make_node("rpi-a+", 1)]
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.99)
+        plan = ExecutionPlan(((0, 0), (1, 0), (2, 0)))
+        clean = simulator.run(tasks, plan)
+        failed = simulator.run(tasks, plan, failures={0: 0.0})
+        assert failed.gate_crossed
+        assert failed.processing_time > clean.processing_time
+
+    def test_unknown_failure_node_rejected(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork())
+        with pytest.raises(DataError):
+            simulator.run(tasks, ExecutionPlan(((0, 0),)), failures={99: 1.0})
+
+    def test_negative_failure_time_rejected(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork())
+        with pytest.raises(DataError):
+            simulator.run(tasks, ExecutionPlan(((0, 0),)), failures={0: -1.0})
+
+    def test_deterministic_under_failures(self, nodes, tasks):
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.99)
+        plan = ExecutionPlan(((0, 1), (1, 0), (2, 1)))
+        a = simulator.run(tasks, plan, failures={1: 5.0})
+        b = simulator.run(tasks, plan, failures={1: 5.0})
+        assert a.processing_time == b.processing_time

@@ -1,0 +1,33 @@
+import pytest
+
+from repro.edgesim.network import StarNetwork
+from repro.errors import ConfigurationError
+
+
+class TestStarNetwork:
+    def test_transfer_time_megabits_over_mbps(self):
+        net = StarNetwork(bandwidth_mbps=10.0, latency_s=0.0)
+        assert net.transfer_time(100.0) == pytest.approx(10.0)
+
+    def test_latency_added_per_transfer(self):
+        net = StarNetwork(bandwidth_mbps=10.0, latency_s=0.5)
+        assert net.transfer_time(0.0) == pytest.approx(0.5)
+
+    def test_higher_bandwidth_faster(self):
+        slow = StarNetwork(bandwidth_mbps=10.0)
+        fast = StarNetwork(bandwidth_mbps=100.0)
+        assert fast.transfer_time(500.0) < slow.transfer_time(500.0)
+
+    def test_with_bandwidth_preserves_latency(self):
+        net = StarNetwork(bandwidth_mbps=10.0, latency_s=0.123)
+        sibling = net.with_bandwidth(40.0)
+        assert sibling.bandwidth_mbps == 40.0
+        assert sibling.latency_s == 0.123
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StarNetwork(bandwidth_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            StarNetwork(latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            StarNetwork().transfer_time(-5.0)

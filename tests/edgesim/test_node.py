@@ -1,0 +1,49 @@
+import pytest
+
+from repro.edgesim.node import NODE_PRESETS, RPI_A_PLUS_S_PER_BIT, EdgeNode, make_node
+from repro.errors import ConfigurationError
+
+
+class TestEdgeNode:
+    def test_paper_calibration(self):
+        """The Pi A+ compute rate matches the paper's 4.75e-7 s/bit."""
+        node = make_node("rpi-a+", 0)
+        assert node.compute_s_per_bit == pytest.approx(4.75e-7)
+
+    def test_execution_time_linear_in_size(self):
+        node = make_node("rpi-b", 0)
+        assert node.execution_time(200.0) == pytest.approx(2 * node.execution_time(100.0))
+
+    def test_execution_time_megabit_semantics(self):
+        node = make_node("rpi-a+", 0)
+        # 1 Mb = 1e6 bits at 4.75e-7 s/bit = 0.475 s.
+        assert node.execution_time(1.0) == pytest.approx(0.475)
+
+    def test_laptop_faster_than_pis(self):
+        laptop = make_node("laptop", 0)
+        for preset in ("rpi-a+", "rpi-b", "rpi-b+"):
+            assert laptop.execution_time(100.0) < make_node(preset, 1).execution_time(100.0)
+
+    def test_relative_speed_baseline(self):
+        assert make_node("rpi-a+", 0).relative_speed == pytest.approx(1.0)
+        assert make_node("laptop", 0).relative_speed == pytest.approx(20.0)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            make_node("cray", 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_node("rpi-b", 0).execution_time(-1.0)
+
+    def test_invalid_direct_construction(self):
+        with pytest.raises(ConfigurationError):
+            EdgeNode(0, "x", compute_s_per_bit=0.0, memory_mb=100.0)
+        with pytest.raises(ConfigurationError):
+            EdgeNode(0, "x", compute_s_per_bit=1e-7, memory_mb=0.0)
+
+    def test_all_presets_instantiate(self):
+        for name in NODE_PRESETS:
+            node = make_node(name, 3)
+            assert node.name == name
+            assert node.node_id == 3

@@ -1,0 +1,98 @@
+"""Property-based invariants of the edge DES (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.node import make_node
+from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
+from repro.edgesim.workload import SimTask
+
+
+def make_workload(sizes, importances):
+    return [
+        SimTask(i, input_mb=float(s), memory_mb=10.0, true_importance=float(imp))
+        for i, (s, imp) in enumerate(zip(sizes, importances))
+    ]
+
+
+workloads = st.builds(
+    make_workload,
+    st.lists(st.floats(1.0, 200.0), min_size=2, max_size=8),
+    st.lists(st.floats(0.01, 1.0), min_size=8, max_size=8),
+)
+
+thresholds = st.floats(0.2, 1.0)
+
+
+def simple_plan(tasks, n_nodes=2):
+    return ExecutionPlan(tuple((t.task_id, t.task_id % n_nodes) for t in tasks))
+
+
+@pytest.fixture(scope="module")
+def nodes():
+    return [make_node("laptop", 0), make_node("rpi-b", 1)]
+
+
+class TestSimulatorProperties:
+    @given(workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_pt_lower_bound(self, tasks):
+        """PT >= first task's transfer + execution + result path."""
+        nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+        network = StarNetwork()
+        simulator = EdgeSimulator(nodes, network, quality_threshold=1.0)
+        plan = simple_plan(tasks)
+        result = simulator.run(tasks, plan)
+        first = tasks[plan.assignments[0][0]]
+        node = nodes[plan.assignments[0][1]]
+        lower = (
+            network.transfer_time(first.input_mb)
+            + node.execution_time(first.input_mb)
+            + network.transfer_time(first.result_mb)
+        )
+        assert result.processing_time >= lower - 1e-9
+
+    @given(workloads, thresholds, thresholds)
+    @settings(max_examples=30, deadline=None)
+    def test_pt_monotone_in_threshold(self, tasks, threshold_a, threshold_b):
+        """A stricter quality gate can only delay the decision."""
+        nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+        network = StarNetwork()
+        low, high = sorted((threshold_a, threshold_b))
+        plan = simple_plan(tasks)
+        pt_low = EdgeSimulator(nodes, network, quality_threshold=low).run(tasks, plan)
+        pt_high = EdgeSimulator(nodes, network, quality_threshold=high).run(tasks, plan)
+        assert pt_low.processing_time <= pt_high.processing_time + 1e-9
+
+    @given(workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_importance_achieved_meets_gate(self, tasks):
+        nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.6)
+        result = simulator.run(tasks, simple_plan(tasks))
+        total = sum(t.true_importance for t in tasks)
+        assert result.gate_crossed
+        assert result.importance_achieved >= 0.6 * total - 1e-9
+
+    @given(workloads)
+    @settings(max_examples=20, deadline=None)
+    def test_completion_times_sorted_consistent(self, tasks):
+        """Every completion happens within [0, PT] when the gate closes."""
+        nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=1.0)
+        result = simulator.run(tasks, simple_plan(tasks))
+        for arrival in result.completion_times.values():
+            assert 0.0 <= arrival <= result.processing_time + 1e-9
+
+    @given(workloads)
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, tasks):
+        nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+        simulator = EdgeSimulator(nodes, StarNetwork(), quality_threshold=0.8)
+        plan = simple_plan(tasks)
+        a = simulator.run(tasks, plan)
+        b = simulator.run(tasks, plan)
+        assert a.processing_time == b.processing_time
+        assert a.completion_times == b.completion_times

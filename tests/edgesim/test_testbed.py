@@ -1,0 +1,46 @@
+import pytest
+
+from repro.edgesim.testbed import paper_testbed, scaled_testbed
+from repro.errors import ConfigurationError
+
+
+class TestPaperTestbed:
+    def test_fig8_composition(self):
+        """Fig. 8: nine Raspberry Pis (A+/B/B+) plus one laptop."""
+        nodes, network = paper_testbed()
+        assert len(nodes) == 10
+        names = [node.name for node in nodes]
+        assert names.count("laptop") == 1
+        assert names.count("rpi-a+") == 3
+        assert names.count("rpi-b") == 3
+        assert names.count("rpi-b+") == 3
+
+    def test_laptop_is_controller(self):
+        nodes, _ = paper_testbed()
+        assert nodes[0].is_controller
+        assert all(not node.is_controller for node in nodes[1:])
+
+    def test_node_ids_unique(self):
+        nodes, _ = paper_testbed()
+        assert len({node.node_id for node in nodes}) == 10
+
+    def test_bandwidth_configurable(self):
+        _, network = paper_testbed(bandwidth_mbps=13.0)
+        assert network.bandwidth_mbps == 13.0
+
+
+class TestScaledTestbed:
+    def test_prefix_of_paper_testbed(self):
+        full, _ = paper_testbed()
+        subset, _ = scaled_testbed(4)
+        assert [n.node_id for n in subset] == [n.node_id for n in full[:4]]
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            scaled_testbed(0)
+        with pytest.raises(ConfigurationError):
+            scaled_testbed(11)
+
+    def test_full_size_matches_paper(self):
+        nodes, _ = scaled_testbed(10)
+        assert len(nodes) == 10

@@ -1,0 +1,80 @@
+import pytest
+
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.node import make_node
+from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
+from repro.edgesim.trace import Trace, TraceEvent, TracingSimulator
+from repro.edgesim.workload import SimTask
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture
+def traced_run():
+    nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+    tasks = [
+        SimTask(0, input_mb=30.0, memory_mb=10.0, true_importance=0.6),
+        SimTask(1, input_mb=30.0, memory_mb=10.0, true_importance=0.4),
+    ]
+    simulator = TracingSimulator(EdgeSimulator(nodes, StarNetwork(), quality_threshold=1.0))
+    plan = ExecutionPlan(((0, 0), (1, 1)))
+    result, trace = simulator.run(tasks, plan)
+    return tasks, result, trace
+
+
+class TestTraceEvent:
+    def test_negative_span_rejected(self):
+        with pytest.raises(DataError):
+            TraceEvent("execution", 0, 0, start=5.0, end=1.0)
+
+
+class TestTracingSimulator:
+    def test_result_matches_untraced_run(self, traced_run):
+        tasks, result, trace = traced_run
+        assert result.gate_crossed
+        assert result.tasks_executed == 2
+
+    def test_every_completed_task_has_three_spans(self, traced_run):
+        tasks, result, trace = traced_run
+        for task_id in result.completion_times:
+            kinds = {e.kind for e in trace.for_task(task_id)}
+            assert kinds == {"input", "execution", "result"}
+
+    def test_spans_ordered_within_task(self, traced_run):
+        tasks, result, trace = traced_run
+        for task_id in result.completion_times:
+            events = {e.kind: e for e in trace.for_task(task_id)}
+            assert events["input"].end <= events["execution"].start + 1e-9
+            assert events["execution"].end <= events["result"].start + 1e-9
+
+    def test_result_arrival_matches_completion_time(self, traced_run):
+        tasks, result, trace = traced_run
+        for task_id, arrival in result.completion_times.items():
+            result_event = next(e for e in trace.for_task(task_id) if e.kind == "result")
+            assert result_event.end == pytest.approx(arrival)
+
+    def test_decision_marker_set(self, traced_run):
+        _, result, trace = traced_run
+        assert trace.decision_time == pytest.approx(result.processing_time)
+
+    def test_node_filter(self, traced_run):
+        _, _, trace = traced_run
+        executions = [e for e in trace.for_node(0) if e.kind == "execution"]
+        assert all(e.node_id == 0 for e in executions)
+
+
+class TestGantt:
+    def test_renders_lanes_and_glyphs(self, traced_run):
+        _, _, trace = traced_run
+        chart = trace.gantt(width=40)
+        assert "channel" in chart
+        assert "node 0" in chart and "node 1" in chart
+        assert "=" in chart and "-" in chart
+        assert "decision" in chart
+
+    def test_empty_trace(self):
+        assert Trace().gantt() == "(empty trace)"
+
+    def test_narrow_width_rejected(self, traced_run):
+        _, _, trace = traced_run
+        with pytest.raises(ConfigurationError):
+            trace.gantt(width=5)

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.edgesim.workload import SimTask, WorkloadGenerator
+from repro.errors import ConfigurationError, DataError
+from repro.utils.stats import gini_coefficient
+
+
+class TestSimTask:
+    def test_valid(self):
+        task = SimTask(0, input_mb=100.0, memory_mb=50.0, true_importance=0.5)
+        assert np.isnan(task.est_importance)
+
+    def test_with_estimate(self):
+        task = SimTask(0, 100.0, 50.0, 0.5).with_estimate(0.7)
+        assert task.est_importance == 0.7
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            SimTask(0, input_mb=0.0, memory_mb=1.0, true_importance=0.0)
+        with pytest.raises(ConfigurationError):
+            SimTask(0, input_mb=1.0, memory_mb=-1.0, true_importance=0.0)
+        with pytest.raises(ConfigurationError):
+            SimTask(0, input_mb=1.0, memory_mb=1.0, true_importance=-0.1)
+
+
+class TestWorkloadGenerator:
+    def test_draw_count_and_ids(self):
+        tasks = WorkloadGenerator(n_tasks=20, seed=0).draw()
+        assert len(tasks) == 20
+        assert [t.task_id for t in tasks] == list(range(20))
+
+    def test_mean_input_size_approximate(self):
+        tasks = WorkloadGenerator(n_tasks=500, mean_input_mb=300.0, seed=1).draw()
+        mean = np.mean([t.input_mb for t in tasks])
+        assert 0.8 * 300 < mean < 1.25 * 300
+
+    def test_importance_long_tailed(self):
+        tasks = WorkloadGenerator(n_tasks=200, pareto_shape=0.7, seed=2).draw()
+        importance = np.array([t.true_importance for t in tasks])
+        assert gini_coefficient(importance) > 0.5
+        assert importance.max() == pytest.approx(1.0)
+
+    def test_draw_with_importance_override(self):
+        generator = WorkloadGenerator(n_tasks=5, seed=3)
+        custom = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        tasks = generator.draw_with_importance(custom)
+        assert [t.true_importance for t in tasks] == pytest.approx(list(custom))
+
+    def test_importance_size_mismatch(self):
+        with pytest.raises(DataError):
+            WorkloadGenerator(n_tasks=5, seed=0).draw_with_importance(np.ones(3))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(n_tasks=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(mean_input_mb=-1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(pareto_shape=0.0)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.importance.dynamics import ImportanceDynamics, importance_dynamics
+
+
+@pytest.fixture(scope="module")
+def dynamics(small_dataset, small_model_set):
+    from repro.importance.importance import ImportanceEvaluator
+
+    evaluator = ImportanceEvaluator(small_dataset, small_model_set)
+    matrix = evaluator.importance_matrix(small_dataset.days[2:8])
+    return importance_dynamics(small_model_set, matrix), matrix
+
+
+class TestImportanceDynamics:
+    def test_axes_cover_all_machines_and_operations(self, dynamics, small_model_set):
+        stats, _ = dynamics
+        machines = {small_model_set.get(i).data.chiller_id for i in small_model_set.task_ids}
+        operations = {small_model_set.get(i).data.band_index for i in small_model_set.task_ids}
+        assert set(stats.machine_ids) == machines
+        assert set(stats.operation_ids) == operations
+
+    def test_populated_cells_match_tasks(self, dynamics, small_model_set):
+        stats, _ = dynamics
+        populated = int(np.sum(~np.isnan(stats.mean)))
+        assert populated == len(small_model_set)
+
+    def test_mean_values_nonnegative(self, dynamics):
+        stats, _ = dynamics
+        values = stats.mean[~np.isnan(stats.mean)]
+        assert np.all(values >= 0.0)
+
+    def test_variance_nonnegative(self, dynamics):
+        stats, _ = dynamics
+        values = stats.variance[~np.isnan(stats.variance)]
+        assert np.all(values >= 0.0)
+
+    def test_machine_row_lookup(self, dynamics, small_model_set):
+        stats, _ = dynamics
+        chiller_id = stats.machine_ids[0]
+        means, variances = stats.machine_row(chiller_id)
+        assert means.shape == variances.shape
+
+    def test_unknown_machine_rejected(self, dynamics):
+        stats, _ = dynamics
+        with pytest.raises(DataError):
+            stats.machine_row(99999)
+
+    def test_fluctuation_positive(self, dynamics):
+        """Observation 3: importance fluctuates over operations."""
+        stats, _ = dynamics
+        assert stats.temporal_fluctuation() > 0.0
+
+    def test_shape_mismatch_rejected(self, small_model_set):
+        with pytest.raises(DataError):
+            importance_dynamics(small_model_set, np.zeros((3, 2)))
+
+    def test_non_2d_rejected(self, small_model_set):
+        with pytest.raises(DataError):
+            importance_dynamics(small_model_set, np.zeros(5))

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.importance.importance import ImportanceEvaluator, importance_profile
+
+
+@pytest.fixture(scope="module")
+def evaluator(small_dataset, small_model_set):
+    return ImportanceEvaluator(small_dataset, small_model_set)
+
+
+class TestImportanceForDay:
+    def test_shape_and_nonnegativity(self, evaluator, small_dataset):
+        importance = evaluator.importance_for_day(int(small_dataset.days[3]))
+        assert importance.shape == (small_dataset.n_tasks,)
+        assert np.all(importance >= 0.0)
+
+    def test_importance_bounded_by_one(self, evaluator, small_dataset):
+        importance = evaluator.importance_for_day(int(small_dataset.days[3]))
+        assert np.all(importance <= 1.0)
+
+    def test_some_tasks_matter(self, evaluator, small_dataset):
+        days = small_dataset.days[2:8]
+        matrix = evaluator.importance_matrix(days)
+        assert matrix.mean(axis=0).max() > 0.0
+
+    def test_unclipped_mode_can_go_negative_or_equal(self, small_dataset, small_model_set):
+        raw = ImportanceEvaluator(small_dataset, small_model_set, clip_negative=False)
+        clipped = ImportanceEvaluator(small_dataset, small_model_set, clip_negative=True)
+        day = int(small_dataset.days[4])
+        assert np.all(clipped.importance_for_day(day) >= raw.importance_for_day(day) - 1e-12)
+
+
+class TestImportanceMatrix:
+    def test_matrix_shape(self, evaluator, small_dataset):
+        days = small_dataset.days[:4]
+        matrix = evaluator.importance_matrix(days)
+        assert matrix.shape == (4, small_dataset.n_tasks)
+
+    def test_empty_days_rejected(self, evaluator):
+        with pytest.raises(DataError):
+            evaluator.importance_matrix([])
+
+    def test_importance_fluctuates_across_days(self, evaluator, small_dataset):
+        """Observation 3: importance is time-dynamic."""
+        days = small_dataset.days[2:10]
+        matrix = evaluator.importance_matrix(days)
+        per_task_std = matrix.std(axis=0)
+        assert per_task_std.max() > 0.0
+
+
+class TestImportanceProfile:
+    def test_profile_is_day_mean(self, small_dataset, small_model_set, evaluator):
+        days = small_dataset.days[2:5]
+        profile = importance_profile(small_dataset, small_model_set, days)
+        matrix = evaluator.importance_matrix(days)
+        assert np.allclose(profile, matrix.mean(axis=0))

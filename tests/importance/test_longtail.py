@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.importance.longtail import LongTailStats, fraction_for_share, long_tail_stats
+
+
+class TestFractionForShare:
+    def test_uniform_needs_about_that_share(self):
+        values = np.ones(100)
+        assert fraction_for_share(values, 0.8) == pytest.approx(0.8)
+
+    def test_concentrated_needs_few(self):
+        values = np.array([100.0] + [0.01] * 99)
+        assert fraction_for_share(values, 0.8) == pytest.approx(0.01)
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            fraction_for_share([1.0], 0.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=40))
+    def test_property_fraction_in_unit_interval(self, values):
+        f = fraction_for_share(values, 0.8)
+        assert 0.0 < f <= 1.0
+
+
+class TestLongTailStats:
+    def test_paper_shape_on_pareto(self, rng):
+        """A Pareto importance profile reproduces Observation 1: a small
+        fraction of tasks carries >=80% of total importance."""
+        importances = rng.pareto(0.8, size=50)
+        stats = long_tail_stats(importances)
+        assert stats.n_tasks == 50
+        assert stats.is_long_tailed()
+        assert stats.fraction_for_80pct < 0.5
+        assert stats.share_of_top_12_72pct > 0.3
+        assert stats.gini > 0.5
+
+    def test_uniform_is_not_long_tailed(self):
+        stats = long_tail_stats(np.ones(50))
+        assert not stats.is_long_tailed()
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_curve_ends_at_one(self, rng):
+        stats = long_tail_stats(rng.random(20))
+        assert stats.curve[-1] == pytest.approx(1.0)
+
+    def test_small_sample_top_share_nan(self):
+        stats = long_tail_stats([1.0, 2.0, 3.0])
+        assert np.isnan(stats.share_of_top_12_72pct)
+
+    def test_pipeline_importance_is_long_tailed(
+        self, small_dataset, small_model_set
+    ):
+        """The real pipeline's importance profile exhibits Fig. 2's shape."""
+        from repro.importance.importance import importance_profile
+
+        days = small_dataset.days[2:8]
+        profile = importance_profile(small_dataset, small_model_set, days)
+        stats = long_tail_stats(profile)
+        assert stats.is_long_tailed(fraction_threshold=0.6)

@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostClassifier, AdaBoostRegressor
+
+
+class TestAdaBoostClassifier:
+    def test_beats_single_stump_on_nested_data(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 1.0).astype(int)
+        from repro.ml.tree import DecisionTreeClassifier
+
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y).score(X, y)
+        boosted = AdaBoostClassifier(n_estimators=40, max_depth=1, seed=0).fit(X, y).score(X, y)
+        assert boosted > stump
+
+    def test_estimator_weights_positive(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert all(w > 0 for w in model.estimator_weights_)
+
+    def test_early_stop_on_perfect_fit(self):
+        X = np.array([[0.0], [1.0]] * 20)
+        y = np.array([0, 1] * 20)
+        model = AdaBoostClassifier(n_estimators=50, seed=0).fit(X, y)
+        assert len(model.estimators_) < 50
+        assert model.score(X, y) == 1.0
+
+    def test_multiclass_supported(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        model = AdaBoostClassifier(n_estimators=20, max_depth=2, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+
+class TestAdaBoostRegressor:
+    def test_fits_smooth_function(self, rng):
+        X = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(2 * X.ravel())
+        model = AdaBoostRegressor(n_estimators=30, max_depth=3, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_weighted_median_within_prediction_range(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = rng.normal(size=80)
+        model = AdaBoostRegressor(n_estimators=10, seed=0).fit(X, y)
+        predictions = np.vstack([t.predict(X) for t in model.estimators_])
+        out = model.predict(X)
+        assert np.all(out >= predictions.min(axis=0) - 1e-9)
+        assert np.all(out <= predictions.max(axis=0) + 1e-9)
+
+    def test_perfect_fit_early_stop(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 5)
+        y = X.ravel()
+        model = AdaBoostRegressor(n_estimators=50, max_depth=3, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.99

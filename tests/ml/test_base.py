@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseEstimator, as_2d, clone
+from repro.ml.linear import RidgeRegression
+from repro.ml.svm import LinearSVC
+
+
+class TestGetSetParams:
+    def test_get_params_returns_constructor_args(self):
+        model = RidgeRegression(alpha=2.5, fit_intercept=False)
+        params = model.get_params()
+        assert params["alpha"] == 2.5
+        assert params["fit_intercept"] is False
+
+    def test_set_params_roundtrip(self):
+        model = RidgeRegression()
+        model.set_params(alpha=9.0)
+        assert model.alpha == 9.0
+
+    def test_set_unknown_param_raises(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            RidgeRegression().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        assert "alpha=1.0" in repr(RidgeRegression(alpha=1.0))
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        original = LinearSVC(C=3.0, epochs=7)
+        copy = clone(original)
+        assert copy.C == 3.0 and copy.epochs == 7
+        assert copy is not original
+
+    def test_clone_is_unfitted(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        original = LinearSVC().fit(X, y)
+        assert clone(original).weights_ is None
+
+
+class TestAs2d:
+    def test_1d_becomes_column(self):
+        assert as_2d([1.0, 2.0]).shape == (2, 1)
+
+    def test_2d_passthrough(self):
+        assert as_2d([[1.0, 2.0]]).shape == (1, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            as_2d(np.zeros((2, 2, 2)))

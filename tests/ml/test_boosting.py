@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestGradientBoosting:
+    def test_beats_single_tree_on_smooth_target(self, rng):
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(2 * X[:, 0]) + 0.5 * np.cos(3 * X[:, 1])
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y).score(X, y)
+        boosted = (
+            GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=0)
+            .fit(X, y)
+            .score(X, y)
+        )
+        assert boosted > tree
+
+    def test_first_prediction_is_target_mean(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50) + 5.0
+        model = GradientBoostingRegressor(n_estimators=1, learning_rate=0.0001, seed=0).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean(), atol=0.01)
+
+    def test_staged_predictions_improve(self, rng):
+        X = rng.uniform(-2, 2, size=(200, 1))
+        y = np.sin(3 * X.ravel())
+        model = GradientBoostingRegressor(n_estimators=40, seed=0).fit(X, y)
+        errors = [float(np.mean((stage - y) ** 2)) for stage in model.staged_predict(X)]
+        assert errors[-1] < errors[0]
+
+    def test_subsampling_still_learns(self, rng):
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = X[:, 0] ** 2
+        model = GradientBoostingRegressor(
+            n_estimators=50, subsample=0.5, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_invalid_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = rng.normal(size=60)
+        a = GradientBoostingRegressor(n_estimators=10, seed=3).fit(X, y).predict(X)
+        b = GradientBoostingRegressor(n_estimators=10, seed=3).fit(X, y).predict(X)
+        assert np.allclose(a, b)

@@ -1,0 +1,122 @@
+"""Uniform estimator contract tests across the whole model zoo.
+
+Every estimator must honor the shared surface the MTL strategies and the
+local process rely on: parameter introspection, cloning to an unfitted
+state, fit-returns-self, correct prediction shapes, and seed determinism.
+One parametrized suite covers them all, so a new estimator gets the full
+contract for free by joining the lists below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostClassifier, AdaBoostRegressor
+from repro.ml.base import clone
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.knn import KNeighborsClassifier, KNeighborsRegressor
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.logistic import LogisticRegression, OneVsRestClassifier
+from repro.ml.mlp_regressor import MLPRegressor
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.svm import LinearSVC, LinearSVR
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+REGRESSORS = [
+    LinearRegression(),
+    RidgeRegression(alpha=0.5),
+    LinearSVR(epochs=10, seed=0),
+    DecisionTreeRegressor(max_depth=3, seed=0),
+    RandomForestRegressor(n_estimators=4, max_depth=3, seed=0),
+    AdaBoostRegressor(n_estimators=4, seed=0),
+    GradientBoostingRegressor(n_estimators=5, seed=0),
+    KNeighborsRegressor(n_neighbors=3),
+    MLPRegressor(hidden_sizes=(8,), epochs=60, learning_rate=1e-2, seed=0),
+]
+
+CLASSIFIERS = [
+    LinearSVC(epochs=10, seed=0),
+    LogisticRegression(epochs=10, seed=0),
+    DecisionTreeClassifier(max_depth=3, seed=0),
+    RandomForestClassifier(n_estimators=4, max_depth=3, seed=0),
+    AdaBoostClassifier(n_estimators=4, seed=0),
+    KNeighborsClassifier(n_neighbors=3),
+    GaussianNB(),
+    OneVsRestClassifier(LogisticRegression(epochs=10, seed=0)),
+]
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(80, 3))
+    y = X @ np.array([1.0, -1.0, 0.5]) + 0.1 * rng.normal(size=80)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    rng = np.random.default_rng(1)
+    X = np.vstack([rng.normal(-2, 0.8, size=(40, 3)), rng.normal(2, 0.8, size=(40, 3))])
+    y = np.array([0] * 40 + [1] * 40)
+    return X, y
+
+
+def _name(estimator):
+    return type(estimator).__name__
+
+
+@pytest.mark.parametrize("estimator", REGRESSORS, ids=_name)
+class TestRegressorContract:
+    def test_fit_returns_self(self, estimator, regression_data):
+        X, y = regression_data
+        assert clone(estimator).fit(X, y) is not None
+
+    def test_prediction_shape_and_finiteness(self, estimator, regression_data):
+        X, y = regression_data
+        model = clone(estimator).fit(X, y)
+        out = model.predict(X[:7])
+        assert out.shape == (7,)
+        assert np.all(np.isfinite(out))
+
+    def test_clone_roundtrips_params(self, estimator, regression_data):
+        copy = clone(estimator)
+        assert copy.get_params() == estimator.get_params()
+
+    def test_better_than_mean_predictor(self, estimator, regression_data):
+        X, y = regression_data
+        model = clone(estimator).fit(X, y)
+        assert model.score(X, y) > 0.0
+
+    def test_seed_determinism(self, estimator, regression_data):
+        X, y = regression_data
+        a = clone(estimator).fit(X, y).predict(X[:10])
+        b = clone(estimator).fit(X, y).predict(X[:10])
+        assert np.allclose(a, b)
+
+
+@pytest.mark.parametrize("estimator", CLASSIFIERS, ids=_name)
+class TestClassifierContract:
+    def test_fit_returns_self(self, estimator, classification_data):
+        X, y = classification_data
+        assert clone(estimator).fit(X, y) is not None
+
+    def test_predictions_are_known_labels(self, estimator, classification_data):
+        X, y = classification_data
+        model = clone(estimator).fit(X, y)
+        assert set(model.predict(X)) <= set(np.unique(y))
+
+    def test_accuracy_beats_chance(self, estimator, classification_data):
+        X, y = classification_data
+        model = clone(estimator).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_clone_roundtrips_params(self, estimator, classification_data):
+        copy = clone(estimator)
+        assert type(copy) is type(estimator)
+
+    def test_seed_determinism(self, estimator, classification_data):
+        X, y = classification_data
+        a = clone(estimator).fit(X, y).predict(X[:10])
+        b = clone(estimator).fit(X, y).predict(X[:10])
+        assert np.array_equal(a, b)

@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+class TestForestRegressor:
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) * X[:, 1]
+        model = RandomForestRegressor(n_estimators=20, max_depth=8, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_prediction_is_tree_mean(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        model = RandomForestRegressor(n_estimators=5, seed=0).fit(X, y)
+        stacked = np.vstack([tree.predict(X) for tree in model.estimators_])
+        assert np.allclose(model.predict(X), stacked.mean(axis=0))
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = rng.normal(size=60)
+        a = RandomForestRegressor(n_estimators=4, seed=9).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=4, seed=9).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict([[1.0]])
+
+
+class TestForestClassifier:
+    def test_accuracy_on_blobs(self, rng):
+        X = np.vstack([rng.normal(-2, 0.7, size=(80, 2)), rng.normal(2, 0.7, size=(80, 2))])
+        y = np.array([0] * 80 + [1] * 80)
+        model = RandomForestClassifier(n_estimators=15, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_proba_distribution(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        proba = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_handles_class_missing_from_bootstrap(self, rng):
+        # Tiny dataset with a rare class: some bootstrap samples will miss
+        # it entirely; column alignment must still hold.
+        X = rng.normal(size=(20, 2))
+        y = np.array([0] * 18 + [1, 2])
+        model = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (20, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.ml.kmeans import KMeans
+
+
+@pytest.fixture
+def three_blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.vstack([rng.normal(c, 0.5, size=(40, 2)) for c in centers])
+    return X, centers
+
+
+class TestKMeans:
+    def test_recovers_blob_centers(self, three_blobs):
+        X, centers = three_blobs
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        found = model.cluster_centers_
+        for center in centers:
+            distances = np.linalg.norm(found - center, axis=1)
+            assert distances.min() < 1.0
+
+    def test_labels_partition_data(self, three_blobs):
+        X, _ = three_blobs
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        assert model.labels_.shape == (X.shape[0],)
+        assert set(model.labels_) == {0, 1, 2}
+
+    def test_predict_consistent_with_fit_labels(self, three_blobs):
+        X, _ = three_blobs
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_inertia_decreases_with_more_clusters(self, three_blobs):
+        X, _ = three_blobs
+        one = KMeans(n_clusters=1, seed=0).fit(X).inertia_
+        three = KMeans(n_clusters=3, seed=0).fit(X).inertia_
+        assert three < one
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(DataError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans().predict([[0.0, 0.0]])
+
+    def test_duplicate_points_handled(self):
+        X = np.zeros((10, 2))
+        model = KMeans(n_clusters=2, seed=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self, three_blobs):
+        X, _ = three_blobs
+        a = KMeans(n_clusters=3, seed=4).fit(X).inertia_
+        b = KMeans(n_clusters=3, seed=4).fit(X).inertia_
+        assert a == b

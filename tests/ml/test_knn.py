@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.knn import (
+    KNeighborsClassifier,
+    KNeighborsRegressor,
+    nearest_indices,
+    pairwise_distances,
+)
+
+
+class TestPairwiseDistances:
+    def test_matches_manual_computation(self, rng):
+        A = rng.normal(size=(5, 3))
+        B = rng.normal(size=(7, 3))
+        D = pairwise_distances(A, B)
+        manual = np.linalg.norm(A[2] - B[4])
+        assert D[2, 4] == pytest.approx(manual)
+
+    def test_self_distance_zero(self, rng):
+        A = rng.normal(size=(4, 2))
+        assert np.allclose(np.diag(pairwise_distances(A, A)), 0.0, atol=1e-6)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DataError):
+            pairwise_distances(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestNearestIndices:
+    def test_nearest_first_ordering(self):
+        refs = np.array([[0.0], [10.0], [1.0]])
+        idx = nearest_indices(np.array([[0.2]]), refs, 3)[0]
+        assert list(idx) == [0, 2, 1]
+
+    def test_k_clamped_to_reference_count(self):
+        refs = np.array([[0.0], [1.0]])
+        assert nearest_indices(np.array([[0.0]]), refs, 10).shape == (1, 2)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(DataError):
+            nearest_indices(np.zeros((1, 1)), np.zeros((2, 1)), 0)
+
+
+class TestKNNRegressor:
+    def test_exact_on_training_points_k1(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = rng.normal(size=30)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_distance_weighting_changes_prediction(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        uniform = KNeighborsRegressor(n_neighbors=2, weights="uniform").fit(X, y)
+        weighted = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        query = [[0.1]]
+        assert weighted.predict(query)[0] < uniform.predict(query)[0]
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(DataError):
+            KNeighborsRegressor(weights="bogus")
+
+
+class TestKNNClassifier:
+    def test_majority_vote(self):
+        X = np.array([[0.0], [0.1], [5.0]])
+        y = np.array([0, 0, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict([[0.05]])[0] == 0
+
+    def test_proba_sums_to_one(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = (X[:, 0] > 0).astype(int)
+        proba = KNeighborsClassifier(n_neighbors=5).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)

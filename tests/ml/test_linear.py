@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.ml.linear import LinearRegression, RidgeRegression
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.normal(size=(200, 3))
+    coef = np.array([2.0, -1.0, 0.5])
+    y = X @ coef + 3.0 + 0.01 * rng.normal(size=200)
+    return X, y, coef
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        X, y, coef = linear_data
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.05)
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [1.0, 2.0], atol=1e-9)
+
+    def test_score_high_on_linear_data(self, linear_data):
+        X, y, _ = linear_data
+        assert LinearRegression().fit(X, y).score(X, y) > 0.99
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict([[1.0]])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            LinearRegression().fit([[1.0], [2.0]], [1.0])
+
+    def test_rank_deficient_does_not_crash(self):
+        X = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])  # collinear
+        model = LinearRegression().fit(X, [1.0, 2.0, 3.0])
+        assert np.all(np.isfinite(model.predict(X)))
+
+
+class TestRidgeRegression:
+    def test_shrinks_toward_zero_with_large_alpha(self, linear_data):
+        X, y, _ = linear_data
+        small = RidgeRegression(alpha=1e-6).fit(X, y)
+        large = RidgeRegression(alpha=1e6).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_matches_ols_at_tiny_alpha(self, linear_data):
+        X, y, _ = linear_data
+        ridge = RidgeRegression(alpha=1e-10).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-4)
+
+    def test_intercept_not_penalized(self, rng):
+        X = rng.normal(size=(100, 1))
+        y = 100.0 + 0.0 * X.ravel()
+        model = RidgeRegression(alpha=1e6).fit(X, y)
+        assert model.intercept_ == pytest.approx(100.0, abs=0.5)
+
+    def test_negative_alpha_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(alpha=-1.0)

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.ml.logistic import LogisticRegression, OneVsRestClassifier
+from repro.ml.svm import LinearSVC
+
+
+@pytest.fixture
+def separable(rng):
+    X = np.vstack([rng.normal(-2, 0.6, size=(50, 2)), rng.normal(2, 0.6, size=(50, 2))])
+    y = np.array([0] * 50 + [1] * 50)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_separable_accuracy(self, separable):
+        X, y = separable
+        assert LogisticRegression(seed=0).fit(X, y).score(X, y) > 0.97
+
+    def test_proba_calibrated_direction(self, separable):
+        X, y = separable
+        model = LogisticRegression(seed=0).fit(X, y)
+        proba = model.predict_proba(np.array([[-3.0, -3.0], [3.0, 3.0]]))
+        assert proba[0, 1] < 0.5 < proba[1, 1]
+
+    def test_proba_rows_sum_to_one(self, separable):
+        X, y = separable
+        proba = LogisticRegression(seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_regularization_shrinks_weights(self, separable):
+        X, y = separable
+        weak = LogisticRegression(C=100.0, seed=0).fit(X, y)
+        strong = LogisticRegression(C=0.001, seed=0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_single_class_degenerate(self):
+        model = LogisticRegression().fit(np.ones((4, 2)), np.zeros(4))
+        assert np.all(model.predict(np.ones((2, 2))) == 0)
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(DataError, match="binary"):
+            LogisticRegression().fit(np.zeros((3, 1)), [0, 1, 2])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict([[0.0]])
+
+
+class TestOneVsRest:
+    @pytest.fixture
+    def three_classes(self, rng):
+        centers = [(-3, 0), (3, 0), (0, 4)]
+        X = np.vstack([rng.normal(c, 0.5, size=(40, 2)) for c in centers])
+        y = np.repeat(["a", "b", "c"], 40)
+        return X, y
+
+    def test_multiclass_accuracy(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(LogisticRegression(seed=0)).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_works_with_svm_base(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(LinearSVC(seed=0)).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_decision_matrix_shape(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(LogisticRegression(seed=0)).fit(X, y)
+        assert model.decision_matrix(X).shape == (X.shape[0], 3)
+
+    def test_predicts_known_labels_only(self, three_classes):
+        X, y = three_classes
+        model = OneVsRestClassifier(LogisticRegression(seed=0)).fit(X, y)
+        assert set(model.predict(X)) <= {"a", "b", "c"}

@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.metrics import (
+    accuracy_score,
+    f1_score,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    rmse,
+)
+
+
+class TestRegressionMetrics:
+    def test_mse_exact(self):
+        assert mean_squared_error([1, 2], [1, 4]) == pytest.approx(2.0)
+
+    def test_rmse_is_sqrt_mse(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mae(self):
+        assert mean_absolute_error([1, -1], [2, 1]) == pytest.approx(1.5)
+
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2, 2], [2, 2]) == 1.0
+        assert r2_score([2, 2], [1, 3]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataError):
+            mean_squared_error([1], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            mean_absolute_error([], [])
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_f1_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == pytest.approx(1.0)
+
+    def test_f1_no_positives_predicted(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_f1_custom_positive_label(self):
+        assert f1_score(["a", "b"], ["a", "b"], positive="a") == pytest.approx(1.0)

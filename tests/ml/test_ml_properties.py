@@ -1,0 +1,101 @@
+"""Property-based invariants of the ML substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.tree import DecisionTreeRegressor
+
+datasets = st.integers(0, 10_000).map(
+    lambda seed: _make_dataset(seed)
+)
+
+
+def _make_dataset(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(10, 60))
+    X = rng.normal(size=(n, 3))
+    y = X @ rng.normal(size=3) + 0.2 * rng.normal(size=n)
+    return X, y
+
+
+class TestTreeProperties:
+    @given(datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_within_target_range(self, data):
+        """A regression tree predicts leaf means: always within [min, max] of y."""
+        X, y = data
+        model = DecisionTreeRegressor(max_depth=4, seed=0).fit(X, y)
+        out = model.predict(X)
+        assert out.min() >= y.min() - 1e-9
+        assert out.max() <= y.max() + 1e-9
+
+    @given(datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_deeper_never_worse_in_sample(self, data):
+        X, y = data
+        shallow = DecisionTreeRegressor(max_depth=1, seed=0).fit(X, y).score(X, y)
+        deep = DecisionTreeRegressor(max_depth=6, seed=0).fit(X, y).score(X, y)
+        assert deep >= shallow - 1e-9
+
+
+class TestForestProperties:
+    @given(datasets)
+    @settings(max_examples=15, deadline=None)
+    def test_forest_mean_bounded_by_member_trees(self, data):
+        X, y = data
+        model = RandomForestRegressor(n_estimators=5, max_depth=3, seed=0).fit(X, y)
+        member_predictions = np.vstack([t.predict(X) for t in model.estimators_])
+        out = model.predict(X)
+        assert np.all(out >= member_predictions.min(axis=0) - 1e-9)
+        assert np.all(out <= member_predictions.max(axis=0) + 1e-9)
+
+
+class TestRidgeProperties:
+    @given(datasets, st.floats(0.01, 100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_shrinkage(self, data, alpha):
+        """Larger alpha never yields a larger coefficient norm."""
+        X, y = data
+        small = RidgeRegression(alpha=alpha).fit(X, y)
+        large = RidgeRegression(alpha=alpha * 10).fit(X, y)
+        assert np.linalg.norm(large.coef_) <= np.linalg.norm(small.coef_) + 1e-9
+
+    @given(datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_translation_equivariance(self, data):
+        """Shifting y by c shifts predictions by c (intercept absorbs it)."""
+        X, y = data
+        base = RidgeRegression(alpha=1.0).fit(X, y).predict(X)
+        shifted = RidgeRegression(alpha=1.0).fit(X, y + 7.5).predict(X)
+        assert np.allclose(shifted, base + 7.5, atol=1e-6)
+
+
+class TestKNNProperties:
+    @given(datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_is_convex_combination(self, data):
+        X, y = data
+        model = KNeighborsRegressor(n_neighbors=3).fit(X, y)
+        out = model.predict(X)
+        assert out.min() >= y.min() - 1e-9
+        assert out.max() <= y.max() + 1e-9
+
+
+class TestNaiveBayesProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 2))
+        y = (X[:, 0] > 0).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        proba = GaussianNB().fit(X, y).predict_proba(rng.normal(size=(10, 2)) * 100)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0.0)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.ml.linear import RidgeRegression
+from repro.ml.model_selection import GridSearch, KFold, cross_val_score, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, seed=0)
+        assert X_train.shape[0] == 80 and X_test.shape[0] == 20
+        assert y_train.shape[0] == 80 and y_test.shape[0] == 20
+
+    def test_partition_is_disjoint_and_complete(self, rng):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.arange(20)
+        X_train, X_test, *_ = train_test_split(X, y, test_size=0.25, seed=1)
+        combined = np.sort(np.concatenate([X_train.ravel(), X_test.ravel()]))
+        assert np.array_equal(combined, X.ravel())
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+    def test_mismatched_rows(self):
+        with pytest.raises(DataError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3))
+
+
+class TestKFold:
+    def test_folds_cover_all_indices_once(self):
+        folds = list(KFold(n_splits=4, seed=0).split(21))
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        assert np.array_equal(all_test, np.arange(21))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3, seed=0).split(12):
+            assert set(train).isdisjoint(set(test))
+
+    def test_too_few_samples(self):
+        with pytest.raises(DataError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_n_splits_minimum(self):
+        with pytest.raises(ConfigurationError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X @ np.array([1.0, 2.0])
+        scores = cross_val_score(RidgeRegression(alpha=0.01), X, y, n_splits=4)
+        assert scores.shape == (4,)
+        assert np.all(scores > 0.9)
+
+
+class TestGridSearch:
+    def test_finds_better_alpha(self, rng):
+        X = rng.normal(size=(80, 5))
+        y = X @ rng.normal(size=5) + 0.1 * rng.normal(size=80)
+        search = GridSearch(
+            RidgeRegression(), {"alpha": [1e-4, 1.0, 1e4]}, n_splits=3, seed=0
+        ).fit(X, y)
+        assert search.best_params_["alpha"] in (1e-4, 1.0)
+        assert search.best_estimator_.coef_ is not None
+        assert len(search.results_) == 3
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridSearch(RidgeRegression(), {})

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.naive_bayes import GaussianNB
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.vstack([rng.normal(-2, 0.6, size=(60, 2)), rng.normal(2, 0.6, size=(60, 2))])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+class TestGaussianNB:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        assert GaussianNB().fit(X, y).score(X, y) > 0.97
+
+    def test_proba_valid_distribution(self, blobs):
+        X, y = blobs
+        proba = GaussianNB().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_priors_reflect_imbalance(self, rng):
+        X = np.vstack([rng.normal(0, 1, size=(90, 1)), rng.normal(5, 1, size=(10, 1))])
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_[0] == pytest.approx(0.9)
+
+    def test_constant_feature_survives(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 2.0], [1.0, 3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        assert np.all(np.isfinite(model.predict_proba(X)))
+
+    def test_multiclass(self, rng):
+        centers = [(-4, 0), (0, 0), (4, 0)]
+        X = np.vstack([rng.normal(c, 0.6, size=(40, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 40)
+        assert GaussianNB().fit(X, y).score(X, y) > 0.95
+
+    def test_string_labels(self, blobs):
+        X, _ = blobs
+        y = np.array(["low"] * 60 + ["high"] * 60)
+        model = GaussianNB().fit(X, y)
+        assert set(model.predict(X)) <= {"low", "high"}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianNB().predict([[0.0]])
+
+    def test_confident_at_class_means(self, rng):
+        """Probability mass concentrates at each class's own mean."""
+        X = np.vstack([rng.normal(0, 1, size=(500, 1)), rng.normal(10, 1, size=(500, 1))])
+        y = np.array([0] * 500 + [1] * 500)
+        model = GaussianNB().fit(X, y)
+        assert model.predict_proba([[0.0]])[0, 0] > 0.99
+        assert model.predict_proba([[10.0]])[0, 1] > 0.99
+        # The boundary lies strictly between the means.
+        assert model.predict([[0.0]])[0] == 0
+        assert model.predict([[10.0]])[0] == 1

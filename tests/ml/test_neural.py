@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.ml.neural import MLP, Adam, SGD
+
+
+class TestConstruction:
+    def test_needs_two_layers(self):
+        with pytest.raises(ConfigurationError):
+            MLP((4,))
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            MLP((4, 0, 1))
+
+    def test_unknown_activation(self):
+        with pytest.raises(ConfigurationError):
+            MLP((2, 2), activation="swish")
+
+    def test_weight_shapes(self):
+        net = MLP((3, 5, 2))
+        assert net.weights[0].shape == (3, 5)
+        assert net.weights[1].shape == (5, 2)
+        assert net.biases[1].shape == (2,)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        net = MLP((4, 8, 2), seed=0)
+        out = net.forward(rng.normal(size=(10, 4)))
+        assert out.shape == (10, 2)
+
+    def test_1d_input_promoted(self):
+        net = MLP((3, 2), seed=0)
+        assert net.forward(np.zeros(3)).shape == (1, 2)
+
+    def test_wrong_input_dim_raises(self):
+        with pytest.raises(DataError):
+            MLP((3, 2)).forward(np.zeros((1, 4)))
+
+
+class TestTraining:
+    def test_loss_decreases_on_regression(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X @ np.array([1.0, -1.0, 0.5])).reshape(-1, 1)
+        net = MLP((3, 32, 1), optimizer=Adam(1e-2), seed=0)
+        first = net.train_batch(X, y)
+        for _ in range(300):
+            last = net.train_batch(X, y)
+        assert last < first / 10
+
+    def test_learns_xor_with_tanh(self, rng):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        net = MLP((2, 16, 1), activation="tanh", optimizer=Adam(5e-3), seed=1)
+        for _ in range(2000):
+            net.train_batch(X, y)
+        predictions = net.forward(X).ravel()
+        assert np.all((predictions > 0.5) == (y.ravel() > 0.5))
+
+    def test_target_shape_mismatch(self):
+        net = MLP((2, 2), seed=0)
+        with pytest.raises(DataError):
+            net.train_batch(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_sgd_momentum_also_learns(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X @ np.array([2.0, -1.0])).reshape(-1, 1)
+        net = MLP((2, 8, 1), optimizer=SGD(0.01, momentum=0.9), seed=0)
+        for _ in range(300):
+            loss = net.train_batch(X, y)
+        assert loss < 0.5
+
+
+class TestParameterSync:
+    def test_copy_from_makes_outputs_identical(self, rng):
+        a = MLP((3, 8, 2), seed=0)
+        b = MLP((3, 8, 2), seed=99)
+        X = rng.normal(size=(5, 3))
+        assert not np.allclose(a.forward(X), b.forward(X))
+        b.copy_from(a)
+        assert np.allclose(a.forward(X), b.forward(X))
+
+    def test_copy_is_deep(self, rng):
+        a = MLP((2, 4, 1), seed=0)
+        b = MLP((2, 4, 1), seed=1)
+        b.copy_from(a)
+        a.weights[0][0, 0] += 100.0
+        X = rng.normal(size=(3, 2))
+        assert not np.allclose(a.forward(X), b.forward(X))
+
+    def test_set_parameters_shape_check(self):
+        a = MLP((2, 4, 1), seed=0)
+        params = a.get_parameters()
+        params[0] = np.zeros((3, 3))
+        b = MLP((2, 4, 1), seed=1)
+        with pytest.raises(ConfigurationError):
+            b.set_parameters(params)
+
+    def test_sgd_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(0.1, momentum=1.0)

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DataError, NotFittedError
+from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
+
+finite_matrix = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 20), st.integers(1, 5)),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_is_safe(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit([[1.0, 2.0]])
+        with pytest.raises(DataError, match="features"):
+            scaler.transform([[1.0]])
+
+    @given(finite_matrix)
+    def test_property_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, rtol=1e-6, atol=1e-6)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        X = rng.normal(size=(50, 2))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= -1e-12 and Z.max() <= 1.0 + 1e-12
+
+    def test_custom_range(self):
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform([[0.0], [10.0]])
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(DataError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(30, 3))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        out = OneHotEncoder().fit_transform(["b", "a", "b"])
+        assert out.shape == (3, 2)
+        assert np.all(out.sum(axis=1) == 1.0)
+
+    def test_unseen_category_all_zero(self):
+        encoder = OneHotEncoder().fit(["a", "b"])
+        assert np.all(encoder.transform(["c"]) == 0.0)
+
+    def test_categories_sorted(self):
+        encoder = OneHotEncoder().fit(["z", "a"])
+        assert encoder.categories_ == ["a", "z"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            OneHotEncoder().fit([])

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.ml.svm import LinearSVC, LinearSVR
+
+
+@pytest.fixture
+def separable(rng):
+    X = np.vstack([rng.normal(-2.0, 0.5, size=(60, 2)), rng.normal(2.0, 0.5, size=(60, 2))])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+class TestLinearSVC:
+    def test_separable_accuracy(self, separable):
+        X, y = separable
+        assert LinearSVC(seed=0).fit(X, y).score(X, y) > 0.98
+
+    def test_decision_function_sign_matches_prediction(self, separable):
+        X, y = separable
+        model = LinearSVC(seed=0).fit(X, y)
+        scores = model.decision_function(X)
+        predictions = model.predict(X)
+        assert np.all((scores >= 0) == (predictions == model.classes_[1]))
+
+    def test_predict_proba_rows_sum_to_one(self, separable):
+        X, y = separable
+        proba = LinearSVC(seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_string_labels_supported(self, separable):
+        X, _ = separable
+        y = np.array(["neg"] * 60 + ["pos"] * 60)
+        model = LinearSVC(seed=0).fit(X, y)
+        assert set(model.predict(X)) <= {"neg", "pos"}
+
+    def test_single_class_degenerate(self):
+        X = np.ones((5, 2))
+        model = LinearSVC().fit(X, np.zeros(5))
+        assert np.all(model.predict(X) == 0)
+
+    def test_three_classes_rejected(self):
+        with pytest.raises(DataError, match="binary"):
+            LinearSVC().fit(np.zeros((3, 1)), [0, 1, 2])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVC().predict([[1.0]])
+
+    def test_deterministic_given_seed(self, separable):
+        X, y = separable
+        a = LinearSVC(seed=1).fit(X, y).weights_
+        b = LinearSVC(seed=1).fit(X, y).weights_
+        assert np.allclose(a, b)
+
+
+class TestLinearSVR:
+    def test_fits_linear_target(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X @ np.array([1.5, -0.5]) + 2.0
+        model = LinearSVR(seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_epsilon_zero_allowed(self, rng):
+        X = rng.normal(size=(50, 1))
+        LinearSVR(epsilon=0.0, epochs=5).fit(X, X.ravel())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVR().predict([[0.0]])

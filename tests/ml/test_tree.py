@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestRegressorTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X.ravel() > 0.5).astype(float) * 10.0
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert model.score(X, y) > 0.999
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth_ <= 3
+
+    def test_stump_on_constant_target(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        model = DecisionTreeRegressor().fit(X, np.ones(10))
+        assert model.depth_ == 0
+        assert np.allclose(model.predict(X), 1.0)
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        model = DecisionTreeRegressor(min_samples_leaf=20).fit(X, y)
+
+        def leaf_sizes(node, features, targets):
+            if node.is_leaf:
+                return [targets.size]
+            mask = features[:, node.feature] <= node.threshold
+            return leaf_sizes(node.left, features[mask], targets[mask]) + leaf_sizes(
+                node.right, features[~mask], targets[~mask]
+            )
+
+        assert min(leaf_sizes(model.root_, X, y)) >= 20
+
+    def test_weighted_fit_runs(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = rng.normal(size=60)
+        weights = rng.random(60)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y, sample_weight=weights)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_prediction_improves_with_depth(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y).score(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y).score(X, y)
+        assert deep > shallow
+
+
+class TestClassifierTree:
+    def test_xor_learned_with_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 10, dtype=float)
+        y = np.array([0, 1, 1, 0] * 10)
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_predict_proba_valid_distribution(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        proba = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0.0)
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert set(model.predict(X)) <= {0, 1, 2}
+
+    def test_string_classes(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["lo", "lo", "hi", "hi"])
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert list(model.predict(X)) == ["lo", "lo", "hi", "hi"]

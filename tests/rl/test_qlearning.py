@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.env import AllocationEnv
+from repro.rl.qlearning import QLearningAgent
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.generators import random_instance
+
+
+class TestQLearningAgent:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            QLearningAgent(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            QLearningAgent(gamma=1.5)
+
+    def test_epsilon_decays(self):
+        problem = random_instance(4, 1, seed=0)
+        env = AllocationEnv(problem)
+        agent = QLearningAgent(epsilon=1.0, epsilon_decay=0.9, seed=0)
+        agent.train(env, 10)
+        assert agent.epsilon < 1.0
+
+    def test_solution_feasible(self):
+        problem = random_instance(6, 2, seed=1)
+        env = AllocationEnv(problem)
+        agent = QLearningAgent(seed=0)
+        agent.train(env, 100)
+        assert agent.solve(env).is_feasible(problem)
+
+    def test_converges_near_optimum_on_tiny_instance(self):
+        """Watkins convergence: enough exploration finds the optimum."""
+        problem = random_instance(5, 1, tightness=0.6, seed=2)
+        env = AllocationEnv(problem)
+        agent = QLearningAgent(
+            epsilon=1.0, epsilon_decay=0.999, learning_rate=0.3, seed=0
+        )
+        agent.train(env, 2500)
+        learned = agent.solve(env).objective(problem)
+        optimal = branch_and_bound(problem).objective(problem)
+        assert learned >= 0.85 * optimal
+
+    def test_returns_improve_with_training(self):
+        problem = random_instance(6, 1, tightness=0.5, seed=3)
+        env = AllocationEnv(problem)
+        agent = QLearningAgent(epsilon=1.0, epsilon_decay=0.998, seed=1)
+        returns = agent.train(env, 1500)
+        assert returns[-200:].mean() > returns[:200].mean()
+
+    def test_act_requires_feasible_actions(self):
+        agent = QLearningAgent()
+        with pytest.raises(ConfigurationError):
+            agent.act(np.zeros(3), np.array([], dtype=int))
+
+    def test_table_grows_during_training(self):
+        problem = random_instance(5, 1, seed=4)
+        env = AllocationEnv(problem)
+        agent = QLearningAgent(epsilon=1.0, seed=0)
+        agent.train(env, 50)
+        assert agent.table_size > 10

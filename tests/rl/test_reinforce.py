@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.env import AllocationEnv
+from repro.rl.reinforce import ReinforceAgent
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.generators import random_instance
+
+
+@pytest.fixture
+def env():
+    return AllocationEnv(random_instance(6, 2, seed=3))
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReinforceAgent(0, 5)
+        with pytest.raises(ConfigurationError):
+            ReinforceAgent(4, 5, learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ReinforceAgent(4, 5, temperature=0.0)
+        with pytest.raises(ConfigurationError):
+            ReinforceAgent(4, 5, baseline_decay=1.0)
+
+
+class TestPolicy:
+    def test_act_respects_feasible_set(self, env):
+        agent = ReinforceAgent(env.state_dim, env.n_actions, seed=0)
+        state = env.reset()
+        feasible = np.array([1, 4])
+        for _ in range(30):
+            assert agent.act(state, feasible) in feasible
+
+    def test_greedy_deterministic(self, env):
+        agent = ReinforceAgent(env.state_dim, env.n_actions, seed=0)
+        state = env.reset()
+        feasible = env.feasible_actions()
+        picks = {agent.act(state, feasible, greedy=True) for _ in range(5)}
+        assert len(picks) == 1
+
+    def test_no_feasible_rejected(self, env):
+        agent = ReinforceAgent(env.state_dim, env.n_actions)
+        with pytest.raises(ConfigurationError):
+            agent.act(env.reset(), np.array([], dtype=int))
+
+
+class TestTraining:
+    def test_returns_improve(self, env):
+        agent = ReinforceAgent(env.state_dim, env.n_actions, learning_rate=0.1, seed=0)
+        returns = agent.train(env, 400)
+        assert returns[-100:].mean() > returns[:100].mean()
+
+    def test_baseline_tracks_returns(self, env):
+        agent = ReinforceAgent(env.state_dim, env.n_actions, seed=0)
+        agent.train(env, 50)
+        assert agent.baseline > 0.0
+
+    def test_solution_feasible(self, env):
+        agent = ReinforceAgent(env.state_dim, env.n_actions, seed=0)
+        agent.train(env, 100)
+        assert agent.solve(env).is_feasible(env.problem)
+
+    def test_reaches_decent_fraction_of_optimum(self):
+        problem = random_instance(6, 1, tightness=0.5, seed=7)
+        env = AllocationEnv(problem)
+        agent = ReinforceAgent(env.state_dim, env.n_actions, learning_rate=0.1, seed=0)
+        agent.train(env, 600)
+        learned = agent.solve(env).objective(problem)
+        optimal = branch_and_bound(problem).objective(problem)
+        assert learned >= 0.6 * optimal
+
+    def test_deterministic_given_seed(self, env):
+        a = ReinforceAgent(env.state_dim, env.n_actions, seed=5)
+        b = ReinforceAgent(env.state_dim, env.n_actions, seed=5)
+        ra = a.train(env, 20)
+        rb = b.train(env, 20)
+        assert np.allclose(ra, rb)

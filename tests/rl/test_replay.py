@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.rl.replay import ReplayBuffer, Transition
+
+
+def make_transition(reward=1.0):
+    return Transition(
+        state=np.zeros(3),
+        action=0,
+        reward=reward,
+        next_state=np.ones(3),
+        done=False,
+        next_feasible=np.array([0, 1]),
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buffer = ReplayBuffer(capacity=10)
+        for _ in range(5):
+            buffer.push(make_transition())
+        assert len(buffer) == 5
+
+    def test_capacity_ring_overwrites_oldest(self):
+        buffer = ReplayBuffer(capacity=3)
+        for reward in range(5):
+            buffer.push(make_transition(reward=float(reward)))
+        assert len(buffer) == 3
+        rewards = {t.reward for t in buffer.sample(100)}
+        assert 0.0 not in rewards and 1.0 not in rewards
+
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(DataError):
+            ReplayBuffer().sample(1)
+
+    def test_sample_size_clamped(self):
+        buffer = ReplayBuffer()
+        buffer.push(make_transition())
+        assert len(buffer.sample(32)) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(capacity=0)
+
+    def test_invalid_batch_size(self):
+        buffer = ReplayBuffer()
+        buffer.push(make_transition())
+        with pytest.raises(ConfigurationError):
+            buffer.sample(0)
+
+    def test_clear(self):
+        buffer = ReplayBuffer()
+        buffer.push(make_transition())
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_sampling_deterministic_given_seed(self):
+        a = ReplayBuffer(seed=1)
+        b = ReplayBuffer(seed=1)
+        for reward in range(10):
+            a.push(make_transition(float(reward)))
+            b.push(make_transition(float(reward)))
+        assert [t.reward for t in a.sample(5)] == [t.reward for t in b.sample(5)]

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.schedules import (
+    ConstantEpsilon,
+    ExponentialDecay,
+    LinearDecay,
+    PiecewiseSchedule,
+)
+
+
+class TestConstant:
+    def test_constant_everywhere(self):
+        schedule = ConstantEpsilon(0.3)
+        assert schedule(0) == 0.3
+        assert schedule(10_000) == 0.3
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ConstantEpsilon(1.5)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantEpsilon(0.1)(-1)
+
+
+class TestExponential:
+    def test_starts_at_start(self):
+        assert ExponentialDecay(start=0.9)(0) == pytest.approx(0.9)
+
+    def test_monotone_nonincreasing(self):
+        schedule = ExponentialDecay()
+        values = [schedule(k) for k in range(0, 500, 25)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_floor_respected(self):
+        schedule = ExponentialDecay(end=0.07, decay=0.5)
+        assert schedule(100) == pytest.approx(0.07)
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(start=0.1, end=0.5)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        schedule = LinearDecay(start=1.0, end=0.0, horizon=10)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(0.0)
+        assert schedule(100) == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        schedule = LinearDecay(start=1.0, end=0.0, horizon=10)
+        assert schedule(5) == pytest.approx(0.5)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecay(horizon=0)
+
+
+class TestScheduleInDQN:
+    def test_agent_follows_linear_schedule(self):
+        from repro.rl.dqn import DQNAgent, DQNConfig
+        from repro.rl.env import AllocationEnv
+        from repro.tatim.generators import random_instance
+
+        problem = random_instance(4, 1, seed=0)
+        env = AllocationEnv(problem)
+        schedule = LinearDecay(start=1.0, end=0.2, horizon=10)
+        agent = DQNAgent(
+            env.state_dim,
+            env.n_actions,
+            DQNConfig(hidden_sizes=(8,)),
+            epsilon_schedule=schedule,
+            seed=0,
+        )
+        assert agent.epsilon == pytest.approx(1.0)
+        agent.train(env, 5)
+        assert agent.epsilon == pytest.approx(schedule(5))
+        agent.train(env, 10)
+        assert agent.epsilon == pytest.approx(0.2)
+
+
+class TestPiecewise:
+    def test_interpolation(self):
+        schedule = PiecewiseSchedule([(0, 1.0), (10, 0.5), (20, 0.1)])
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(5) == pytest.approx(0.75)
+        assert schedule(15) == pytest.approx(0.3)
+        assert schedule(25) == pytest.approx(0.1)
+
+    def test_before_first_breakpoint(self):
+        schedule = PiecewiseSchedule([(10, 0.8), (20, 0.2)])
+        assert schedule(0) == pytest.approx(0.8)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseSchedule([(0, 1.0)])
+
+    def test_strictly_increasing_steps(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseSchedule([(0, 1.0), (0, 0.5)])
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseSchedule([(0, 1.5), (10, 0.1)])

@@ -1,0 +1,93 @@
+"""Per-processor time budgets (the Section VII budget-constraint extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.rl.env import AllocationEnv
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.greedy import density_greedy
+from repro.tatim.problem import TATIMProblem
+from repro.tatim.solution import Allocation
+
+
+def hetero_problem():
+    return TATIMProblem(
+        importance=np.array([0.9, 0.7, 0.5, 0.3]),
+        times=np.array([1.0, 1.0, 1.0, 1.0]),
+        resources=np.array([1.0, 1.0, 1.0, 1.0]),
+        time_limit=1.0,
+        capacities=np.array([10.0, 10.0]),
+        time_limits=np.array([3.0, 1.0]),  # processor 0 is 3x more powerful
+    )
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            TATIMProblem(
+                importance=np.array([1.0]),
+                times=np.array([1.0]),
+                resources=np.array([1.0]),
+                time_limit=1.0,
+                capacities=np.array([1.0, 1.0]),
+                time_limits=np.array([1.0]),
+            )
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(DataError):
+            TATIMProblem(
+                importance=np.array([1.0]),
+                times=np.array([1.0]),
+                resources=np.array([1.0]),
+                time_limit=1.0,
+                capacities=np.array([1.0]),
+                time_limits=np.array([0.0]),
+            )
+
+    def test_effective_limits(self):
+        problem = hetero_problem()
+        assert np.allclose(problem.processor_time_limits(), [3.0, 1.0])
+        homogeneous = problem.scaled()
+        assert np.allclose(homogeneous.processor_time_limits(), [3.0, 1.0])
+
+
+class TestSolversHonorHeterogeneousLimits:
+    def test_feasibility_check_uses_per_processor_limit(self):
+        problem = hetero_problem()
+        # Two unit-time tasks on the weak processor violate its T=1.
+        bad = Allocation.from_assignment({0: 1, 1: 1}, 4, 2)
+        assert not bad.is_feasible(problem)
+        # The same two tasks on the strong processor are fine.
+        good = Allocation.from_assignment({0: 0, 1: 0}, 4, 2)
+        assert good.is_feasible(problem)
+
+    def test_exact_uses_full_power(self):
+        problem = hetero_problem()
+        allocation = branch_and_bound(problem)
+        # Optimal packs 3 tasks on the strong processor + 1 on the weak.
+        assert allocation.objective(problem) == pytest.approx(0.9 + 0.7 + 0.5 + 0.3)
+        assert allocation.is_feasible(problem)
+
+    def test_greedy_feasible_and_good(self):
+        problem = hetero_problem()
+        allocation = density_greedy(problem)
+        assert allocation.is_feasible(problem)
+        assert allocation.objective(problem) >= 1.9  # at least 3 of 4 tasks
+
+    def test_env_respects_per_processor_budget(self):
+        problem = hetero_problem()
+        env = AllocationEnv(problem)
+        env.reset()
+        # Fill the strong processor: three unit tasks fit.
+        env.step(0)
+        env.step(1)
+        env.step(2)
+        env.step(env.close_action)
+        # On the weak processor only one unit task fits.
+        feasible = set(env.feasible_actions())
+        assert feasible == {3, env.close_action}
+        env.step(3)
+        assert set(env.feasible_actions()) == {env.close_action}
+        env.step(env.close_action)
+        assert env.allocation().is_feasible(problem)

@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.generators import longtail_instance, random_instance
+from repro.tatim.greedy import best_fit_greedy, density_greedy
+from repro.tatim.local_search import improve_allocation
+from repro.tatim.solution import Allocation
+
+
+class TestImproveAllocation:
+    def test_never_worsens(self):
+        for seed in range(8):
+            problem = random_instance(15, 3, seed=seed)
+            start = density_greedy(problem)
+            improved = improve_allocation(problem, start)
+            assert improved.objective(problem) >= start.objective(problem) - 1e-9
+            assert improved.is_feasible(problem)
+
+    def test_fills_empty_allocation(self):
+        problem = random_instance(10, 2, seed=1)
+        empty = Allocation.empty(10, 2)
+        improved = improve_allocation(problem, empty)
+        assert improved.objective(problem) > 0.0
+
+    def test_improves_weak_start_substantially(self):
+        """Starting from the importance-blind packer, local search should
+        recover a large fraction of the density-greedy value."""
+        gains = []
+        for seed in range(5):
+            problem = longtail_instance(20, 3, seed=seed)
+            weak = best_fit_greedy(problem)
+            improved = improve_allocation(problem, weak)
+            reference = density_greedy(problem).objective(problem)
+            if reference > 0:
+                gains.append(improved.objective(problem) / reference)
+        assert np.mean(gains) > 0.9
+
+    def test_bounded_by_optimum(self):
+        for seed in range(4):
+            problem = random_instance(10, 2, seed=seed)
+            improved = improve_allocation(problem, density_greedy(problem))
+            optimal = branch_and_bound(problem).objective(problem)
+            assert improved.objective(problem) <= optimal + 1e-9
+
+    def test_infeasible_input_rejected(self):
+        problem = random_instance(5, 1, tightness=0.3, seed=0)
+        everything = Allocation.from_assignment({i: 0 for i in range(5)}, 5, 1)
+        if not everything.is_feasible(problem):
+            with pytest.raises(InfeasibleAllocationError):
+                improve_allocation(problem, everything)
+
+    def test_invalid_rounds(self):
+        problem = random_instance(5, 1, seed=0)
+        with pytest.raises(ConfigurationError):
+            improve_allocation(problem, Allocation.empty(5, 1), max_rounds=0)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_feasible_and_monotone(self, seed):
+        problem = random_instance(12, 2, seed=seed)
+        start = best_fit_greedy(problem)
+        improved = improve_allocation(problem, start)
+        assert improved.is_feasible(problem)
+        assert improved.objective(problem) >= start.objective(problem) - 1e-9

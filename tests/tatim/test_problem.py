@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.tatim.problem import TATIMProblem
+
+
+def make_problem(**overrides):
+    defaults = dict(
+        importance=np.array([0.5, 1.0, 0.2]),
+        times=np.array([1.0, 2.0, 0.5]),
+        resources=np.array([1.0, 1.0, 2.0]),
+        time_limit=3.0,
+        capacities=np.array([2.0, 3.0]),
+    )
+    defaults.update(overrides)
+    return TATIMProblem(**defaults)
+
+
+class TestValidation:
+    def test_valid_instance(self):
+        problem = make_problem()
+        assert problem.n_tasks == 3
+        assert problem.n_processors == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            make_problem(times=np.array([1.0]))
+
+    def test_negative_importance(self):
+        with pytest.raises(DataError):
+            make_problem(importance=np.array([-0.1, 0.5, 0.2]))
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(DataError):
+            make_problem(times=np.array([0.0, 1.0, 1.0]))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(DataError):
+            make_problem(capacities=np.array([0.0, 1.0]))
+
+    def test_bad_time_limit(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(time_limit=0.0)
+
+
+class TestHelpers:
+    def test_task_fits(self):
+        problem = make_problem()
+        assert problem.task_fits(0, 0)
+        # Resource equal to capacity fits exactly.
+        assert problem.task_fits(2, 0)
+        big = make_problem(resources=np.array([1.0, 1.0, 5.0]))
+        assert not big.task_fits(2, 0)
+
+    def test_density_prefers_light_valuable_tasks(self):
+        problem = make_problem()
+        density = problem.density()
+        # Task 1 has the highest importance but task 0 is lighter per unit.
+        assert density.shape == (3,)
+        assert np.all(density >= 0.0)
+
+    def test_upper_bound_at_least_any_feasible_objective(self):
+        from repro.tatim.exact import branch_and_bound
+
+        problem = make_problem()
+        optimal = branch_and_bound(problem)
+        assert problem.upper_bound() >= optimal.objective(problem) - 1e-9
+
+    def test_scaled_substitutes_importance(self):
+        problem = make_problem()
+        scaled = problem.scaled(importance=np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(scaled.importance, 1.0)
+        assert np.allclose(scaled.times, problem.times)

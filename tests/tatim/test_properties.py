@@ -1,0 +1,73 @@
+"""Property-based invariants of the TATIM solvers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.generators import random_instance
+from repro.tatim.greedy import best_fit_greedy, density_greedy, importance_greedy
+
+instances = st.builds(
+    random_instance,
+    n_tasks=st.integers(1, 14),
+    n_processors=st.integers(1, 3),
+    correlation=st.floats(0.0, 1.0),
+    tightness=st.floats(0.1, 1.0),
+    seed=st.integers(0, 10_000),
+)
+
+small_instances = st.builds(
+    random_instance,
+    n_tasks=st.integers(1, 9),
+    n_processors=st.integers(1, 2),
+    tightness=st.floats(0.2, 1.0),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestGreedyInvariants:
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_always_feasible(self, problem):
+        for solver in (density_greedy, importance_greedy, best_fit_greedy):
+            allocation = solver(problem)
+            assert allocation.is_feasible(problem)
+
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_objective_below_upper_bound(self, problem):
+        allocation = density_greedy(problem)
+        assert allocation.objective(problem) <= problem.upper_bound() + 1e-6
+
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_each_task_at_most_once(self, problem):
+        allocation = density_greedy(problem)
+        assert np.all(allocation.matrix.sum(axis=1) <= 1)
+
+
+class TestExactInvariants:
+    @given(small_instances)
+    @settings(max_examples=25, deadline=None)
+    def test_exact_dominates_all_greedies(self, problem):
+        optimal = branch_and_bound(problem).objective(problem)
+        for solver in (density_greedy, importance_greedy, best_fit_greedy):
+            assert optimal >= solver(problem).objective(problem) - 1e-9
+
+    @given(small_instances)
+    @settings(max_examples=25, deadline=None)
+    def test_exact_feasible_and_bounded(self, problem):
+        allocation = branch_and_bound(problem)
+        assert allocation.is_feasible(problem)
+        assert allocation.objective(problem) <= problem.upper_bound() + 1e-6
+
+    @given(small_instances)
+    @settings(max_examples=15, deadline=None)
+    def test_importance_scaling_invariance(self, problem):
+        """Scaling all importance by a constant scales the optimum."""
+        optimal = branch_and_bound(problem).objective(problem)
+        doubled = problem.scaled(importance=problem.importance * 2.0)
+        assert branch_and_bound(doubled).objective(doubled) == pytest.approx(
+            2.0 * optimal, rel=1e-9, abs=1e-9
+        )

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError, InfeasibleAllocationError
+from repro.tatim.problem import TATIMProblem
+from repro.tatim.solution import Allocation
+
+
+@pytest.fixture
+def problem():
+    return TATIMProblem(
+        importance=np.array([0.9, 0.5, 0.3]),
+        times=np.array([1.0, 1.0, 1.0]),
+        resources=np.array([1.0, 1.0, 1.0]),
+        time_limit=2.0,
+        capacities=np.array([2.0, 1.0]),
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        allocation = Allocation.empty(3, 2)
+        assert allocation.assigned_tasks().size == 0
+
+    def test_from_assignment(self):
+        allocation = Allocation.from_assignment({0: 1, 2: 0}, 3, 2)
+        assert allocation.processor_of(0) == 1
+        assert allocation.processor_of(1) is None
+        assert list(allocation.tasks_on(0)) == [2]
+
+    def test_out_of_range_task(self):
+        with pytest.raises(DataError):
+            Allocation.from_assignment({5: 0}, 3, 2)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(DataError):
+            Allocation(np.full((2, 2), 2))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataError):
+            Allocation(np.zeros(4))
+
+    def test_as_assignment_roundtrip(self):
+        mapping = {0: 1, 2: 0}
+        allocation = Allocation.from_assignment(mapping, 3, 2)
+        assert allocation.as_assignment() == mapping
+
+
+class TestFeasibility:
+    def test_objective(self, problem):
+        allocation = Allocation.from_assignment({0: 0, 1: 0}, 3, 2)
+        assert allocation.objective(problem) == pytest.approx(1.4)
+
+    def test_feasible_allocation(self, problem):
+        allocation = Allocation.from_assignment({0: 0, 1: 0, 2: 1}, 3, 2)
+        assert allocation.is_feasible(problem)
+        allocation.validate(problem)
+
+    def test_time_violation_detected(self, problem):
+        # 3 tasks of time 1.0 on processor 0 exceeds T=2.
+        allocation = Allocation.from_assignment({0: 0, 1: 0, 2: 0}, 3, 2)
+        violations = allocation.violations(problem)
+        assert any("Eq. 3" in v for v in violations)
+
+    def test_capacity_violation_detected(self, problem):
+        # Processor 1 capacity 1.0; two unit-resource tasks overflow it.
+        allocation = Allocation.from_assignment({0: 1, 1: 1}, 3, 2)
+        violations = allocation.violations(problem)
+        assert any("Eq. 4" in v for v in violations)
+
+    def test_double_assignment_detected(self, problem):
+        matrix = np.zeros((3, 2), dtype=int)
+        matrix[0, 0] = 1
+        matrix[0, 1] = 1
+        violations = Allocation(matrix).violations(problem)
+        assert any("Eq. 2" in v for v in violations)
+
+    def test_validate_raises(self, problem):
+        allocation = Allocation.from_assignment({0: 0, 1: 0, 2: 0}, 3, 2)
+        with pytest.raises(InfeasibleAllocationError):
+            allocation.validate(problem)
+
+    def test_shape_mismatch_rejected(self, problem):
+        with pytest.raises(DataError):
+            Allocation.empty(5, 2).objective(problem)

@@ -1,0 +1,136 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tatim.exact import branch_and_bound, single_knapsack_dp
+from repro.tatim.generators import longtail_instance, random_instance
+from repro.tatim.greedy import best_fit_greedy, density_greedy, importance_greedy
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("solver", [density_greedy, importance_greedy, best_fit_greedy])
+    def test_feasible_on_random_instances(self, solver):
+        for seed in range(5):
+            problem = random_instance(20, 3, seed=seed)
+            allocation = solver(problem)
+            assert allocation.is_feasible(problem), f"seed={seed}"
+
+    def test_density_greedy_selects_high_density_first(self):
+        problem = random_instance(30, 2, tightness=0.2, seed=1)
+        allocation = density_greedy(problem)
+        selected = set(allocation.assigned_tasks())
+        # The single highest-density task always fits first.
+        top = int(np.argmax(problem.density()))
+        assert top in selected
+
+    def test_importance_greedy_prefers_powerful_hosts(self):
+        problem = random_instance(4, 2, tightness=1.0, seed=2)
+        allocation = importance_greedy(problem)
+        top_task = int(np.argmax(problem.importance))
+        host = allocation.processor_of(top_task)
+        assert host == int(np.argmax(problem.capacities))
+
+    def test_greedy_handles_oversized_tasks(self):
+        """Tasks that fit nowhere are simply left out."""
+        problem = random_instance(10, 2, seed=3)
+        big = problem.scaled()
+        # Shrink capacities so some tasks cannot fit anywhere.
+        from repro.tatim.problem import TATIMProblem
+
+        tight = TATIMProblem(
+            importance=big.importance,
+            times=big.times,
+            resources=big.resources,
+            time_limit=float(big.times.min()) * 1.5,
+            capacities=np.full(2, float(big.resources.min()) * 1.5),
+        )
+        allocation = density_greedy(tight)
+        assert allocation.is_feasible(tight)
+
+
+class TestBranchAndBound:
+    def test_dominates_greedy(self):
+        for seed in range(4):
+            problem = random_instance(10, 2, seed=seed)
+            optimal = branch_and_bound(problem).objective(problem)
+            greedy = density_greedy(problem).objective(problem)
+            assert optimal >= greedy - 1e-9
+
+    def test_within_upper_bound(self):
+        problem = random_instance(12, 3, seed=9)
+        optimal = branch_and_bound(problem).objective(problem)
+        assert optimal <= problem.upper_bound() + 1e-9
+
+    def test_brute_force_agreement_tiny(self):
+        """Exhaustive check on a tiny instance: B&B is exactly optimal."""
+        from itertools import product
+
+        problem = random_instance(6, 2, seed=4)
+        best = 0.0
+        for assignment in product(range(problem.n_processors + 1), repeat=problem.n_tasks):
+            time_use = np.zeros(problem.n_processors)
+            resource_use = np.zeros(problem.n_processors)
+            value = 0.0
+            feasible = True
+            for task, slot in enumerate(assignment):
+                if slot == problem.n_processors:
+                    continue
+                time_use[slot] += problem.times[task]
+                resource_use[slot] += problem.resources[task]
+                value += problem.importance[task]
+                if time_use[slot] > problem.time_limit or resource_use[slot] > problem.capacities[slot]:
+                    feasible = False
+                    break
+            if feasible:
+                best = max(best, value)
+        assert branch_and_bound(problem).objective(problem) == pytest.approx(best)
+
+    def test_node_budget_enforced(self):
+        problem = random_instance(30, 4, seed=0)
+        with pytest.raises(ConfigurationError, match="nodes"):
+            branch_and_bound(problem, max_nodes=10)
+
+
+class TestSingleKnapsackDP:
+    def test_matches_branch_and_bound(self):
+        for seed in range(3):
+            problem = random_instance(10, 1, seed=seed)
+            dp = single_knapsack_dp(problem, resolution=600).objective(problem)
+            bb = branch_and_bound(problem).objective(problem)
+            # Ceiling rounding makes DP conservative but close.
+            assert dp <= bb + 1e-9
+            assert dp >= 0.9 * bb
+
+    def test_result_feasible(self):
+        problem = random_instance(15, 1, seed=7)
+        allocation = single_knapsack_dp(problem, resolution=300)
+        assert allocation.is_feasible(problem)
+
+    def test_multi_processor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_knapsack_dp(random_instance(5, 2, seed=0))
+
+
+class TestGenerators:
+    def test_random_instance_valid(self):
+        problem = random_instance(25, 4, correlation=0.5, seed=0)
+        assert problem.n_tasks == 25
+        assert problem.n_processors == 4
+
+    def test_every_task_fits_somewhere_time_wise(self):
+        problem = random_instance(25, 4, seed=1)
+        assert np.all(problem.times <= problem.time_limit)
+
+    def test_longtail_importance_concentrated(self):
+        from repro.utils.stats import gini_coefficient
+
+        problem = longtail_instance(60, 3, pareto_shape=0.8, seed=2)
+        assert gini_coefficient(problem.importance) > 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            random_instance(0, 1)
+        with pytest.raises(ConfigurationError):
+            random_instance(5, 1, correlation=2.0)
+        with pytest.raises(ConfigurationError):
+            longtail_instance(5, 1, pareto_shape=0.0)

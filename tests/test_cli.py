@@ -1,0 +1,61 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig9_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.tasks == 50
+        assert args.processors == [2, 4, 6, 8, 10]
+
+    def test_fig11_custom_bandwidths(self):
+        args = build_parser().parse_args(["fig11", "--bandwidths", "5", "15"])
+        assert args.bandwidths == [5.0, 15.0]
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_report_command_registered(self):
+        args = build_parser().parse_args(["report", "--days", "8"])
+        assert args.days == 8
+
+    def test_pipeline_command_registered(self):
+        args = build_parser().parse_args(["pipeline", "--episodes", "5"])
+        assert args.episodes == 5
+
+
+class TestExecution:
+    def test_longtail_runs(self, capsys):
+        code = main(["longtail", "--days", "10", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "80% of importance" in out
+        assert "Gini" in out
+
+    def test_fig11_tiny_run(self, capsys):
+        code = main(
+            [
+                "fig11",
+                "--tasks",
+                "10",
+                "--episodes",
+                "5",
+                "--history",
+                "8",
+                "--eval-epochs",
+                "1",
+                "--bandwidths",
+                "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DCTA" in out and "bandwidth_mbps" in out

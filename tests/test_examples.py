@@ -1,0 +1,36 @@
+"""Smoke checks on the example scripts: importable, documented, main()."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "chiller_aiops",
+            "edge_testbed_sweep",
+            "importance_analysis",
+            "online_adaptation",
+            "solver_showcase",
+            "capacity_planning",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_imports_cleanly_and_has_main(self, path):
+        module = _load(path)
+        assert module.__doc__ and "Run:" in module.__doc__ or "Run" in module.__doc__
+        assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"

@@ -1,0 +1,61 @@
+"""Public-API surface checks: exports resolve and are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.ml",
+    "repro.building",
+    "repro.transfer",
+    "repro.importance",
+    "repro.tatim",
+    "repro.rl",
+    "repro.allocation",
+    "repro.edgesim",
+    "repro.core",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestPublicSurface:
+    def test_all_names_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        assert hasattr(module, "__all__"), f"{package_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_module_docstring_present(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip(), package_name
+
+    def test_public_callables_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{package_name}: undocumented {undocumented}"
+
+
+class TestVersioning:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_errors_all_derive_from_repro_error(self):
+        import repro
+        from repro.errors import ReproError
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception) and obj is not ReproError:
+                assert issubclass(obj, ReproError), name

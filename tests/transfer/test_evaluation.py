@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.ml.linear import RidgeRegression
+from repro.transfer.evaluation import (
+    errors_by_scarcity,
+    holdout_errors,
+    split_tasks_chronological,
+)
+from repro.transfer.strategies import IndependentMTL
+
+
+class TestSplit:
+    def test_partition_sizes(self, small_dataset):
+        train, holdouts = split_tasks_chronological(small_dataset.tasks, holdout_fraction=0.3)
+        for original, trimmed in zip(small_dataset.tasks, train):
+            held_x, held_y = holdouts[original.task_id]
+            assert trimmed.n_samples + held_y.size == original.n_samples
+            assert held_y.size >= 1
+
+    def test_chronological_order_preserved(self, small_dataset):
+        task = max(small_dataset.tasks, key=lambda t: t.n_samples)
+        train, holdouts = split_tasks_chronological([task])
+        held_x, _ = holdouts[task.task_id]
+        # Train rows are the prefix, holdout rows the suffix.
+        assert np.array_equal(train[0].X, task.X[: train[0].n_samples])
+        assert np.array_equal(held_x, task.X[train[0].n_samples :])
+
+    def test_scarce_budget_caps_training(self, small_dataset):
+        train, _ = split_tasks_chronological(small_dataset.tasks, scarce_budget=3)
+        counts = sorted(t.n_samples for t in small_dataset.tasks)
+        threshold = counts[len(counts) // 4]
+        for original, trimmed in zip(small_dataset.tasks, train):
+            if original.n_samples <= threshold:
+                assert trimmed.n_samples <= 3
+
+    def test_invalid_fraction(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            split_tasks_chronological(small_dataset.tasks, holdout_fraction=1.0)
+
+    def test_empty_tasks(self):
+        with pytest.raises(DataError):
+            split_tasks_chronological([])
+
+
+class TestHoldoutErrors:
+    def test_errors_per_task(self, small_dataset):
+        train, holdouts = split_tasks_chronological(small_dataset.tasks)
+        model_set = IndependentMTL(RidgeRegression()).fit(train)
+        errors = holdout_errors(model_set, holdouts)
+        assert set(errors) == {t.task_id for t in small_dataset.tasks}
+        assert all(np.isfinite(v) and v >= 0 for v in errors.values())
+
+    def test_errors_reasonable_for_cop(self, small_dataset):
+        train, holdouts = split_tasks_chronological(small_dataset.tasks)
+        model_set = IndependentMTL(RidgeRegression()).fit(train)
+        errors = holdout_errors(model_set, holdouts)
+        assert float(np.median(list(errors.values()))) < 0.2
+
+    def test_missing_holdout_rejected(self, small_dataset):
+        train, holdouts = split_tasks_chronological(small_dataset.tasks)
+        model_set = IndependentMTL(RidgeRegression()).fit(train)
+        del holdouts[model_set.task_ids[0]]
+        with pytest.raises(DataError):
+            holdout_errors(model_set, holdouts)
+
+
+class TestErrorsByScarcity:
+    def test_two_buckets(self, small_dataset):
+        train, holdouts = split_tasks_chronological(small_dataset.tasks)
+        model_set = IndependentMTL(RidgeRegression()).fit(train)
+        scarce, rich = errors_by_scarcity(model_set, holdouts)
+        assert scarce >= 0 and rich >= 0

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.linear import RidgeRegression
+from repro.ml.mlp_regressor import MLPRegressor
+from repro.transfer.strategies import FineTunedMTL, IndependentMTL
+
+
+class TestFineTunedMTL:
+    def test_requires_warm_startable_base(self):
+        with pytest.raises(ConfigurationError, match="clone_for_finetuning"):
+            FineTunedMTL(RidgeRegression())
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ConfigurationError):
+            FineTunedMTL(MLPRegressor(), finetune_epochs=0)
+
+    def test_fits_all_tasks(self, small_dataset):
+        tasks = small_dataset.tasks[:8]
+        strategy = FineTunedMTL(
+            MLPRegressor(hidden_sizes=(16,), epochs=30, seed=0), finetune_epochs=10
+        )
+        model_set = strategy.fit(tasks)
+        assert len(model_set) == 8
+        assert all(task.is_fitted for task in model_set)
+
+    def test_models_are_independent_copies(self, small_dataset):
+        tasks = small_dataset.tasks[:4]
+        strategy = FineTunedMTL(
+            MLPRegressor(hidden_sizes=(8,), epochs=15, seed=0), finetune_epochs=5
+        )
+        model_set = strategy.fit(tasks)
+        networks = {id(model_set.get(t.task_id).model.network_) for t in tasks}
+        assert len(networks) == len(tasks)
+
+    def test_parameter_transfer_helps_scarce_tasks(self, small_dataset):
+        """Fine-tuning from the pooled model beats training from scratch on
+        the scarcest task."""
+        tasks = small_dataset.tasks
+        scarce = min(tasks, key=lambda t: t.n_samples)
+        fine_tuned = FineTunedMTL(
+            MLPRegressor(hidden_sizes=(16,), epochs=40, seed=0), finetune_epochs=15
+        ).fit(tasks)
+        independent = IndependentMTL(
+            MLPRegressor(hidden_sizes=(16,), epochs=15, seed=0)
+        ).fit(tasks)
+        X, y = scarce.X, scarce.y
+        error_ft = float(np.mean(np.abs(fine_tuned.get(scarce.task_id).predict(X) - y)))
+        error_ind = float(np.mean(np.abs(independent.get(scarce.task_id).predict(X) - y)))
+        # Transfer should not be catastrophically worse; usually better.
+        assert error_ft < error_ind * 1.5

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transfer.registry import (
+    available_base_models,
+    available_strategies,
+    make_base_model,
+    make_strategy,
+)
+from repro.transfer.strategies import ClusteredMTL, IndependentMTL, SelfAdaptedMTL
+
+
+class TestRegistry:
+    def test_strategy_names(self):
+        assert set(available_strategies()) == {
+            "independent",
+            "self_adapted",
+            "clustered",
+            "fine_tuned",
+        }
+
+    def test_base_model_names(self):
+        assert {
+            "svm",
+            "adaboost",
+            "random_forest",
+            "ridge",
+            "gradient_boosting",
+            "mlp",
+        } <= set(available_base_models())
+
+    def test_make_strategy_types(self):
+        assert isinstance(make_strategy("independent"), IndependentMTL)
+        assert isinstance(make_strategy("self_adapted"), SelfAdaptedMTL)
+        assert isinstance(make_strategy("clustered"), ClusteredMTL)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            make_strategy("bogus")
+
+    def test_unknown_base_model(self):
+        with pytest.raises(ConfigurationError, match="unknown base model"):
+            make_base_model("bogus")
+
+    def test_full_grid_instantiates(self):
+        for strategy in available_strategies():
+            for base in available_base_models():
+                if strategy == "fine_tuned" and base != "mlp":
+                    # Parameter transfer needs a warm-startable model.
+                    with pytest.raises(ConfigurationError):
+                        make_strategy(strategy, base)
+                else:
+                    assert make_strategy(strategy, base) is not None
+
+    def test_grid_fits_on_small_tasks(self, small_dataset):
+        """Every strategy trains end to end on a compatible base model."""
+        tasks = small_dataset.tasks[:6]
+        for strategy_name in available_strategies():
+            bases = ("mlp",) if strategy_name == "fine_tuned" else ("svm", "ridge")
+            for base in bases:
+                model_set = make_strategy(strategy_name, base, seed=0).fit(tasks)
+                assert len(model_set) == len(tasks)

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.ml.linear import RidgeRegression
+from repro.transfer.strategies import ClusteredMTL, IndependentMTL, SelfAdaptedMTL
+
+
+class TestIndependentMTL:
+    def test_every_task_fitted(self, small_dataset):
+        model_set = IndependentMTL(RidgeRegression()).fit(small_dataset.tasks)
+        assert len(model_set) == small_dataset.n_tasks
+        assert all(task.is_fitted for task in model_set)
+
+    def test_models_are_distinct_objects(self, small_dataset):
+        model_set = IndependentMTL(RidgeRegression()).fit(small_dataset.tasks)
+        models = [task.model for task in model_set]
+        assert len({id(m) for m in models}) == len(models)
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(DataError):
+            IndependentMTL(RidgeRegression()).fit([])
+
+
+class TestSelfAdaptedMTL:
+    def test_fits_all_tasks(self, small_dataset):
+        model_set = SelfAdaptedMTL(RidgeRegression(), n_donors=2).fit(small_dataset.tasks)
+        assert len(model_set) == small_dataset.n_tasks
+
+    def test_transfer_helps_scarce_tasks(self, small_dataset):
+        """Tasks with few samples should predict better with donated data."""
+        tasks = small_dataset.tasks
+        scarce = min(tasks, key=lambda t: t.n_samples)
+        independent = IndependentMTL(RidgeRegression()).fit(tasks)
+        adapted = SelfAdaptedMTL(RidgeRegression(), n_donors=3).fit(tasks)
+        # Evaluate on the scarce task's own true COP values (no sensor noise
+        # proxy available, so compare residual magnitudes).
+        X, y = scarce.X, scarce.y
+        err_independent = np.mean(
+            np.abs(independent.get(scarce.task_id).predict(X) - y)
+        )
+        err_adapted = np.mean(np.abs(adapted.get(scarce.task_id).predict(X) - y))
+        # Transfer should not catastrophically hurt; allow a small tolerance.
+        assert err_adapted < err_independent * 2.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SelfAdaptedMTL(RidgeRegression(), n_donors=0)
+        with pytest.raises(ConfigurationError):
+            SelfAdaptedMTL(RidgeRegression(), transfer_ratio=0.0)
+
+
+class TestClusteredMTL:
+    def test_fits_all_tasks(self, small_dataset):
+        model_set = ClusteredMTL(RidgeRegression(), n_clusters=4).fit(small_dataset.tasks)
+        assert len(model_set) == small_dataset.n_tasks
+
+    def test_tasks_share_cluster_models(self, small_dataset):
+        model_set = ClusteredMTL(RidgeRegression(), n_clusters=3).fit(small_dataset.tasks)
+        distinct_models = {id(task.model) for task in model_set}
+        assert len(distinct_models) <= 3
+
+    def test_single_cluster_shares_one_model(self, small_dataset):
+        model_set = ClusteredMTL(RidgeRegression(), n_clusters=1).fit(small_dataset.tasks)
+        assert len({id(task.model) for task in model_set}) == 1
+
+    def test_more_clusters_than_tasks_clamped(self, small_dataset):
+        tasks = small_dataset.tasks[:2]
+        model_set = ClusteredMTL(RidgeRegression(), n_clusters=50).fit(tasks)
+        assert len(model_set) == 2
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredMTL(RidgeRegression(), n_clusters=0)
+
+
+class TestPredictionQuality:
+    def test_all_strategies_predict_cop_reasonably(self, small_dataset):
+        """COP predictions should land in the physical range with small error."""
+        for strategy in (
+            IndependentMTL(RidgeRegression()),
+            SelfAdaptedMTL(RidgeRegression()),
+            ClusteredMTL(RidgeRegression(), n_clusters=4),
+        ):
+            model_set = strategy.fit(small_dataset.tasks)
+            errors = []
+            for task in model_set:
+                predictions = task.predict(task.data.X)
+                errors.append(np.mean(np.abs(predictions - task.data.y) / task.data.y))
+            assert np.mean(errors) < 0.15, type(strategy).__name__

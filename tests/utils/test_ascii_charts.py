@@ -1,0 +1,69 @@
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.ascii_charts import SERIES_GLYPHS, bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart(["x", "y"], [0.0, 1.0])
+        assert chart.splitlines()[0].count("█") == 0
+
+    def test_title_and_unit(self):
+        chart = bar_chart(["m"], [3.0], title="T", unit="s")
+        assert chart.splitlines()[0] == "T"
+        assert "3s" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DataError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            bar_chart(["a"], [-1.0])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0], width=2)
+
+
+class TestLineChart:
+    def test_renders_all_series_glyphs(self):
+        chart = line_chart(
+            [1, 2, 3],
+            {"RM": [10.0, 8.0, 6.0], "DCTA": [4.0, 3.0, 2.0]},
+        )
+        assert SERIES_GLYPHS[0] in chart
+        assert SERIES_GLYPHS[1] in chart
+        assert "RM" in chart and "DCTA" in chart
+
+    def test_axis_labels_present(self):
+        chart = line_chart([0, 10], {"s": [1.0, 5.0]})
+        assert "5" in chart and "1" in chart  # y extremes
+        assert "10" in chart  # x extreme
+
+    def test_constant_series_ok(self):
+        chart = line_chart([0, 1], {"flat": [2.0, 2.0]})
+        assert SERIES_GLYPHS[0] in chart
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(DataError):
+            line_chart([1], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(DataError):
+            line_chart([1, 2], {})
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"s": [1.0, 2.0]}, height=2)

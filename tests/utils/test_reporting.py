@@ -1,0 +1,36 @@
+import pytest
+
+from repro.utils.reporting import format_table, speedup_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.14159]])
+        assert "a" in text and "b" in text
+        assert "3.142" in text  # 4 significant digits
+        assert "x" in text
+
+    def test_title_rendered_first(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+
+class TestSpeedupTable:
+    def test_ratios_computed_against_reference(self):
+        text = speedup_table(
+            "M", [2, 4], {"RM": [10.0, 8.0], "DCTA": [5.0, 2.0]}, reference="DCTA"
+        )
+        assert "RM/DCTA" in text
+        assert "2" in text and "4" in text
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError, match="reference"):
+            speedup_table("M", [1], {"RM": [1.0]}, reference="DCTA")

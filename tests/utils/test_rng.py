@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passes_through_unchanged(self):
+        generator = np.random.default_rng(7)
+        assert as_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count_and_type(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic_given_seed(self):
+        first = [c.random() for c in spawn_rngs(3, 3)]
+        second = [c.random() for c in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.ml.neural import MLP
+from repro.rl.crl import EnvironmentStore
+from repro.utils.serialization import (
+    load_environment_store,
+    load_mlp,
+    save_environment_store,
+    save_mlp,
+)
+
+
+class TestMLPRoundtrip:
+    def test_outputs_identical_after_roundtrip(self, tmp_path, rng):
+        network = MLP((4, 16, 3), seed=0)
+        X = rng.normal(size=(10, 4))
+        for _ in range(20):
+            network.train_batch(X, rng.normal(size=(10, 3)))
+        path = tmp_path / "qnet.npz"
+        save_mlp(network, path)
+        restored = load_mlp(path)
+        assert restored.layer_sizes == network.layer_sizes
+        assert np.allclose(restored.forward(X), network.forward(X))
+
+    def test_activation_preserved(self, tmp_path):
+        network = MLP((2, 4, 1), activation="tanh", seed=0)
+        path = tmp_path / "net.npz"
+        save_mlp(network, path)
+        assert load_mlp(path).activation == "tanh"
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(DataError):
+            load_mlp(path)
+
+    def test_restored_network_is_trainable(self, tmp_path, rng):
+        network = MLP((2, 8, 1), seed=0)
+        path = tmp_path / "net.npz"
+        save_mlp(network, path)
+        restored = load_mlp(path, learning_rate=1e-2)
+        X = rng.normal(size=(50, 2))
+        y = (X @ np.array([1.0, -1.0])).reshape(-1, 1)
+        first = restored.train_batch(X, y)
+        for _ in range(200):
+            last = restored.train_batch(X, y)
+        assert last < first
+
+
+class TestStoreRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        store = EnvironmentStore()
+        for _ in range(5):
+            store.add(rng.normal(size=3), rng.random(7))
+        path = tmp_path / "store.npz"
+        save_environment_store(store, path)
+        restored = load_environment_store(path)
+        assert len(restored) == 5
+        assert np.allclose(restored.sensing_matrix, store.sensing_matrix)
+        assert np.allclose(restored.importance_matrix, store.importance_matrix)
+
+    def test_empty_store_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            save_environment_store(EnvironmentStore(), tmp_path / "empty.npz")
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, unrelated=np.ones(2))
+        with pytest.raises(DataError):
+            load_environment_store(path)
+
+    def test_knn_works_after_restore(self, tmp_path, rng):
+        store = EnvironmentStore()
+        for i in range(6):
+            store.add(np.full(3, float(i)), np.full(4, float(i)))
+        path = tmp_path / "store.npz"
+        save_environment_store(store, path)
+        restored = load_environment_store(path)
+        estimate = restored.knn_importance(np.full(3, 5.0), k=1)
+        assert np.allclose(estimate, 5.0)

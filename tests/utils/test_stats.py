@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    contribution_curve,
+    gini_coefficient,
+    rolling_mean,
+    summarize,
+    top_share,
+)
+
+nonneg_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_as_dict_keys(self):
+        assert set(summarize([1.0]).as_dict()) == {"count", "mean", "std", "min", "max"}
+
+
+class TestContributionCurve:
+    def test_monotone_and_ends_at_one(self):
+        curve = contribution_curve([5.0, 1.0, 3.0])
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_first_entry_is_largest_share(self):
+        curve = contribution_curve([8.0, 1.0, 1.0])
+        assert curve[0] == pytest.approx(0.8)
+
+    def test_all_zero_returns_zeros(self):
+        assert np.all(contribution_curve([0.0, 0.0]) == 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            contribution_curve([-1.0, 2.0])
+
+    @given(nonneg_arrays)
+    def test_property_monotone_nondecreasing(self, values):
+        curve = contribution_curve(values)
+        assert np.all(np.diff(curve) >= -1e-9)
+        assert np.all(curve <= 1.0 + 1e-9)
+
+
+class TestTopShare:
+    def test_full_fraction_is_one(self):
+        assert top_share([1.0, 2.0, 3.0], 1.0) == pytest.approx(1.0)
+
+    def test_concentrated_distribution(self):
+        values = [100.0] + [1.0] * 9
+        assert top_share(values, 0.1) == pytest.approx(100.0 / 109.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1.0], 0.0)
+
+
+class TestGini:
+    def test_equal_values_give_zero(self):
+        assert gini_coefficient([2.0, 2.0, 2.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_gives_high_gini(self):
+        assert gini_coefficient([0.0] * 99 + [1.0]) > 0.9
+
+    def test_all_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    @given(nonneg_arrays)
+    def test_property_bounded(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g <= 1.0
+
+
+class TestRollingMean:
+    def test_window_one_is_identity(self):
+        values = [1.0, 5.0, 2.0]
+        assert np.allclose(rolling_mean(values, 1), values)
+
+    def test_warmup_averages_prefix(self):
+        out = rolling_mean([2.0, 4.0, 6.0], 3)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(3.0)
+        assert out[2] == pytest.approx(4.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean([1.0], 0)

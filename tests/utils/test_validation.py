@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError, NotFittedError
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        out = check_array([1, 2, 3])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == float
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(DataError, match="2-dimensional"):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(DataError, match="empty"):
+            check_array([])
+
+    def test_allows_empty_when_requested(self):
+        assert check_array([], allow_empty=True).size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="NaN"):
+            check_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError):
+            check_array([np.inf])
+
+    def test_name_in_message(self):
+        with pytest.raises(DataError, match="weights"):
+            check_array([], name="weights")
+
+
+class TestCheckSameLength:
+    def test_passes_on_equal(self):
+        check_same_length([1, 2], [3, 4])
+
+    def test_fails_on_mismatch(self):
+        with pytest.raises(DataError, match="same length"):
+            check_same_length([1], [2, 3])
+
+
+class TestScalarChecks:
+    def test_positive_strict(self):
+        assert check_positive(2, name="x") == 2.0
+        with pytest.raises(ConfigurationError):
+            check_positive(0, name="x")
+
+    def test_positive_nonstrict_allows_zero(self):
+        assert check_positive(0, name="x", strict=False) == 0.0
+        with pytest.raises(ConfigurationError):
+            check_positive(-1, name="x", strict=False)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, name="p")
+
+
+class TestCheckFitted:
+    def test_raises_when_attribute_missing_or_none(self):
+        class Model:
+            coef_ = None
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Model(), "coef_")
+
+    def test_passes_when_set(self):
+        class Model:
+            coef_ = np.ones(2)
+
+        check_fitted(Model(), "coef_")
