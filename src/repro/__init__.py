@@ -16,10 +16,22 @@ The package implements the paper's full stack:
 - :mod:`repro.allocation` — RM / DML / CRL / DCTA allocator policies.
 - :mod:`repro.edgesim` — discrete-event edge testbed simulator (Fig. 8).
 - :mod:`repro.core` — the DCTASystem facade and experiment runner.
+
+The common entry points are re-exported here, so a typical session is::
+
+    import repro
+
+    dataset = repro.BuildingOperationDataset(
+        repro.BuildingOperationConfig(n_days=30, seed=7)
+    ).generate()
+    model_set = repro.make_strategy("clustered", "ridge", seed=0).fit(dataset.tasks)
+    system = repro.DCTASystem(repro.DCTASystemConfig()).build()
 """
 
 __version__ = "1.0.0"
 
+from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+from repro.core.dcta_system import DCTASystem, DCTASystemConfig
 from repro.errors import (
     ConfigurationError,
     DataError,
@@ -30,9 +42,17 @@ from repro.errors import (
     SimulationError,
     TrainingError,
 )
+from repro.tatim.generators import random_instance
+from repro.transfer.registry import make_strategy
 
 __all__ = [
     "__version__",
+    "BuildingOperationConfig",
+    "BuildingOperationDataset",
+    "DCTASystem",
+    "DCTASystemConfig",
+    "make_strategy",
+    "random_instance",
     "ReproError",
     "ConfigurationError",
     "NotFittedError",

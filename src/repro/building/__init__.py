@@ -1,0 +1,69 @@
+"""Synthetic green-building chiller-plant substrate.
+
+Stands in for the proprietary dataset of the paper's reference [22]
+(3 buildings, 4 years of operation, ~50 learning tasks). The package
+covers the full physical story the pipeline needs:
+
+- :mod:`~repro.building.chiller` — machines, COP physics, plants;
+- :mod:`~repro.building.weather` — the seasonal/diurnal weather process;
+- :mod:`~repro.building.dataset` — load simulation, operator replay,
+  telemetry, and task extraction (:class:`TaskData`);
+- :mod:`~repro.building.sequencing` — the decision function D(·) and the
+  decision quality H = 1 − |D − D(θ)|/D;
+- :mod:`~repro.building.features` — the Table I feature matrices;
+- :mod:`~repro.building.corruption` — sensing-data-loss injection.
+"""
+
+from repro.building.chiller import (
+    CHILLER_MODEL_TYPES,
+    Chiller,
+    ChillerModelType,
+    ChillerPlant,
+)
+from repro.building.corruption import (
+    CorruptionConfig,
+    TelemetryCorruptor,
+    corruption_rate,
+    drop_incomplete_rows,
+)
+from repro.building.dataset import (
+    TASK_FEATURE_COLUMNS,
+    BuildingOperationConfig,
+    BuildingOperationDataset,
+    TaskData,
+    TelemetryRecord,
+)
+from repro.building.features import TaskEpochFeatures, feature_names
+from repro.building.sequencing import (
+    SequencingDecision,
+    decision_performance,
+    evaluate_power,
+    ideal_power,
+    sequence_chillers,
+)
+from repro.building.weather import WeatherSeries, simulate_weather
+
+__all__ = [
+    "BuildingOperationConfig",
+    "BuildingOperationDataset",
+    "TaskData",
+    "TelemetryRecord",
+    "TASK_FEATURE_COLUMNS",
+    "Chiller",
+    "ChillerModelType",
+    "ChillerPlant",
+    "CHILLER_MODEL_TYPES",
+    "WeatherSeries",
+    "simulate_weather",
+    "SequencingDecision",
+    "sequence_chillers",
+    "evaluate_power",
+    "ideal_power",
+    "decision_performance",
+    "TaskEpochFeatures",
+    "feature_names",
+    "CorruptionConfig",
+    "TelemetryCorruptor",
+    "corruption_rate",
+    "drop_incomplete_rows",
+]

@@ -1,0 +1,131 @@
+"""Chiller machines and their COP physics.
+
+The proprietary dataset of [22] covers water-cooled chillers whose
+coefficient of performance (COP = cooling output / electrical input)
+depends on the part-load ratio (PLR), the outdoor wet-bulb conditions,
+and the individual machine (model type, age, unit-to-unit bias). This
+module provides the synthetic substitute: a small catalog of model types
+with part-load COP curves, and :class:`Chiller` instances whose *true*
+COP deviates from the catalog rating — the deviation is exactly what the
+transfer-learning tasks must learn, and what the nameplate fallback of
+:func:`repro.transfer.decision.nameplate_cop` gets wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Outdoor temperature (°C) at which the catalog COP is quoted.
+REFERENCE_TEMP = 20.0
+
+#: Physical floor below which no chiller COP can fall.
+COP_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class ChillerModelType:
+    """Catalog entry for one chiller product line.
+
+    Attributes
+    ----------
+    name:
+        Product-line label.
+    rated_cop:
+        Catalog COP at the optimum PLR and :data:`REFERENCE_TEMP` — the
+        only number a no-model operator knows (the nameplate estimate).
+    rated_capacity_kw:
+        Nominal cooling capacity in kW.
+    plr_optimum:
+        Part-load ratio at which the COP curve peaks.
+    curvature:
+        Quadratic COP penalty for operating away from ``plr_optimum``.
+    temp_coefficient:
+        Fractional COP loss per °C of outdoor temperature above
+        :data:`REFERENCE_TEMP`.
+    """
+
+    name: str
+    rated_cop: float
+    rated_capacity_kw: float
+    plr_optimum: float
+    curvature: float
+    temp_coefficient: float
+
+
+#: The three product lines used by the synthetic plants (centrifugal,
+#: screw, and scroll machines, in descending size/efficiency).
+CHILLER_MODEL_TYPES: tuple[ChillerModelType, ...] = (
+    ChillerModelType("centrifugal-1200", 6.2, 1200.0, 0.78, 0.9, 0.012),
+    ChillerModelType("screw-700", 5.1, 700.0, 0.72, 0.7, 0.010),
+    ChillerModelType("scroll-400", 4.2, 400.0, 0.65, 0.5, 0.008),
+)
+
+#: Fractional COP loss per year of service (fouling, refrigerant drift).
+DEGRADATION_PER_YEAR = 0.012
+
+
+@dataclass(frozen=True)
+class Chiller:
+    """One installed machine with its true (hidden) efficiency state.
+
+    The true COP differs from the catalog rating through age degradation
+    and a unit-specific bias; neither is visible to an operator without a
+    data-driven model, which is what makes the per-chiller learning tasks
+    valuable (and droppable tasks costly).
+
+    Attributes
+    ----------
+    building_id:
+        Index of the owning building.
+    chiller_id:
+        Globally unique machine id (unique across buildings, so that
+        per-machine analyses such as Figs. 4-5 never alias machines).
+    model_type:
+        Catalog entry.
+    capacity_kw:
+        Installed cooling capacity (may deviate from the catalog nominal).
+    age_years:
+        Years in service; drives efficiency degradation.
+    unit_bias:
+        Unit-to-unit fractional COP offset (manufacturing spread,
+        installation quality); positive means better than catalog.
+    """
+
+    building_id: int
+    chiller_id: int
+    model_type: ChillerModelType
+    capacity_kw: float
+    age_years: float
+    unit_bias: float
+
+    def cop(self, plr, outdoor_temp):
+        """True COP at a part-load ratio and outdoor temperature.
+
+        Accepts scalars or numpy arrays (broadcast elementwise). The value
+        is floored at :data:`COP_FLOOR`.
+        """
+        spec = self.model_type
+        part_load = 1.0 - spec.curvature * (plr - spec.plr_optimum) ** 2
+        weather = 1.0 - spec.temp_coefficient * (outdoor_temp - REFERENCE_TEMP)
+        condition = (1.0 - DEGRADATION_PER_YEAR * self.age_years) * (1.0 + self.unit_bias)
+        return np.maximum(spec.rated_cop * part_load * weather * condition, COP_FLOOR)
+
+    def power_kw(self, load_kw, outdoor_temp):
+        """Electrical power drawn to serve ``load_kw`` of cooling."""
+        plr = load_kw / self.capacity_kw
+        return load_kw / self.cop(plr, outdoor_temp)
+
+
+@dataclass(frozen=True)
+class ChillerPlant:
+    """One building's chiller plant (the machines sequenced together)."""
+
+    building_id: int
+    chillers: tuple[Chiller, ...]
+
+    @property
+    def total_capacity_kw(self) -> float:
+        """Summed installed cooling capacity of the plant."""
+        return float(sum(chiller.capacity_kw for chiller in self.chillers))

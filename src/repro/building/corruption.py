@@ -1,0 +1,89 @@
+"""Sensing-data-loss injection for unstable edge devices.
+
+The paper motivates data-driven allocation partly with "unstable sensing
+devices" whose telemetry arrives incomplete. This module injects that
+failure mode into feature matrices: independent per-entry dropouts
+(flaky sensors) plus whole-row outages (a device offline for the hour),
+both reproducible from a seed. Downstream robustness studies measure how
+task training and decision quality degrade as the loss rate rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    """Data-loss process parameters.
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability that any single sensor reading is lost (per entry).
+    outage_rate:
+        Probability that an entire telemetry row is lost (device offline).
+    seed:
+        Seed of the loss process (independent of the dataset seed).
+    """
+
+    drop_rate: float = 0.1
+    outage_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ConfigurationError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}"
+            )
+        if not 0.0 <= self.outage_rate < 1.0:
+            raise ConfigurationError(
+                f"outage_rate must be in [0, 1), got {self.outage_rate}"
+            )
+
+
+class TelemetryCorruptor:
+    """Applies the configured loss process to feature matrices.
+
+    Lost readings become NaN; callers either impute them or drop the rows,
+    mirroring the choices an edge pipeline has when sensors misbehave.
+    """
+
+    def __init__(self, config: CorruptionConfig | None = None) -> None:
+        self.config = config if config is not None else CorruptionConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def corrupt(self, X: np.ndarray) -> np.ndarray:
+        """A copy of ``X`` with sensor dropouts and device outages as NaN."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataError(f"expected a 2-D feature matrix, got shape {X.shape}")
+        corrupted = X.copy()
+        if self.config.drop_rate > 0.0:
+            corrupted[self._rng.random(X.shape) < self.config.drop_rate] = np.nan
+        if self.config.outage_rate > 0.0:
+            rows = self._rng.random(X.shape[0]) < self.config.outage_rate
+            corrupted[rows, :] = np.nan
+        return corrupted
+
+
+def corruption_rate(X: np.ndarray) -> float:
+    """Fraction of entries lost (NaN) in a possibly-corrupted matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.size == 0:
+        raise DataError("cannot compute a corruption rate on an empty matrix")
+    return float(np.isnan(X).mean())
+
+
+def drop_incomplete_rows(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Remove samples with any lost reading (the simplest recovery policy)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if X.ndim != 2 or X.shape[0] != y.size:
+        raise DataError("X must be 2-D with one label per row")
+    keep = ~np.isnan(X).any(axis=1)
+    return X[keep], y[keep]

@@ -1,0 +1,117 @@
+"""Table I feature vectors for the local process.
+
+The paper's local SVM scores each task per decision epoch from two
+*general* features (Past Success, Prediction Accuracy — properties of the
+task's history in the allocation loop) plus eight *domain* features
+(weather and plant telemetry summaries of the epoch). This module
+assembles those (n_tasks, 10) matrices from a generated
+:class:`~repro.building.dataset.BuildingOperationDataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.building.dataset import (
+    DESIGN_DELTA_T,
+    WATER_SPECIFIC_HEAT,
+    BuildingOperationDataset,
+)
+from repro.errors import DataError
+
+#: The two general features (Table I, left column) — always first.
+GENERAL_FEATURES: tuple[str, ...] = ("past_success", "prediction_accuracy")
+
+#: The eight domain features (Table I, right column).
+DOMAIN_FEATURES: tuple[str, ...] = (
+    "outdoor_temperature",
+    "relative_humidity",
+    "weather_condition",
+    "cooling_load",
+    "part_load_ratio",
+    "chiller_cop",
+    "operating_hours",
+    "chilled_water_flow",
+)
+
+
+def feature_names() -> list[str]:
+    """Table I feature names, general features first then domain features."""
+    return list(GENERAL_FEATURES + DOMAIN_FEATURES)
+
+
+class TaskEpochFeatures:
+    """Per-(task, epoch) Table I feature matrices.
+
+    Static task attributes are precomputed once; per-day columns come from
+    the building's weather/load history and from how many hours the task's
+    (chiller, band) cell actually operated that day — the usage signal that
+    makes importance learnable.
+    """
+
+    def __init__(self, dataset: BuildingOperationDataset) -> None:
+        if not dataset.tasks:
+            raise DataError("dataset has no tasks; generate() it first")
+        self.dataset = dataset
+        self._n_tasks = dataset.n_tasks
+        self._buildings = np.array([task.building_id for task in dataset.tasks])
+        self._band_mid = np.array(
+            [0.5 * (task.band[0] + task.band[1]) for task in dataset.tasks]
+        )
+        self._mean_cop = np.array([float(task.y.mean()) for task in dataset.tasks])
+        capacities = []
+        for task in dataset.tasks:
+            plant = dataset.plants[task.building_id]
+            chiller = next(
+                c for c in plant.chillers if c.chiller_id == task.chiller_id
+            )
+            capacities.append(chiller.capacity_kw)
+        self._flow = self._band_mid * np.array(capacities) / (
+            WATER_SPECIFIC_HEAT * DESIGN_DELTA_T
+        )
+        # operating_hours[(task_index, day)] from the telemetry log.
+        cell_to_task = {
+            (task.chiller_id, task.band_index): i
+            for i, task in enumerate(dataset.tasks)
+        }
+        self._hours = np.zeros((dataset.config.n_days, self._n_tasks))
+        for records in dataset.telemetry:
+            for record in records:
+                index = cell_to_task.get((record.chiller_id, record.band_index))
+                if index is not None:
+                    self._hours[record.day, index] += 1.0
+
+    # ------------------------------------------------------------------
+    def features_for_day(
+        self, day: int, past_success: np.ndarray, prediction_accuracy: np.ndarray
+    ) -> np.ndarray:
+        """(n_tasks, 10) Table I matrix for one decision epoch.
+
+        ``past_success`` and ``prediction_accuracy`` are the caller-tracked
+        general features (per task, in ``dataset.tasks`` order).
+        """
+        if not 0 <= day < self.dataset.config.n_days:
+            raise DataError(f"day {day} outside the generated horizon")
+        past_success = np.asarray(past_success, dtype=float).ravel()
+        prediction_accuracy = np.asarray(prediction_accuracy, dtype=float).ravel()
+        if past_success.size != self._n_tasks or prediction_accuracy.size != self._n_tasks:
+            raise DataError(
+                "past_success and prediction_accuracy must have one entry per task"
+            )
+        matrix = np.empty((self._n_tasks, len(GENERAL_FEATURES) + len(DOMAIN_FEATURES)))
+        matrix[:, 0] = past_success
+        matrix[:, 1] = prediction_accuracy
+        for building in range(len(self.dataset.plants)):
+            mask = self._buildings == building
+            if not np.any(mask):
+                continue
+            summary = self.dataset.scenario_summary_for_day(building, day)
+            matrix[mask, 2] = summary[2]  # mean outdoor temperature
+            matrix[mask, 3] = summary[4]  # mean relative humidity
+            matrix[mask, 4] = summary[5]  # condition code
+            matrix[mask, 5] = summary[0]  # mean cooling load (MW)
+        matrix[:, 6] = self._band_mid
+        matrix[:, 7] = self._mean_cop
+        matrix[:, 8] = self._hours[day]
+        matrix[:, 9] = self._flow
+        return matrix

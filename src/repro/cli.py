@@ -67,13 +67,14 @@ def _command_fig11(args: argparse.Namespace) -> int:
 
 
 def _command_longtail(args: argparse.Namespace) -> int:
-    from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+    from repro import BuildingOperationConfig, BuildingOperationDataset, make_strategy
     from repro.importance.importance import importance_profile
     from repro.importance.longtail import long_tail_stats
-    from repro.transfer.registry import make_strategy
 
     dataset = BuildingOperationDataset(
-        BuildingOperationConfig(n_days=args.days, seed=args.seed)
+        BuildingOperationConfig(
+            n_days=args.days, n_buildings=args.n_buildings, seed=args.seed
+        )
     ).generate()
     model_set = make_strategy("clustered", "ridge", seed=args.seed).fit(dataset.tasks)
     days = dataset.days[5 : 5 + min(15, dataset.days.size - 5)]
@@ -87,12 +88,13 @@ def _command_longtail(args: argparse.Namespace) -> int:
 
 
 def _command_pipeline(args: argparse.Namespace) -> int:
-    from repro.building.dataset import BuildingOperationConfig
-    from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+    from repro import BuildingOperationConfig, DCTASystem, DCTASystemConfig
 
     system = DCTASystem(
         DCTASystemConfig(
-            building=BuildingOperationConfig(n_days=args.days, seed=args.seed),
+            building=BuildingOperationConfig(
+                n_days=args.days, n_buildings=args.n_buildings, seed=args.seed
+            ),
             crl_episodes=args.episodes,
             seed=args.seed,
         )
@@ -146,7 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig11.set_defaults(handler=_command_fig11)
 
     longtail = commands.add_parser("longtail", help="Fig. 2 long-tail statistics")
-    longtail.add_argument("--days", type=int, default=40)
+    # --n-days / --n-buildings mirror the BuildingOperationConfig field
+    # names exactly; --days stays as the historical short spelling.
+    longtail.add_argument("--days", "--n-days", type=int, default=40, dest="days")
+    longtail.add_argument("--n-buildings", type=int, default=3, dest="n_buildings")
     longtail.add_argument("--seed", type=int, default=0)
     longtail.set_defaults(handler=_command_longtail)
 
@@ -157,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(handler=_command_report)
 
     pipeline = commands.add_parser("pipeline", help="full building-pipeline DCTA run")
-    pipeline.add_argument("--days", type=int, default=25)
+    pipeline.add_argument("--days", "--n-days", type=int, default=25, dest="days")
+    pipeline.add_argument("--n-buildings", type=int, default=3, dest="n_buildings")
     pipeline.add_argument("--episodes", type=int, default=30)
     pipeline.add_argument("--seed", type=int, default=0)
     pipeline.set_defaults(handler=_command_pipeline)

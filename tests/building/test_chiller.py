@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.building.chiller import (
+    CHILLER_MODEL_TYPES,
+    COP_FLOOR,
+    REFERENCE_TEMP,
+    Chiller,
+    ChillerPlant,
+)
+
+
+def _chiller(age=0.0, bias=0.0, spec=CHILLER_MODEL_TYPES[0]):
+    return Chiller(
+        building_id=0,
+        chiller_id=0,
+        model_type=spec,
+        capacity_kw=spec.rated_capacity_kw,
+        age_years=age,
+        unit_bias=bias,
+    )
+
+
+class TestCop:
+    def test_rated_at_reference_conditions(self):
+        chiller = _chiller()
+        spec = chiller.model_type
+        assert chiller.cop(spec.plr_optimum, REFERENCE_TEMP) == pytest.approx(
+            spec.rated_cop
+        )
+
+    def test_peaks_at_plr_optimum(self):
+        chiller = _chiller()
+        optimum = chiller.model_type.plr_optimum
+        at_peak = chiller.cop(optimum, 25.0)
+        assert at_peak > chiller.cop(optimum - 0.3, 25.0)
+        assert at_peak > chiller.cop(min(optimum + 0.2, 1.0), 25.0)
+
+    def test_hot_weather_hurts(self):
+        chiller = _chiller()
+        assert chiller.cop(0.7, 35.0) < chiller.cop(0.7, 25.0)
+
+    def test_age_and_bias_degrade(self):
+        fresh = _chiller()
+        aged = _chiller(age=12.0, bias=-0.1)
+        assert aged.cop(0.7, 25.0) < fresh.cop(0.7, 25.0)
+
+    def test_floor_holds_in_extremes(self):
+        chiller = _chiller(age=60.0, bias=-0.5)
+        assert chiller.cop(0.2, 45.0) >= COP_FLOOR
+
+    def test_accepts_arrays(self):
+        chiller = _chiller()
+        plr = np.array([0.3, 0.6, 0.9])
+        cops = chiller.cop(plr, 28.0)
+        assert cops.shape == plr.shape
+        assert np.all(cops >= COP_FLOOR)
+
+
+class TestPowerAndPlant:
+    def test_power_is_load_over_cop(self):
+        chiller = _chiller()
+        load = 0.6 * chiller.capacity_kw
+        expected = load / chiller.cop(0.6, 27.0)
+        assert chiller.power_kw(load, 27.0) == pytest.approx(float(expected))
+
+    def test_plant_capacity_sums_chillers(self):
+        chillers = tuple(
+            Chiller(0, i, CHILLER_MODEL_TYPES[i % 3],
+                    CHILLER_MODEL_TYPES[i % 3].rated_capacity_kw, 0.0, 0.0)
+            for i in range(3)
+        )
+        plant = ChillerPlant(building_id=0, chillers=chillers)
+        assert plant.total_capacity_kw == pytest.approx(
+            sum(c.capacity_kw for c in chillers)
+        )

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.building.corruption import (
+    CorruptionConfig,
+    TelemetryCorruptor,
+    corruption_rate,
+    drop_incomplete_rows,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [{"drop_rate": -0.1}, {"drop_rate": 1.0},
+                                        {"outage_rate": -0.1}, {"outage_rate": 1.0}])
+    def test_invalid_rates_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(**kwargs)
+
+
+class TestCorrupt:
+    def test_masking_rate_close_to_drop_rate(self):
+        X = np.ones((400, 6))
+        corrupted = TelemetryCorruptor(CorruptionConfig(drop_rate=0.2, seed=0)).corrupt(X)
+        assert corruption_rate(corrupted) == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_rates_leave_data_untouched(self):
+        X = np.random.default_rng(1).random((30, 4))
+        corrupted = TelemetryCorruptor(
+            CorruptionConfig(drop_rate=0.0, outage_rate=0.0)
+        ).corrupt(X)
+        assert np.array_equal(corrupted, X)
+
+    def test_outages_blank_whole_rows(self):
+        X = np.ones((500, 5))
+        corrupted = TelemetryCorruptor(
+            CorruptionConfig(drop_rate=0.0, outage_rate=0.3, seed=2)
+        ).corrupt(X)
+        row_nan = np.isnan(corrupted).any(axis=1)
+        # A lost row is entirely lost, and about outage_rate of rows are hit.
+        assert np.all(np.isnan(corrupted[row_nan]).all(axis=1))
+        assert row_nan.mean() == pytest.approx(0.3, abs=0.07)
+
+    def test_same_seed_same_mask(self):
+        X = np.ones((50, 6))
+        a = TelemetryCorruptor(CorruptionConfig(drop_rate=0.25, seed=7)).corrupt(X)
+        b = TelemetryCorruptor(CorruptionConfig(drop_rate=0.25, seed=7)).corrupt(X)
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+
+    def test_original_untouched(self):
+        X = np.ones((20, 3))
+        TelemetryCorruptor(CorruptionConfig(drop_rate=0.5, seed=0)).corrupt(X)
+        assert not np.isnan(X).any()
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataError):
+            TelemetryCorruptor().corrupt(np.ones(5))
+
+
+class TestRecovery:
+    def test_corruption_rate_empty_rejected(self):
+        with pytest.raises(DataError):
+            corruption_rate(np.empty((0, 3)))
+
+    def test_drop_incomplete_rows(self):
+        X = np.ones((10, 3))
+        X[2, 1] = np.nan
+        X[7, 0] = np.nan
+        y = np.arange(10.0)
+        clean_x, clean_y = drop_incomplete_rows(X, y)
+        assert clean_x.shape == (8, 3)
+        assert not np.isnan(clean_x).any()
+        assert 2.0 not in clean_y and 7.0 not in clean_y
+
+    def test_drop_incomplete_rows_shape_mismatch(self):
+        with pytest.raises(DataError):
+            drop_incomplete_rows(np.ones((4, 2)), np.ones(3))
+
+    def test_end_to_end_on_real_task(self, small_dataset):
+        task = max(small_dataset.tasks, key=lambda t: t.n_samples)
+        corruptor = TelemetryCorruptor(CorruptionConfig(drop_rate=0.15, seed=3))
+        corrupted = corruptor.corrupt(task.X)
+        clean_x, clean_y = drop_incomplete_rows(corrupted, task.y)
+        assert 0 < clean_x.shape[0] < task.n_samples
+        assert clean_x.shape[1] == task.X.shape[1]

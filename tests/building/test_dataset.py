@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.building.dataset import (
+    TASK_FEATURE_COLUMNS,
+    BuildingOperationConfig,
+    BuildingOperationDataset,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_days": 1},
+            {"n_buildings": 0},
+            {"chillers_per_building": 1},
+            {"chillers_per_building": 7},
+            {"n_bands": 0},
+            {"min_plr": 0.0},
+            {"min_plr": 1.0},
+            {"min_task_samples": 1},
+            {"scenario_stride": 0},
+            {"scenario_stride": 25},
+            {"sensor_noise": -0.1},
+            {"exploration_rate": 1.0},
+        ],
+    )
+    def test_invalid_values_raise_configuration_error(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BuildingOperationConfig(**kwargs)
+
+    def test_band_edges_span_min_plr_to_one(self):
+        config = BuildingOperationConfig(n_bands=4, min_plr=0.2)
+        edges = config.band_edges
+        assert edges[0] == pytest.approx(0.2)
+        assert edges[-1] == pytest.approx(1.0)
+        assert edges.size == 5
+
+
+class TestDeterminism:
+    def test_same_seed_identical_arrays(self):
+        config = BuildingOperationConfig(n_days=6, n_buildings=2, seed=42)
+        first = BuildingOperationDataset(config).generate()
+        second = BuildingOperationDataset(config).generate()
+        assert first.n_tasks == second.n_tasks
+        for a, b in zip(first.tasks, second.tasks):
+            assert np.array_equal(a.X, b.X)
+            assert np.array_equal(a.y, b.y)
+            assert np.array_equal(a.descriptor, b.descriptor)
+        for building in range(2):
+            assert np.array_equal(
+                first.weather[building].temperature,
+                second.weather[building].temperature,
+            )
+            assert first.scenarios_for_day(building, 3) == second.scenarios_for_day(
+                building, 3
+            )
+
+    def test_different_seed_changes_data(self):
+        a = BuildingOperationDataset(
+            BuildingOperationConfig(n_days=6, n_buildings=1, seed=1)
+        ).generate()
+        b = BuildingOperationDataset(
+            BuildingOperationConfig(n_days=6, n_buildings=1, seed=2)
+        ).generate()
+        assert not np.array_equal(
+            a.weather[0].temperature, b.weather[0].temperature
+        )
+
+
+class TestGeneratedStructure:
+    def test_task_shapes_and_columns(self, small_dataset):
+        for task in small_dataset.tasks:
+            assert task.X.shape == (task.n_samples, len(TASK_FEATURE_COLUMNS))
+            assert task.y.shape == (task.n_samples,)
+            assert task.n_samples >= small_dataset.config.min_task_samples
+            assert np.all(task.y > 0.0)
+
+    def test_task_rows_stay_inside_their_band(self, small_dataset):
+        for task in small_dataset.tasks:
+            plr = task.X[:, 0]
+            assert np.all(plr >= task.band[0])
+            assert np.all(plr < task.band[1])
+
+    def test_chiller_ids_globally_unique(self, small_dataset):
+        ids = [c.chiller_id for p in small_dataset.plants for c in p.chillers]
+        assert len(set(ids)) == len(ids)
+
+    def test_task_ids_dense(self, small_dataset):
+        assert [t.task_id for t in small_dataset.tasks] == list(
+            range(small_dataset.n_tasks)
+        )
+
+    def test_every_building_contributes_tasks(self, small_dataset):
+        buildings = {t.building_id for t in small_dataset.tasks}
+        assert buildings == set(range(len(small_dataset.plants)))
+
+    def test_sample_counts_vary(self, small_dataset):
+        counts = [t.n_samples for t in small_dataset.tasks]
+        assert len(set(counts)) > 1
+
+
+class TestScenarios:
+    def test_every_day_has_scenarios(self, small_dataset):
+        stride = small_dataset.config.scenario_stride
+        expected = int(np.ceil(24 / stride))
+        for day in small_dataset.days:
+            scenarios = small_dataset.scenarios_for_day(0, int(day))
+            assert len(scenarios) == expected
+            assert all(load > 0.0 for load, _ in scenarios)
+
+    def test_summary_is_six_elements(self, small_dataset):
+        summary = small_dataset.scenario_summary_for_day(1, 4)
+        assert summary.shape == (6,)
+        assert np.all(np.isfinite(summary))
+
+    def test_out_of_range_rejected(self, small_dataset):
+        with pytest.raises(DataError):
+            small_dataset.scenarios_for_day(99, 0)
+        with pytest.raises(DataError):
+            small_dataset.scenarios_for_day(0, 10_000)
+
+    def test_ungenerated_dataset_rejected(self):
+        fresh = BuildingOperationDataset(BuildingOperationConfig(n_days=5))
+        with pytest.raises(DataError):
+            fresh.scenarios_for_day(0, 0)

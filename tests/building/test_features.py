@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.building.features import (
+    DOMAIN_FEATURES,
+    GENERAL_FEATURES,
+    TaskEpochFeatures,
+    feature_names,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def features(small_dataset):
+    return TaskEpochFeatures(small_dataset)
+
+
+class TestFeatureNames:
+    def test_ten_names_matching_table1(self):
+        names = feature_names()
+        assert len(names) == 10
+        assert len(GENERAL_FEATURES) == 2
+        assert len(DOMAIN_FEATURES) == 8
+
+    def test_general_features_come_first(self):
+        names = feature_names()
+        assert tuple(names[:2]) == GENERAL_FEATURES
+        assert tuple(names[2:]) == DOMAIN_FEATURES
+
+    def test_names_unique(self):
+        names = feature_names()
+        assert len(set(names)) == len(names)
+
+
+class TestFeaturesForDay:
+    def test_matrix_shape(self, features, small_dataset):
+        n = small_dataset.n_tasks
+        matrix = features.features_for_day(3, np.zeros(n), np.ones(n))
+        assert matrix.shape == (n, 10)
+        assert np.all(np.isfinite(matrix))
+
+    def test_general_columns_pass_through(self, features, small_dataset):
+        n = small_dataset.n_tasks
+        past = np.arange(n, dtype=float)
+        accuracy = np.linspace(0.0, 1.0, n)
+        matrix = features.features_for_day(2, past, accuracy)
+        assert np.array_equal(matrix[:, 0], past)
+        assert np.allclose(matrix[:, 1], accuracy)
+
+    def test_domain_columns_change_with_day(self, features, small_dataset):
+        n = small_dataset.n_tasks
+        zeros = np.zeros(n)
+        early = features.features_for_day(1, zeros, zeros)
+        late = features.features_for_day(int(small_dataset.days[-1]), zeros, zeros)
+        assert not np.allclose(early[:, 2:], late[:, 2:])
+
+    def test_bad_day_rejected(self, features, small_dataset):
+        n = small_dataset.n_tasks
+        with pytest.raises(DataError):
+            features.features_for_day(10_000, np.zeros(n), np.zeros(n))
+
+    def test_mismatched_general_vectors_rejected(self, features):
+        with pytest.raises(DataError):
+            features.features_for_day(0, np.zeros(3), np.zeros(3))

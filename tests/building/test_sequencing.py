@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.building.chiller import CHILLER_MODEL_TYPES, Chiller
+from repro.building.sequencing import (
+    decision_performance,
+    evaluate_power,
+    ideal_power,
+    sequence_chillers,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def chillers():
+    return tuple(
+        Chiller(
+            building_id=0,
+            chiller_id=i,
+            model_type=CHILLER_MODEL_TYPES[i % 3],
+            capacity_kw=CHILLER_MODEL_TYPES[i % 3].rated_capacity_kw,
+            age_years=float(3 * i),
+            unit_bias=0.01 * (i - 1),
+        )
+        for i in range(3)
+    )
+
+
+class TestEvaluatePower:
+    def test_positive(self, chillers):
+        assert evaluate_power(chillers, 900.0, 27.0) > 0.0
+
+    def test_nonpositive_load_rejected(self, chillers):
+        with pytest.raises(DataError):
+            evaluate_power(chillers, 0.0, 27.0)
+
+    def test_empty_chillers_rejected(self):
+        with pytest.raises(DataError):
+            evaluate_power((), 100.0, 27.0)
+
+
+class TestSequenceChillers:
+    def test_decision_fields(self, chillers):
+        decision = sequence_chillers(chillers, 800.0, 27.0)
+        assert decision.chiller_ids
+        assert 0.0 < decision.plr <= 1.0
+        assert decision.predicted_power_kw > 0.0
+
+    def test_chooses_minimum_true_power(self, chillers):
+        load, temp = 800.0, 27.0
+        decision = sequence_chillers(chillers, load, temp)
+        chosen = [c for c in chillers if c.chiller_id in decision.chiller_ids]
+        assert evaluate_power(chosen, load, temp) == pytest.approx(
+            ideal_power(chillers, load, temp)
+        )
+
+    def test_overload_runs_everything(self, chillers):
+        total = sum(c.capacity_kw for c in chillers)
+        decision = sequence_chillers(chillers, total * 2.0, 27.0)
+        assert set(decision.chiller_ids) == {c.chiller_id for c in chillers}
+        assert decision.plr == pytest.approx(1.0)
+
+
+class TestDecisionPerformance:
+    def test_bounded_in_unit_interval(self, chillers):
+        # A deliberately terrible predictor: inverts the efficiency ranking.
+        bad = lambda chiller, plr, temp: 1.0 / float(chiller.cop(plr, temp))
+        scenarios = [(600.0, 26.0), (1400.0, 30.0), (2000.0, 33.0)]
+        score = decision_performance(chillers, scenarios, cop_fn=bad)
+        assert 0.0 <= score <= 1.0
+
+    def test_exact_predictions_score_one(self, chillers):
+        exact = lambda chiller, plr, temp: float(chiller.cop(plr, temp))
+        scenarios = [(600.0, 26.0), (1400.0, 30.0), (2000.0, 33.0)]
+        assert decision_performance(chillers, scenarios, cop_fn=exact) == pytest.approx(
+            1.0
+        )
+
+    def test_default_cop_fn_is_ideal(self, chillers):
+        scenarios = [(900.0, 28.0)]
+        assert decision_performance(chillers, scenarios) == pytest.approx(1.0)
+
+    def test_wrong_beliefs_cannot_beat_exact(self, chillers):
+        scenarios = [(600.0, 26.0), (1100.0, 29.0), (1800.0, 32.0)]
+        nameplate = lambda chiller, plr, temp: chiller.model_type.rated_cop
+        assert decision_performance(
+            chillers, scenarios, cop_fn=nameplate
+        ) <= decision_performance(chillers, scenarios) + 1e-12
+
+    def test_empty_scenarios_rejected(self, chillers):
+        with pytest.raises(DataError):
+            decision_performance(chillers, [], cop_fn=None)
