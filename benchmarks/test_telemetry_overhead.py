@@ -1,0 +1,86 @@
+"""Disabled-mode telemetry overhead must stay under 2%.
+
+The instrumented hot paths run with the default :class:`NullRegistry` and
+no active trace, so each telemetry touchpoint costs a global read plus a
+no-op method call. These checks quantify that cost directly: time the
+real workload (TATIM solves), time the disabled-mode telemetry
+primitives at a generous per-solve call volume, and assert the
+primitives' share is below the 2% budget from the observability issue.
+
+Runs standalone (no pytest-benchmark needed): ``PYTHONPATH=src python -m
+pytest benchmarks/test_telemetry_overhead.py -q``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.tatim.generators import random_instance
+from repro.tatim.greedy import density_greedy
+from repro.telemetry import (
+    MetricsRegistry,
+    current_run_trace,
+    get_registry,
+    reset_registry,
+    span,
+    telemetry_enabled,
+    use_registry,
+)
+
+#: Telemetry touchpoints budgeted per solve: one span, one counter inc,
+#: one histogram observe, one gauge set — double the real decorator's
+#: count, so the check is conservative.
+CALLS_PER_UNIT = 8
+OVERHEAD_BUDGET = 0.02
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall time across repeats (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_primitives_are_under_budget():
+    reset_registry()
+    assert not telemetry_enabled()
+    assert current_run_trace() is None
+
+    problems = [random_instance(40, 6, seed=seed) for seed in range(20)]
+
+    def workload():
+        for problem in problems:
+            density_greedy(problem)
+
+    def disabled_telemetry():
+        # Each loop iteration touches 4 primitives, so CALLS_PER_UNIT // 4
+        # iterations per solve hits the budgeted touchpoint volume.
+        registry = get_registry()
+        for _ in range(len(problems) * (CALLS_PER_UNIT // 4)):
+            registry.counter("repro_bench_total", solver="greedy").inc()
+            registry.histogram("repro_bench_seconds", solver="greedy").observe(0.001)
+            registry.gauge("repro_bench_value").set(1.0)
+            with span("bench.solve", solver="greedy"):
+                pass
+
+    workload_s = _best_of(workload)
+    telemetry_s = _best_of(disabled_telemetry)
+    ratio = telemetry_s / workload_s
+    assert ratio < OVERHEAD_BUDGET, (
+        f"disabled-mode telemetry costs {ratio:.2%} of the workload "
+        f"({telemetry_s * 1e3:.2f}ms vs {workload_s * 1e3:.2f}ms); budget is "
+        f"{OVERHEAD_BUDGET:.0%}"
+    )
+
+
+def test_solver_results_identical_with_and_without_registry():
+    """Enabling telemetry observes; it must never change answers."""
+    problem = random_instance(40, 6, seed=1)
+    reset_registry()
+    baseline = density_greedy(problem)
+    with use_registry(MetricsRegistry()):
+        enabled = density_greedy(problem)
+    assert (enabled.matrix == baseline.matrix).all()

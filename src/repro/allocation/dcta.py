@@ -25,6 +25,7 @@ from repro.edgesim.simulator import ExecutionPlan
 from repro.edgesim.workload import SimTask
 from repro.errors import ConfigurationError, DataError
 from repro.rl.crl import CRLModel
+from repro.telemetry import get_registry, span
 
 
 def _normalize(scores: np.ndarray) -> np.ndarray:
@@ -58,13 +59,27 @@ class DCTAAllocator(Allocator):
     # ------------------------------------------------------------------
     def combined_scores(self, sensing: np.ndarray, features: np.ndarray) -> np.ndarray:
         """w1 · F1 + w2 · F2 per task (both score vectors normalized to [0,1])."""
-        general = _normalize(self.crl_model.selection_scores(sensing))
-        local = _normalize(self.local_process.scores(features))
-        if general.size != local.size:
-            raise DataError(
-                f"general process scored {general.size} tasks, local {local.size}"
-            )
-        return self.w1 * general + self.w2 * local
+        started = time.perf_counter()
+        with span("allocation.dcta.combine", w1=self.w1, w2=self.w2):
+            with span("allocation.dcta.general_process"):
+                general = _normalize(self.crl_model.selection_scores(sensing))
+            with span("allocation.dcta.local_process"):
+                local = _normalize(self.local_process.scores(features))
+            if general.size != local.size:
+                raise DataError(
+                    f"general process scored {general.size} tasks, local {local.size}"
+                )
+            combined = self.w1 * general + self.w2 * local
+        registry = get_registry()
+        registry.counter(
+            "repro_allocation_combines_total",
+            help="Cooperative Eq. 6 score combinations computed",
+        ).inc()
+        registry.histogram(
+            "repro_allocation_combine_seconds",
+            help="Cooperative weighting latency (both processes + blend)",
+        ).observe(time.perf_counter() - started)
+        return combined
 
     def plan(
         self,

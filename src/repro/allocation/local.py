@@ -11,6 +11,7 @@ Forest for this role and picks SVM on accuracy —
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.preprocessing import StandardScaler
 from repro.ml.svm import LinearSVC
 from repro.ml.metrics import accuracy_score
+from repro.telemetry import get_registry, span
 
 
 class LocalProcess:
@@ -59,9 +61,26 @@ class LocalProcess:
         self, feature_matrices: Sequence[np.ndarray], labels: Sequence[np.ndarray]
     ) -> "LocalProcess":
         """Train on historical epochs of (Table I features, optimal selection)."""
-        X, y = self.stack_epochs(feature_matrices, labels)
-        self._scaler = StandardScaler().fit(X)
-        self.model.fit(self._scaler.transform(X), y)
+        started = time.perf_counter()
+        with span(
+            "allocation.local.fit",
+            epochs=len(feature_matrices),
+            model=type(self.model).__name__,
+        ):
+            X, y = self.stack_epochs(feature_matrices, labels)
+            self._scaler = StandardScaler().fit(X)
+            self.model.fit(self._scaler.transform(X), y)
+        registry = get_registry()
+        registry.counter(
+            "repro_allocation_local_fits_total",
+            help="Local-process (SVM) training runs",
+            model=type(self.model).__name__,
+        ).inc()
+        registry.histogram(
+            "repro_allocation_local_fit_seconds",
+            help="Local-process training latency",
+            model=type(self.model).__name__,
+        ).observe(time.perf_counter() - started)
         return self
 
     # ------------------------------------------------------------------
@@ -69,6 +88,10 @@ class LocalProcess:
         """Per-task selection scores in [0, 1] for one epoch's feature matrix."""
         if self._scaler is None:
             raise NotFittedError("LocalProcess is not fitted; call fit() first")
+        get_registry().counter(
+            "repro_allocation_local_scores_total",
+            help="Local-process scoring calls (one per epoch decision)",
+        ).inc()
         X = self._scaler.transform(features)
         if hasattr(self.model, "predict_proba"):
             probabilities = self.model.predict_proba(X)

@@ -14,6 +14,7 @@ single :func:`numpy.random.default_rng` stream.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.building.chiller import (
 )
 from repro.building.weather import HOURS_PER_DAY, WeatherSeries, simulate_weather
 from repro.errors import ConfigurationError, DataError
+from repro.telemetry import get_registry, span
 
 #: Column order of every task's ``X`` matrix (and of the decision-time
 #: feature row built by :class:`repro.transfer.decision.MTLDecisionModel`).
@@ -331,6 +333,32 @@ class BuildingOperationDataset:
     # ------------------------------------------------------------------
     def generate(self) -> "BuildingOperationDataset":
         """Build plants, weather, telemetry, and tasks from the seed."""
+        started = time.perf_counter()
+        with span(
+            "building.generate",
+            n_days=self.config.n_days,
+            n_buildings=self.config.n_buildings,
+        ):
+            result = self._generate()
+        registry = get_registry()
+        registry.counter(
+            "repro_building_datasets_generated_total",
+            help="Synthetic building histories generated",
+        ).inc()
+        registry.histogram(
+            "repro_building_generate_seconds",
+            help="Dataset generation wall-clock latency",
+        ).observe(time.perf_counter() - started)
+        registry.gauge(
+            "repro_building_tasks", help="Learning tasks extracted from telemetry"
+        ).set(self.n_tasks)
+        registry.gauge(
+            "repro_building_telemetry_rows",
+            help="Telemetry rows in the generated history",
+        ).set(sum(len(records) for records in self.telemetry))
+        return result
+
+    def _generate(self) -> "BuildingOperationDataset":
         config = self.config
         rng = np.random.default_rng(config.seed)
         edges = config.band_edges

@@ -10,15 +10,37 @@ Usage::
 
 Each subcommand prints the corresponding figure's table; `pipeline` runs
 the full building-data DCTA system once.
+
+Every experiment subcommand also accepts the telemetry flags::
+
+    --metrics-out metrics.json   # JSON snapshot of all repro_* metrics
+    --metrics-prom metrics.prom  # Prometheus text exposition
+    --trace-out trace.jsonl      # nested span trace of the run
+    --log-level debug            # structured key=value logs to stderr
+
+and ``telemetry-report`` renders saved metrics/trace files back into
+tables and a flame summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.core.experiment import PTExperiment
 from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.telemetry import (
+    MetricsRegistry,
+    RunTrace,
+    configure_logging,
+    get_logger,
+    kv,
+    to_prometheus,
+    use_registry,
+    use_run_trace,
+    write_metrics_json,
+)
 
 
 def _make_experiment(args: argparse.Namespace) -> PTExperiment:
@@ -41,6 +63,34 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--history", type=int, default=32, help="history epochs")
     parser.add_argument("--eval-epochs", type=int, default=4, dest="eval_epochs")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a JSON metrics snapshot here after the run",
+    )
+    group.add_argument(
+        "--metrics-prom",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text exposition here after the run",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the nested span trace (JSONL) here after the run",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured key=value logging to stderr",
+    )
 
 
 def _command_fig9(args: argparse.Namespace) -> int:
@@ -109,6 +159,26 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_telemetry_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import RunTrace, snapshot_table
+
+    if args.metrics is None and args.trace is None:
+        print("nothing to report: pass --metrics and/or --trace", file=sys.stderr)
+        return 2
+    if args.metrics is not None:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        print(snapshot_table(data))
+    if args.trace is not None:
+        trace = RunTrace.read_jsonl(args.trace)
+        if args.metrics is not None:
+            print()
+        print(trace.flame())
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportConfig, generate_report
 
@@ -135,16 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig9 = commands.add_parser("fig9", help="PT vs number of processors")
     _add_scenario_arguments(fig9)
     fig9.add_argument("--processors", type=int, nargs="+", default=[2, 4, 6, 8, 10])
+    _add_telemetry_arguments(fig9)
     fig9.set_defaults(handler=_command_fig9)
 
     fig10 = commands.add_parser("fig10", help="PT vs average input size (Mb)")
     _add_scenario_arguments(fig10)
     fig10.add_argument("--sizes", type=float, nargs="+", default=[200, 400, 600, 800, 1000])
+    _add_telemetry_arguments(fig10)
     fig10.set_defaults(handler=_command_fig10)
 
     fig11 = commands.add_parser("fig11", help="PT vs bandwidth (Mbps)")
     _add_scenario_arguments(fig11)
     fig11.add_argument("--bandwidths", type=float, nargs="+", default=[10, 20, 40, 80, 120])
+    _add_telemetry_arguments(fig11)
     fig11.set_defaults(handler=_command_fig11)
 
     longtail = commands.add_parser("longtail", help="Fig. 2 long-tail statistics")
@@ -153,12 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     longtail.add_argument("--days", "--n-days", type=int, default=40, dest="days")
     longtail.add_argument("--n-buildings", type=int, default=3, dest="n_buildings")
     longtail.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arguments(longtail)
     longtail.set_defaults(handler=_command_longtail)
 
     report = commands.add_parser("report", help="compact all-figures reproduction report")
     report.add_argument("--days", type=int, default=30)
     report.add_argument("--episodes", type=int, default=40)
     report.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arguments(report)
     report.set_defaults(handler=_command_report)
 
     pipeline = commands.add_parser("pipeline", help="full building-pipeline DCTA run")
@@ -166,15 +241,56 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--n-buildings", type=int, default=3, dest="n_buildings")
     pipeline.add_argument("--episodes", type=int, default=30)
     pipeline.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arguments(pipeline)
     pipeline.set_defaults(handler=_command_pipeline)
 
+    telemetry = commands.add_parser(
+        "telemetry-report", help="render saved metrics/trace files as tables"
+    )
+    telemetry.add_argument("--metrics", metavar="PATH", default=None, help="metrics.json from --metrics-out")
+    telemetry.add_argument("--trace", metavar="PATH", default=None, help="trace.jsonl from --trace-out")
+    telemetry.set_defaults(handler=_command_telemetry_report)
+
     return parser
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Install registry/trace sinks around the handler and write outputs."""
+    metrics_out = getattr(args, "metrics_out", None)
+    metrics_prom = getattr(args, "metrics_prom", None)
+    trace_out = getattr(args, "trace_out", None)
+    log_level = getattr(args, "log_level", None)
+    if log_level is not None:
+        configure_logging(log_level)
+
+    collect_metrics = metrics_out is not None or metrics_prom is not None
+    registry = MetricsRegistry() if collect_metrics else None
+    trace = RunTrace(label=args.command) if trace_out is not None else None
+    with contextlib.ExitStack() as stack:
+        if registry is not None:
+            stack.enter_context(use_registry(registry))
+        if trace is not None:
+            stack.enter_context(use_run_trace(trace))
+        status = args.handler(args)
+
+    logger = get_logger("cli")
+    if metrics_out is not None:
+        write_metrics_json(registry, metrics_out)
+        logger.info(kv(event="metrics_written", path=metrics_out))
+    if metrics_prom is not None:
+        with open(metrics_prom, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(registry))
+        logger.info(kv(event="metrics_written", path=metrics_prom))
+    if trace_out is not None:
+        trace.write_jsonl(trace_out)
+        logger.info(kv(event="trace_written", path=trace_out, spans=len(trace.spans)))
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    return _run_with_telemetry(args)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ The figure benchmarks use the faster statistically matched
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.ml.metrics import mean_absolute_error
 from repro.rl.crl import CRLModel, EnvironmentStore
 from repro.rl.dqn import DQNConfig
 from repro.tatim.greedy import density_greedy
+from repro.telemetry import get_registry, span
 from repro.transfer.decision import MTLDecisionModel
 from repro.transfer.registry import make_strategy
 from repro.transfer.task import TaskModelSet
@@ -87,10 +89,21 @@ class DCTASystem:
     # ------------------------------------------------------------------
     def build(self) -> "DCTASystem":
         """Run the full training chain. Idempotent."""
+        started = time.perf_counter()
+        with span("core.build", seed=self.config.seed):
+            result = self._build()
+        get_registry().histogram(
+            "repro_core_build_seconds",
+            help="Full DCTASystem training-chain latency",
+        ).observe(time.perf_counter() - started)
+        return result
+
+    def _build(self) -> "DCTASystem":
         config = self.config
         dataset = BuildingOperationDataset(config.building).generate()
         strategy = make_strategy(config.mtl_strategy, config.base_model, seed=config.seed)
-        model_set = strategy.fit(dataset.tasks)
+        with span("core.build.mtl_fit", strategy=config.mtl_strategy):
+            model_set = strategy.fit(dataset.tasks)
         evaluator = ImportanceEvaluator(dataset, model_set)
 
         days = dataset.days
@@ -99,7 +112,8 @@ class DCTASystem:
             raise DataError("not enough days for a history/eval split; increase n_days")
         history_days = days[:split]
         eval_days = days[split:]
-        importance_history = evaluator.importance_matrix(history_days)
+        with span("core.build.importance_history", days=history_days.size):
+            importance_history = evaluator.importance_matrix(history_days)
 
         # Edge workload: one SimTask per learning task; input size scales
         # with the task's training-set size (more samples = more data to
@@ -137,14 +151,15 @@ class DCTASystem:
         past_success = np.zeros(len(dataset.tasks))
         prediction_accuracy = self._model_accuracy(model_set)
         train_features, train_labels = [], []
-        for row, day in enumerate(history_days):
-            matrix = features.features_for_day(int(day), past_success, prediction_accuracy)
-            problem = geometry.scaled(importance=importance_history[row])
-            selection = np.zeros(len(workload), dtype=int)
-            selection[density_greedy(problem).assigned_tasks()] = 1
-            train_features.append(matrix)
-            train_labels.append(selection)
-            past_success = past_success + selection
+        with span("core.build.selection_labels", days=history_days.size):
+            for row, day in enumerate(history_days):
+                matrix = features.features_for_day(int(day), past_success, prediction_accuracy)
+                problem = geometry.scaled(importance=importance_history[row])
+                selection = np.zeros(len(workload), dtype=int)
+                selection[density_greedy(problem).assigned_tasks()] = 1
+                train_features.append(matrix)
+                train_labels.append(selection)
+                past_success = past_success + selection
         local = LocalProcess()
         local.fit(train_features, train_labels)
 
@@ -220,15 +235,27 @@ class DCTASystem:
     def run_epoch(self, day: int) -> dict[str, SimResult]:
         """Simulate one evaluation day under every policy."""
         self._require_built()
-        workload = self.workload_for_day(day)
-        context = self.context_for_day(day)
-        simulator = EdgeSimulator(
-            self.nodes, self.network, quality_threshold=self.config.quality_threshold
-        )
-        results: dict[str, SimResult] = {}
-        for name, allocator in self.allocators.items():
-            plan = allocator.plan(workload, self.nodes, context)
-            results[name] = simulator.run(workload, plan)
+        registry = get_registry()
+        with span("core.epoch", day=day):
+            workload = self.workload_for_day(day)
+            context = self.context_for_day(day)
+            simulator = EdgeSimulator(
+                self.nodes, self.network, quality_threshold=self.config.quality_threshold
+            )
+            results: dict[str, SimResult] = {}
+            for name, allocator in self.allocators.items():
+                with span("core.epoch.policy", policy=name):
+                    plan = allocator.plan(workload, self.nodes, context)
+                    results[name] = simulator.run(workload, plan)
+                if results[name].gate_crossed:
+                    registry.histogram(
+                        "repro_core_epoch_pt_seconds",
+                        help="Per-policy Processing Time of pipeline epochs",
+                        policy=name,
+                    ).observe(results[name].processing_time)
+        registry.counter(
+            "repro_core_epochs_total", help="Pipeline evaluation epochs simulated"
+        ).inc()
         return results
 
     def decision_quality(self, day: int, selected_task_ids) -> float:

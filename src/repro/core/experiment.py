@@ -10,6 +10,7 @@ bandwidth, averaging processing time over the evaluation epochs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
@@ -31,7 +32,8 @@ from repro.errors import DataError
 from repro.rl.crl import CRLModel
 from repro.rl.dqn import DQNConfig
 from repro.tatim.greedy import density_greedy
-from repro.utils.reporting import speedup_table
+from repro.telemetry import get_registry, span
+from repro.utils.reporting import format_table, speedup_table
 
 
 @dataclass(frozen=True)
@@ -46,12 +48,21 @@ class EpochOutcome:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Results of one sweep: mean PT per method per sweep value."""
+    """Results of one sweep: mean PT per method per sweep value.
+
+    ``plan_seconds`` and ``solve_counts`` are the per-method telemetry
+    columns: controller-side wall-clock spent computing plans and the
+    number of plans solved at each sweep point (the Sec. V allocation-time
+    vs training-time breakdown at sweep granularity). Both are empty for
+    results built by older callers.
+    """
 
     sweep_name: str
     sweep_values: tuple
     times: dict[str, list[float]]
     outcomes: list[EpochOutcome] = field(default_factory=list, repr=False)
+    plan_seconds: dict[str, list[float]] = field(default_factory=dict, repr=False)
+    solve_counts: dict[str, list[int]] = field(default_factory=dict, repr=False)
 
     def speedup_over(self, method: str, *, reference: str = "DCTA") -> np.ndarray:
         """Per-sweep-point PT ratio method/reference."""
@@ -65,6 +76,25 @@ class SweepResult:
     def table(self, *, reference: str = "DCTA") -> str:
         """The figure's data as a printable table (PT + speedups)."""
         return speedup_table(self.sweep_name, list(self.sweep_values), self.times, reference=reference)
+
+    def timing_table(self) -> str:
+        """Per-method plan wall-time (ms) and solve counts per sweep point."""
+        if not self.plan_seconds:
+            return "(no plan-timing telemetry recorded)"
+        methods = list(self.plan_seconds)
+        headers = [self.sweep_name]
+        for method in methods:
+            headers += [f"{method} plan (ms)", f"{method} solves"]
+        rows = []
+        for i, value in enumerate(self.sweep_values):
+            row: list[object] = [value]
+            for method in methods:
+                row += [
+                    self.plan_seconds[method][i] * 1e3,
+                    self.solve_counts[method][i],
+                ]
+            rows.append(row)
+        return format_table(headers, rows, title="allocation cost per sweep point")
 
 
 def optimal_selection_labels(
@@ -155,7 +185,10 @@ class PTExperiment:
         workload_transform: Callable | None = None,
     ) -> dict[str, float]:
         simulator = EdgeSimulator(nodes, network, quality_threshold=self.quality_threshold)
+        registry = get_registry()
         sums: dict[str, float] = {name: 0.0 for name in allocators}
+        plan_seconds: dict[str, float] = {name: 0.0 for name in allocators}
+        solve_counts: dict[str, int] = {name: 0 for name in allocators}
         outcomes: list[EpochOutcome] = []
         for epoch in self.scenario.eval_epochs:
             workload = self.scenario.workload_for(epoch)
@@ -163,7 +196,22 @@ class PTExperiment:
                 workload = workload_transform(workload)
             context = EpochContext(sensing=epoch.sensing, features=epoch.features, day=epoch.day)
             for name, allocator in allocators.items():
-                plan = allocator.plan(workload, nodes, context)
+                with span("core.plan", policy=name, day=epoch.day):
+                    started = time.perf_counter()
+                    plan = allocator.plan(workload, nodes, context)
+                    elapsed = time.perf_counter() - started
+                plan_seconds[name] += elapsed
+                solve_counts[name] += 1
+                registry.counter(
+                    "repro_core_plans_total",
+                    help="Allocation plans computed during PT sweeps",
+                    policy=name,
+                ).inc()
+                registry.histogram(
+                    "repro_core_plan_seconds",
+                    help="Controller-side plan computation latency",
+                    policy=name,
+                ).observe(elapsed)
                 result = simulator.run(workload, plan)
                 sums[name] += result.processing_time
                 outcomes.append(
@@ -171,21 +219,44 @@ class PTExperiment:
                 )
         n = len(self.scenario.eval_epochs)
         self._last_outcomes = outcomes
+        self._last_plan_seconds = plan_seconds
+        self._last_solve_counts = solve_counts
         return {name: total / n for name, total in sums.items()}
 
     # ------------------------------------------------------------------
+    def _append_point(
+        self,
+        point: dict[str, float],
+        times: dict[str, list[float]],
+        plan_seconds: dict[str, list[float]],
+        solve_counts: dict[str, list[int]],
+    ) -> None:
+        """Fold one sweep point's means + plan telemetry into the columns."""
+        for name, value in point.items():
+            times.setdefault(name, []).append(value)
+            plan_seconds.setdefault(name, []).append(self._last_plan_seconds[name])
+            solve_counts.setdefault(name, []).append(self._last_solve_counts[name])
+
     def sweep_processors(self, processor_counts: Sequence[int] = (2, 4, 6, 8, 10)) -> SweepResult:
         """Fig. 9: PT vs number of processors."""
         times: dict[str, list[float]] = {}
-        for count in processor_counts:
-            nodes, network = scaled_testbed(count)
-            allocators = build_allocators(
-                self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
-            )
-            point = self._run_point(nodes, network, allocators)
-            for name, value in point.items():
-                times.setdefault(name, []).append(value)
-        return SweepResult("processors", tuple(processor_counts), times)
+        plan_seconds: dict[str, list[float]] = {}
+        solve_counts: dict[str, list[int]] = {}
+        with span("core.sweep", axis="processors", points=len(processor_counts)):
+            for count in processor_counts:
+                nodes, network = scaled_testbed(count)
+                allocators = build_allocators(
+                    self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+                )
+                point = self._run_point(nodes, network, allocators)
+                self._append_point(point, times, plan_seconds, solve_counts)
+        return SweepResult(
+            "processors",
+            tuple(processor_counts),
+            times,
+            plan_seconds=plan_seconds,
+            solve_counts=solve_counts,
+        )
 
     def sweep_input_size(
         self,
@@ -200,16 +271,24 @@ class PTExperiment:
         )
         base_mean = float(np.mean([task.input_mb for task in self.scenario.tasks]))
         times: dict[str, list[float]] = {}
-        for mean_size in mean_sizes_mb:
-            scale = mean_size / base_mean
+        plan_seconds: dict[str, list[float]] = {}
+        solve_counts: dict[str, list[int]] = {}
+        with span("core.sweep", axis="input_size_mb", points=len(mean_sizes_mb)):
+            for mean_size in mean_sizes_mb:
+                scale = mean_size / base_mean
 
-            def rescale(workload, scale=scale):
-                return [replace(task, input_mb=task.input_mb * scale) for task in workload]
+                def rescale(workload, scale=scale):
+                    return [replace(task, input_mb=task.input_mb * scale) for task in workload]
 
-            point = self._run_point(nodes, network, allocators, workload_transform=rescale)
-            for name, value in point.items():
-                times.setdefault(name, []).append(value)
-        return SweepResult("input_size_mb", tuple(mean_sizes_mb), times)
+                point = self._run_point(nodes, network, allocators, workload_transform=rescale)
+                self._append_point(point, times, plan_seconds, solve_counts)
+        return SweepResult(
+            "input_size_mb",
+            tuple(mean_sizes_mb),
+            times,
+            plan_seconds=plan_seconds,
+            solve_counts=solve_counts,
+        )
 
     def sweep_bandwidth(
         self,
@@ -223,9 +302,17 @@ class PTExperiment:
             self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
         )
         times: dict[str, list[float]] = {}
-        for bandwidth in bandwidths_mbps:
-            _, network = scaled_testbed(n_processors, bandwidth_mbps=bandwidth)
-            point = self._run_point(nodes, network, allocators)
-            for name, value in point.items():
-                times.setdefault(name, []).append(value)
-        return SweepResult("bandwidth_mbps", tuple(bandwidths_mbps), times)
+        plan_seconds: dict[str, list[float]] = {}
+        solve_counts: dict[str, list[int]] = {}
+        with span("core.sweep", axis="bandwidth_mbps", points=len(bandwidths_mbps)):
+            for bandwidth in bandwidths_mbps:
+                _, network = scaled_testbed(n_processors, bandwidth_mbps=bandwidth)
+                point = self._run_point(nodes, network, allocators)
+                self._append_point(point, times, plan_seconds, solve_counts)
+        return SweepResult(
+            "bandwidth_mbps",
+            tuple(bandwidths_mbps),
+            times,
+            plan_seconds=plan_seconds,
+            solve_counts=solve_counts,
+        )

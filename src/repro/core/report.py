@@ -112,6 +112,8 @@ def generate_report(config: ReportConfig | None = None) -> str:
         sections.append(_header(title))
         sections.append(result.table())
         sections.append("")
+        sections.append(result.timing_table())
+        sections.append("")
         sections.append(
             line_chart(
                 result.sweep_values,

@@ -35,6 +35,7 @@ from repro.edgesim.network import StarNetwork
 from repro.edgesim.node import EdgeNode
 from repro.edgesim.workload import SimTask
 from repro.errors import ConfigurationError, DataError, SimulationError
+from repro.telemetry import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -139,6 +140,39 @@ class EdgeSimulator:
         the controller, so completion order respects the DAG even under
         failure-driven re-dispatch.
         """
+        with span("edgesim.run", plan=plan.label, tasks=len(tasks)):
+            result = self._run(tasks, plan, failures=failures, dependencies=dependencies)
+        registry = get_registry()
+        registry.counter(
+            "repro_edgesim_runs_total", help="Simulated decision epochs", plan=plan.label
+        ).inc()
+        registry.counter(
+            "repro_edgesim_tasks_executed_total",
+            help="Tasks whose results reached the controller before the decision",
+            plan=plan.label,
+        ).inc(result.tasks_executed)
+        if result.gate_crossed:
+            registry.histogram(
+                "repro_edgesim_pt_seconds",
+                help="Processing Time PT = t_s - t_c (simulated seconds)",
+                plan=plan.label,
+            ).observe(result.processing_time)
+        else:
+            registry.counter(
+                "repro_edgesim_gate_misses_total",
+                help="Epochs whose quality gate never closed (PT = inf)",
+                plan=plan.label,
+            ).inc()
+        return result
+
+    def _run(
+        self,
+        tasks: Sequence[SimTask],
+        plan: ExecutionPlan,
+        *,
+        failures: dict[int, float] | None = None,
+        dependencies=None,
+    ) -> SimResult:
         task_by_id = {task.task_id: task for task in tasks}
         for task_id, node_id in plan.assignments:
             if task_id not in task_by_id:

@@ -9,6 +9,7 @@ text. Tracing is opt-in: wrap the simulator with :class:`TracingSimulator`
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -17,6 +18,7 @@ from repro.edgesim.node import EdgeNode
 from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan, SimResult
 from repro.edgesim.workload import SimTask
 from repro.errors import ConfigurationError, DataError
+from repro.telemetry import current_run_trace, record_edgesim_trace
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,75 @@ class Trace:
         if not self.events:
             return 0.0
         return max(e.end for e in self.events)
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One meta line plus one JSON object per event.
+
+        The format mirrors :meth:`repro.telemetry.RunTrace.to_jsonl`:
+        a leading ``{"kind": "meta", ...}`` line, then ``"kind": "event"``
+        lines, unknown kinds reserved for forward compatibility.
+        """
+        lines = [
+            json.dumps(
+                {"kind": "meta", "events": len(self.events), "decision_time": self.decision_time}
+            )
+        ]
+        for event in self.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "event",
+                        "event": event.kind,
+                        "task_id": event.task_id,
+                        "node_id": event.node_id,
+                        "start": event.start,
+                        "end": event.end,
+                    }
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Parse a serialized trace; exact inverse of :meth:`to_jsonl`."""
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataError(f"invalid trace JSONL line: {line[:80]!r}") from exc
+            kind = payload.get("kind", "event")
+            if kind == "meta":
+                decision = payload.get("decision_time")
+                trace.decision_time = None if decision is None else float(decision)
+            elif kind == "event":
+                try:
+                    trace.events.append(
+                        TraceEvent(
+                            kind=str(payload["event"]),
+                            task_id=int(payload["task_id"]),
+                            node_id=int(payload["node_id"]),
+                            start=float(payload["start"]),
+                            end=float(payload["end"]),
+                        )
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise DataError(f"malformed trace event: {payload!r}") from exc
+            # Unknown kinds are skipped for forward compatibility.
+        return trace
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def read_jsonl(cls, path) -> "Trace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl(handle.read())
 
     # ------------------------------------------------------------------
     def gantt(self, *, width: int = 72) -> str:
@@ -110,6 +181,8 @@ class TracingSimulator:
     ) -> tuple[SimResult, Trace]:
         result = self.simulator.run(tasks, plan, **kwargs)
         trace = self._reconstruct(tasks, plan, result)
+        if current_run_trace() is not None:
+            record_edgesim_trace(trace, label=plan.label)
         return result, trace
 
     def _reconstruct(

@@ -19,6 +19,8 @@ mis-prices tasks. CRL instead
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError, NotFittedError
@@ -30,6 +32,7 @@ from repro.rl.replay import Transition
 from repro.tatim.greedy import density_greedy
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
+from repro.telemetry import get_registry, span
 from repro.utils.rng import as_rng
 
 
@@ -136,17 +139,23 @@ class CRLModel:
 
     # ------------------------------------------------------------------
     def _train_agent(self, importance: np.ndarray) -> DQNAgent:
-        problem = self.geometry.scaled(importance=importance)
-        env = AllocationEnv(problem)
-        agent = DQNAgent(
-            env.state_dim,
-            env.n_actions,
-            self.dqn_config,
-            seed=int(self._rng.integers(0, 2**31 - 1)),
-        )
-        if self.seed_demonstrations:
-            self._push_demonstration(agent, env, problem)
-        agent.train(env, self.episodes)
+        with span("rl.crl.train_agent", mode=self.mode):
+            problem = self.geometry.scaled(importance=importance)
+            env = AllocationEnv(problem)
+            agent = DQNAgent(
+                env.state_dim,
+                env.n_actions,
+                self.dqn_config,
+                seed=int(self._rng.integers(0, 2**31 - 1)),
+            )
+            if self.seed_demonstrations:
+                self._push_demonstration(agent, env, problem)
+            agent.train(env, self.episodes)
+        get_registry().counter(
+            "repro_rl_crl_agents_trained_total",
+            help="Per-environment DQN agents trained by CRL",
+            mode=self.mode,
+        ).inc()
         return agent
 
     @staticmethod
@@ -189,14 +198,15 @@ class CRLModel:
         if len(store) == 0:
             raise DataError("cannot fit CRL on an empty environment store")
         self.store = store
-        if self.mode == "offline":
-            k = min(self.n_clusters, len(store))
-            self._kmeans = KMeans(n_clusters=k, seed=self._rng)
-            labels = self._kmeans.fit_predict(store.sensing_matrix)
-            importance = store.importance_matrix
-            for cluster in np.unique(labels):
-                mean_importance = importance[labels == cluster].mean(axis=0)
-                self._cluster_agents[int(cluster)] = self._train_agent(mean_importance)
+        with span("rl.crl.fit", mode=self.mode, environments=len(store)):
+            if self.mode == "offline":
+                k = min(self.n_clusters, len(store))
+                self._kmeans = KMeans(n_clusters=k, seed=self._rng)
+                labels = self._kmeans.fit_predict(store.sensing_matrix)
+                importance = store.importance_matrix
+                for cluster in np.unique(labels):
+                    mean_importance = importance[labels == cluster].mean(axis=0)
+                    self._cluster_agents[int(cluster)] = self._train_agent(mean_importance)
         return self
 
     def _require_fitted(self) -> None:
@@ -207,7 +217,19 @@ class CRLModel:
     def estimate_importance(self, sensing: np.ndarray) -> np.ndarray:
         """The environment definition step: estimated I for the current Z."""
         self._require_fitted()
-        return self.store.knn_importance(sensing, self.knn_k)
+        started = time.perf_counter()
+        with span("rl.crl.knn_lookup", k=self.knn_k):
+            importance = self.store.knn_importance(sensing, self.knn_k)
+        registry = get_registry()
+        registry.counter(
+            "repro_rl_crl_knn_lookups_total",
+            help="kNN environment-definition lookups (Algorithm 1's e = kNN(E, Z))",
+        ).inc()
+        registry.histogram(
+            "repro_rl_crl_knn_lookup_seconds",
+            help="kNN environment-definition latency",
+        ).observe(time.perf_counter() - started)
+        return importance
 
     def _agent_for(self, sensing: np.ndarray, importance: np.ndarray) -> DQNAgent:
         if self.mode == "offline":
@@ -228,10 +250,17 @@ class CRLModel:
     def allocate(self, sensing: np.ndarray) -> Allocation:
         """Prediction phase of Algorithm 1: u = F1((e, s0); θ*)."""
         self._require_fitted()
-        importance = self.estimate_importance(sensing)
-        agent = self._agent_for(sensing, importance)
-        env = AllocationEnv(self.geometry.scaled(importance=importance))
-        return agent.solve(env)
+        with span("rl.crl.allocate", mode=self.mode):
+            importance = self.estimate_importance(sensing)
+            agent = self._agent_for(sensing, importance)
+            env = AllocationEnv(self.geometry.scaled(importance=importance))
+            allocation = agent.solve(env)
+        get_registry().counter(
+            "repro_rl_crl_allocations_total",
+            help="CRL allocation queries answered",
+            mode=self.mode,
+        ).inc()
+        return allocation
 
     def selection_scores(self, sensing: np.ndarray) -> np.ndarray:
         """Per-task scores in [0, 1] for cooperative combination (Eq. 6).

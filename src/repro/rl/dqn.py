@@ -21,6 +21,7 @@ from repro.ml.neural import MLP, Adam
 from repro.rl.env import AllocationEnv
 from repro.rl.replay import ReplayBuffer, Transition
 from repro.tatim.solution import Allocation
+from repro.telemetry import get_registry, span
 from repro.utils.rng import as_rng
 
 #: Q-value assigned to masked (infeasible) actions.
@@ -162,7 +163,13 @@ class DQNAgent:
             targets[rows, actions] = predictions[rows, actions] + weights * td_errors
         else:
             targets[rows, actions] = bellman
-        return self.online.train_batch(states, targets)
+        loss = self.online.train_batch(states, targets)
+        registry = get_registry()
+        registry.counter(
+            "repro_rl_dqn_train_steps_total", help="DQN gradient steps taken"
+        ).inc()
+        registry.gauge("repro_rl_dqn_loss", help="Latest DQN batch loss").set(loss)
+        return loss
 
     def train_episode(self, env: AllocationEnv) -> float:
         """Collect one episode into replay, training as transitions arrive."""
@@ -197,13 +204,27 @@ class DQNAgent:
             self.epsilon = max(
                 self.config.epsilon_end, self.epsilon * self.config.epsilon_decay
             )
+        registry = get_registry()
+        registry.counter(
+            "repro_rl_dqn_episodes_total", help="DQN training episodes completed"
+        ).inc()
+        registry.gauge("repro_rl_dqn_epsilon", help="Current exploration rate").set(
+            self.epsilon
+        )
+        registry.gauge(
+            "repro_rl_replay_size", help="Transitions held in the replay buffer"
+        ).set(len(self.buffer))
+        registry.gauge(
+            "repro_rl_dqn_episode_return", help="Latest training-episode return"
+        ).set(episode_return)
         return episode_return
 
     def train(self, env: AllocationEnv, episodes: int) -> np.ndarray:
         """Train for ``episodes`` episodes; returns per-episode returns."""
         if episodes < 1:
             raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
-        return np.array([self.train_episode(env) for _ in range(episodes)])
+        with span("rl.dqn.train", episodes=episodes):
+            return np.array([self.train_episode(env) for _ in range(episodes)])
 
     def solve(self, env: AllocationEnv) -> Allocation:
         """Greedy rollout: the fast inference phase of Algorithm 1."""

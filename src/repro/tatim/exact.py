@@ -18,10 +18,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.tatim.observe import instrumented_solver
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
+from repro.telemetry import get_registry
 
 
+@instrumented_solver("branch_and_bound")
 def branch_and_bound(problem: TATIMProblem, *, max_nodes: int = 2_000_000) -> Allocation:
     """Optimal allocation by pruned depth-first search.
 
@@ -117,12 +120,21 @@ def branch_and_bound(problem: TATIMProblem, *, max_nodes: int = 2_000_000) -> Al
                 remaining_capacity[processor] += resources[index]
         search(index + 1, value)
 
-    search(0, 0.0)
+    try:
+        search(0, 0.0)
+    finally:
+        # Nodes expanded are reported even when the budget is exhausted —
+        # the failed search is exactly the case worth seeing in metrics.
+        get_registry().counter(
+            "repro_tatim_bnb_nodes_total",
+            help="Branch-and-bound search nodes expanded",
+        ).inc(nodes)
     # Map the density-order indices back to original task ids.
     assignment = {int(order[i]): p for i, p in best_assignment.items()}
     return Allocation.from_assignment(assignment, n_tasks, n_processors).validate(problem)
 
 
+@instrumented_solver("single_knapsack_dp")
 def single_knapsack_dp(
     problem: TATIMProblem, *, resolution: int = 1000
 ) -> Allocation:

@@ -19,14 +19,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tatim.observe import instrumented_solver
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
+from repro.telemetry import get_registry
 
 
 def _place(problem: TATIMProblem, order: np.ndarray, *, prefer_powerful: bool = False) -> Allocation:
     remaining_time = problem.processor_time_limits().astype(float).copy()
     remaining_capacity = problem.capacities.astype(float).copy()
     matrix = np.zeros((problem.n_tasks, problem.n_processors), dtype=int)
+    placements_tried = 0
     for task in order:
         time_needed = problem.times[task]
         resource_needed = problem.resources[task]
@@ -34,6 +37,7 @@ def _place(problem: TATIMProblem, order: np.ndarray, *, prefer_powerful: bool = 
             remaining_capacity >= resource_needed - 1e-12
         )
         candidates = np.flatnonzero(fits)
+        placements_tried += 1
         if candidates.size == 0:
             continue
         if prefer_powerful:
@@ -47,21 +51,28 @@ def _place(problem: TATIMProblem, order: np.ndarray, *, prefer_powerful: bool = 
         matrix[task, chosen] = 1
         remaining_time[chosen] -= time_needed
         remaining_capacity[chosen] -= resource_needed
+    get_registry().counter(
+        "repro_tatim_placements_tried_total",
+        help="Greedy placement attempts (tasks offered to the best-fit rule)",
+    ).inc(placements_tried)
     return Allocation(matrix)
 
 
+@instrumented_solver("density_greedy")
 def density_greedy(problem: TATIMProblem) -> Allocation:
     """Greedy by importance density with best-fit placement."""
     order = np.argsort(problem.density(), kind="stable")[::-1]
     return _place(problem, order)
 
 
+@instrumented_solver("importance_greedy")
 def importance_greedy(problem: TATIMProblem) -> Allocation:
     """Greedy by raw importance, placing onto the most powerful feasible host."""
     order = np.argsort(problem.importance, kind="stable")[::-1]
     return _place(problem, order, prefer_powerful=True)
 
 
+@instrumented_solver("best_fit_greedy")
 def best_fit_greedy(problem: TATIMProblem) -> Allocation:
     """Importance-blind packing: largest tasks first, best-fit placement."""
     size = problem.times / problem.time_limit + problem.resources / problem.capacities.mean()

@@ -22,8 +22,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.tatim.observe import instrumented_solver
 from repro.tatim.problem import TATIMProblem, _fractional_bound
 from repro.tatim.solution import Allocation
+from repro.telemetry import get_registry
 
 
 @dataclass(frozen=True)
@@ -84,6 +86,7 @@ def _primal_repair(problem: TATIMProblem, multipliers: np.ndarray) -> Allocation
     return Allocation(matrix)
 
 
+@instrumented_solver("lagrangian")
 def lagrangian_bound(
     problem: TATIMProblem,
     *,
@@ -122,6 +125,10 @@ def lagrangian_bound(
         bound = _dual_value(problem, multipliers)
         best_bound = min(best_bound, bound)
     best_bound = min(best_bound, problem.upper_bound())
+    get_registry().counter(
+        "repro_tatim_lagrangian_iterations_total",
+        help="Subgradient-ascent iterations executed",
+    ).inc(iterations)
     return LagrangianResult(
         upper_bound=float(max(best_bound, best_value)),
         best_allocation=best_allocation,

@@ -18,8 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.tatim.observe import instrumented_solver
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
+from repro.telemetry import get_registry
 
 
 class _State:
@@ -67,6 +69,7 @@ class _State:
         )
 
 
+@instrumented_solver("local_search")
 def improve_allocation(
     problem: TATIMProblem,
     allocation: Allocation,
@@ -83,7 +86,9 @@ def improve_allocation(
     state = _State(problem, allocation)
     importance = problem.importance
 
+    rounds_run = 0
     for _ in range(max_rounds):
+        rounds_run += 1
         improved = False
 
         # Insert: place any unallocated task that fits somewhere.
@@ -135,5 +140,9 @@ def improve_allocation(
         if not improved:
             break
 
+    get_registry().counter(
+        "repro_tatim_local_search_rounds_total",
+        help="Local-search improvement rounds executed",
+    ).inc(rounds_run)
     result = state.to_allocation()
     return result.validate(problem)

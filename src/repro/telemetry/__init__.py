@@ -1,0 +1,92 @@
+"""Unified telemetry: metrics, spans/traces, exporters, structured logs.
+
+The observability layer for the DCTA pipeline — dependency-free (stdlib
+only) and zero-cost when off. Three coordinated pieces:
+
+- **Metrics** — a process-wide :class:`MetricsRegistry` of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments with
+  label support. Disabled by default (:class:`NullRegistry` hands out
+  shared no-op instruments); the CLI's ``--metrics-out`` installs a real
+  one. Names follow ``repro_<subsystem>_<name>_<unit>``.
+- **Spans** — :func:`span` context managers nest into a per-run
+  :class:`RunTrace` on a monotonic clock; traces serialize to JSONL and
+  render a text flame summary. :func:`record_edgesim_trace` bridges the
+  edge DES's reconstructed event timeline into the same sink.
+- **Exporters / logs** — Prometheus text exposition and JSON snapshots
+  of the registry, plus a stdlib ``logging`` wrapper with a compact
+  key=value formatter for structured run logs.
+
+See ``docs/observability.md`` for the instrument catalog and CLI usage.
+"""
+
+from repro.telemetry.instruments import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.telemetry.registry import (
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+    telemetry_enabled,
+    use_registry,
+)
+from repro.telemetry.spans import (
+    RunTrace,
+    SpanRecord,
+    current_run_trace,
+    set_run_trace,
+    span,
+    use_run_trace,
+)
+from repro.telemetry.exporters import (
+    metrics_table,
+    snapshot,
+    snapshot_table,
+    to_json,
+    to_prometheus,
+    write_metrics_json,
+)
+from repro.telemetry.bridge import record_edgesim_trace
+from repro.telemetry.log import (
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    kv,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "reset_registry",
+    "set_registry",
+    "telemetry_enabled",
+    "use_registry",
+    "RunTrace",
+    "SpanRecord",
+    "current_run_trace",
+    "set_run_trace",
+    "span",
+    "use_run_trace",
+    "metrics_table",
+    "snapshot",
+    "snapshot_table",
+    "to_json",
+    "to_prometheus",
+    "write_metrics_json",
+    "record_edgesim_trace",
+    "KeyValueFormatter",
+    "configure_logging",
+    "get_logger",
+    "kv",
+]

@@ -1,0 +1,60 @@
+"""Bridge: edge-DES traces flow into the telemetry span sink.
+
+:class:`repro.edgesim.trace.TracingSimulator` reconstructs per-task
+transfer/execution spans on the *simulated* clock. Rather than keeping
+that a parallel tracing system, this bridge folds a finished
+``edgesim.trace.Trace`` into the active :class:`RunTrace`: one parent
+span per epoch (``edgesim.epoch``) whose children are the DES events
+(``edgesim.input`` / ``edgesim.execution`` / ``edgesim.result``), all
+tagged ``clock="sim"`` since their timestamps are simulated seconds, not
+wall-clock offsets.
+
+The bridge is duck-typed over ``trace.events`` (objects with ``kind``,
+``task_id``, ``node_id``, ``start``, ``end``) so telemetry keeps zero
+imports from ``repro.edgesim``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.spans import RunTrace, current_run_trace
+
+
+def record_edgesim_trace(
+    trace,
+    *,
+    run_trace: RunTrace | None = None,
+    prefix: str = "edgesim",
+    label: str | None = None,
+) -> int:
+    """Fold a DES ``Trace`` into the span sink; returns spans added.
+
+    Targets ``run_trace`` when given, otherwise the active process-wide
+    trace; with neither, it is a no-op returning 0 (the same
+    off-by-default contract as :func:`repro.telemetry.span`).
+    """
+    target = run_trace if run_trace is not None else current_run_trace()
+    if target is None:
+        return 0
+    events = list(trace.events)
+    attrs: dict = {"clock": "sim", "events": len(events)}
+    if label is not None:
+        attrs["label"] = label
+    decision_time = getattr(trace, "decision_time", None)
+    if decision_time is not None:
+        attrs["decision_time"] = decision_time
+    start = min((e.start for e in events), default=0.0)
+    end = max((e.end for e in events), default=start)
+    parent = target.add_span(f"{prefix}.epoch", start, end, attrs=attrs)
+    for event in events:
+        target.add_span(
+            f"{prefix}.{event.kind}",
+            event.start,
+            event.end,
+            attrs={
+                "clock": "sim",
+                "task_id": int(event.task_id),
+                "node_id": int(event.node_id),
+            },
+            parent=parent,
+        )
+    return len(events) + 1

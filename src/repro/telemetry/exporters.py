@@ -1,0 +1,147 @@
+"""Metric exporters: JSON snapshot and Prometheus text exposition.
+
+Both walk the registry's families in sorted name order with label sets in
+sorted key order, so output is deterministic for a given run — the golden
+tests and the CI smoke check depend on that.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.telemetry.instruments import Histogram
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+
+
+def snapshot(registry: MetricsRegistry | NullRegistry) -> dict:
+    """Registry state as a JSON-ready dict: ``{"metrics": [...]}``.
+
+    Counter/gauge entries carry ``value``; histogram entries carry
+    ``buckets`` (cumulative ``le`` counts), ``sum`` and ``count``.
+    """
+    metrics: list[dict] = []
+    for family in registry.families():
+        for key in sorted(family.children):
+            child = family.children[key]
+            entry: dict = {
+                "name": family.name,
+                "kind": family.kind,
+                "labels": dict(key),
+            }
+            if family.help:
+                entry["help"] = family.help
+            if isinstance(child, Histogram):
+                entry["buckets"] = {
+                    _edge_text(edge): count
+                    for edge, count in zip(child.edges, child.cumulative_counts())
+                }
+                entry["buckets"]["+Inf"] = child.count
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+            else:
+                entry["value"] = child.value
+            metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def to_json(registry: MetricsRegistry | NullRegistry, *, indent: int | None = 2) -> str:
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=False)
+
+
+def write_metrics_json(registry: MetricsRegistry | NullRegistry, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(registry) + "\n")
+
+
+def _edge_text(edge: float) -> str:
+    """Compact edge rendering: integral edges print without the .0."""
+    if math.isinf(edge):
+        return "+Inf"
+    if edge == int(edge):
+        return str(int(edge))
+    return repr(edge)
+
+
+def _value_text(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(key: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry | NullRegistry) -> str:
+    """Prometheus text exposition (format 0.0.4) of the registry."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.children):
+            child = family.children[key]
+            if isinstance(child, Histogram):
+                for edge, count in zip(child.edges, child.cumulative_counts()):
+                    labels = _label_text(key, (("le", _edge_text(edge)),))
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                labels = _label_text(key, (("le", "+Inf"),))
+                lines.append(f"{family.name}_bucket{labels} {child.count}")
+                lines.append(f"{family.name}_sum{_label_text(key)} {_value_text(child.sum)}")
+                lines.append(f"{family.name}_count{_label_text(key)} {child.count}")
+            else:
+                lines.append(f"{family.name}{_label_text(key)} {_value_text(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_table(registry: MetricsRegistry | NullRegistry) -> str:
+    """Human-oriented metric listing for the CLI's telemetry-report."""
+    from repro.utils.reporting import format_table
+
+    rows: list[list[object]] = []
+    for family in registry.families():
+        for key in sorted(family.children):
+            child = family.children[key]
+            labels = ",".join(f"{k}={v}" for k, v in key) or "-"
+            if isinstance(child, Histogram):
+                mean = child.sum / child.count if child.count else 0.0
+                value = f"n={child.count} mean={mean:.4g} sum={child.sum:.4g}"
+            else:
+                value = _value_text(child.value)
+            rows.append([family.name, family.kind, labels, value])
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(["metric", "kind", "labels", "value"], rows)
+
+
+def snapshot_table(data: dict) -> str:
+    """Render a saved :func:`snapshot` dict (e.g. a metrics.json file).
+
+    The offline twin of :func:`metrics_table` for ``telemetry-report``,
+    which only has the serialized snapshot, not the live registry.
+    """
+    from repro.errors import DataError
+    from repro.utils.reporting import format_table
+
+    entries = data.get("metrics")
+    if not isinstance(entries, list):
+        raise DataError("metrics snapshot must contain a 'metrics' list")
+    rows: list[list[object]] = []
+    for entry in entries:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(entry.get("labels", {}).items())) or "-"
+        if entry.get("kind") == "histogram":
+            count = entry.get("count", 0)
+            total = entry.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            value = f"n={count} mean={mean:.4g} sum={total:.4g}"
+        else:
+            value = _value_text(float(entry.get("value", 0.0)))
+        rows.append([entry.get("name", "?"), entry.get("kind", "?"), labels, value])
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(["metric", "kind", "labels", "value"], rows)

@@ -1,0 +1,170 @@
+"""Metric instruments: Counter, Gauge, and fixed-bucket Histogram.
+
+The value model follows Prometheus conventions — counters are monotone,
+gauges are set/inc/dec, histograms bucket observations against fixed upper
+edges (cumulative ``le`` semantics at export time). Instruments are plain
+Python objects; they are created and owned by a
+:class:`repro.telemetry.registry.MetricsRegistry` (one instrument per
+(name, label-set) pair) and carry no locking — the reproduction pipeline
+is single-threaded.
+
+A parallel set of ``Null*`` singletons implements the same call surface as
+no-ops; the default :class:`~repro.telemetry.registry.NullRegistry` hands
+those out so instrumented hot paths cost two attribute lookups and a
+no-op call when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import ConfigurationError, DataError
+
+#: Default latency buckets (seconds) for histograms: sub-millisecond
+#: through a minute, roughly geometric. The Figs. 9-11 processing times
+#: land in the upper decades; solver/planner latencies in the lower ones.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    600.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value (events, totals)."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise DataError(f"counter increments must be >= 0, got {amount}")
+        self.value += float(amount)
+
+
+class Gauge:
+    """Last-written value (sizes, levels, most-recent measurements)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= float(amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` edge semantics.
+
+    ``bucket_counts[i]`` holds observations with
+    ``edges[i-1] < value <= edges[i]`` (the first bucket has no lower
+    edge); values above the last edge land in the implicit ``+Inf``
+    overflow bucket. Cumulative counts are materialized only at export.
+    """
+
+    __slots__ = ("edges", "bucket_counts", "overflow", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, edges: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ConfigurationError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(f"bucket edges must be strictly increasing: {edges}")
+        self.edges = edges
+        self.bucket_counts = [0] * len(edges)
+        self.overflow = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        # bisect_left puts a value equal to an edge into that edge's
+        # bucket, matching the inclusive-upper-bound ``le`` convention.
+        index = bisect_left(self.edges, value)
+        if index == len(self.edges):
+            self.overflow += 1
+        else:
+            self.bucket_counts[index] += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Per-edge cumulative counts (``le`` view), excluding +Inf."""
+        counts = []
+        running = 0
+        for bucket in self.bucket_counts:
+            running += bucket
+            counts.append(running)
+        return counts
+
+
+class NullCounter:
+    __slots__ = ()
+
+    kind = "counter"
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+
+    kind = "gauge"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    kind = "histogram"
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()

@@ -1,0 +1,94 @@
+"""Structured logging: stdlib ``logging`` with a compact key=value format.
+
+Library modules obtain loggers under the ``repro`` namespace::
+
+    from repro.telemetry.log import get_logger, kv
+
+    _log = get_logger(__name__)
+    _log.debug("table_rendered %s", kv(rows=12, columns=4))
+
+Following library convention, the ``repro`` root logger carries a
+``NullHandler`` so nothing prints unless the application opts in —
+:func:`configure_logging` (wired to the CLI's ``--log-level``) installs a
+stderr handler with :class:`KeyValueFormatter`, which renders records as
+
+    2026-08-06T12:00:00 level=debug logger=repro.utils.reporting msg="table_rendered rows=12 columns=4"
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER_NAME = "repro"
+
+_configured_handler: logging.Handler | None = None
+
+
+def format_value(value: object) -> str:
+    """Render one value for key=value output; quotes when needed."""
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    else:
+        text = str(value)
+    if any(c in text for c in (" ", "=", '"')) or text == "":
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def kv(**fields) -> str:
+    """Fields as a stable ``key=value`` string (insertion order kept)."""
+    return " ".join(f"{key}={format_value(value)}" for key, value in fields.items())
+
+
+class KeyValueFormatter(logging.Formatter):
+    """One-line key=value rendering of a log record."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        parts = [
+            self.formatTime(record, self.default_time_format),
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"msg={format_value(message)}",
+        ]
+        if record.exc_info:
+            parts.append(f"exc={format_value(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (NullHandler attached once)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    if name is None or name == ROOT_LOGGER_NAME:
+        return root
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: int | str = logging.INFO, *, stream=None) -> logging.Logger:
+    """Opt in to console output: attach the key=value handler once.
+
+    Re-invoking replaces the previous handler (idempotent for the CLI,
+    which may be called repeatedly in one process, e.g. under tests).
+    """
+    global _configured_handler
+    root = get_logger()
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    if _configured_handler is not None:
+        root.removeHandler(_configured_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    _configured_handler = handler
+    return root

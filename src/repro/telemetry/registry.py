@@ -1,0 +1,205 @@
+"""Process-wide metrics registry with label support.
+
+One :class:`MetricsRegistry` owns every instrument family in a run. A
+family is a metric name plus its kind (counter/gauge/histogram); each
+distinct label set under a family gets its own child instrument, created
+on first use and cached:
+
+    registry.counter("repro_tatim_solves_total", solver="density_greedy").inc()
+
+The process default is a :class:`NullRegistry` whose accessors return
+shared no-op instruments, so instrumented code pays (almost) nothing when
+telemetry is off. The CLI (or a test) switches telemetry on by installing
+a real registry via :func:`set_registry` or the :func:`use_registry`
+context manager.
+
+Metric names follow ``repro_<subsystem>_<name>_<unit>`` (see
+``docs/observability.md`` for the catalog and conventions).
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.telemetry.instruments import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricFamily:
+    """All children of one metric name: shared kind, help, and buckets."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.children: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """Creates, caches, and enumerates metric instruments."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise ConfigurationError(
+                    f"invalid metric name {name!r}; use lowercase snake_case "
+                    "(convention: repro_<subsystem>_<name>_<unit>)"
+                )
+            family = MetricFamily(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        elif buckets is not None and family.buckets != buckets:
+            raise ConfigurationError(
+                f"metric {name!r} already registered with buckets {family.buckets}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def _child(self, family: MetricFamily, labels: dict, factory):
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ConfigurationError(f"invalid label name {label!r}")
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = factory()
+            family.children[key] = child
+        return child
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, *, help: str = "", **labels) -> Counter:
+        family = self._family(name, "counter", help)
+        return self._child(family, labels, Counter)
+
+    def gauge(self, name: str, *, help: str = "", **labels) -> Gauge:
+        family = self._family(name, "gauge", help)
+        return self._child(family, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+        **labels,
+    ) -> Histogram:
+        buckets = tuple(float(b) for b in buckets)
+        family = self._family(name, "histogram", help, buckets)
+        return self._child(family, labels, lambda: Histogram(buckets))
+
+    # ------------------------------------------------------------------
+    def families(self) -> list[MetricFamily]:
+        """Families in sorted name order (the exporters' iteration order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str, **labels):
+        """Fetch an existing instrument or raise KeyError (test helper)."""
+        family = self._families[name]
+        return family.children[_label_key(labels)]
+
+    def names(self) -> set[str]:
+        return set(self._families)
+
+    def __len__(self) -> int:
+        return sum(len(f.children) for f in self._families.values())
+
+
+class NullRegistry:
+    """No-op registry: every accessor returns a shared null instrument."""
+
+    def counter(self, name: str, *, help: str = "", **labels):
+        return NULL_COUNTER
+
+    def gauge(self, name: str, *, help: str = "", **labels):
+        return NULL_GAUGE
+
+    def histogram(self, name: str, *, buckets=DEFAULT_LATENCY_BUCKETS, help: str = "", **labels):
+        return NULL_HISTOGRAM
+
+    def families(self) -> list[MetricFamily]:
+        return []
+
+    def names(self) -> set[str]:
+        return set()
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry | NullRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-wide registry instrumented code reports into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry | NullRegistry) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` as the process-wide sink; returns it."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def reset_registry() -> None:
+    """Back to the disabled (no-op) default."""
+    set_registry(_NULL_REGISTRY)
+
+
+def telemetry_enabled() -> bool:
+    """True when a real registry is installed."""
+    return not isinstance(_registry, NullRegistry)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Temporarily install ``registry``; restores the previous one on exit."""
+    previous = _registry
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

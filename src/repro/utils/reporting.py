@@ -2,12 +2,19 @@
 
 The benchmark harness prints the same rows/series the paper's figures show;
 these helpers keep that output aligned and copy-pasteable into
-EXPERIMENTS.md without pulling in a formatting dependency.
+EXPERIMENTS.md without pulling in a formatting dependency. Each render
+also emits a debug-level structured event through ``repro.telemetry.log``
+(silent unless ``configure_logging("debug")`` / ``--log-level debug``),
+so runs can be audited without changing any printed text.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
+
+from repro.telemetry.log import get_logger, kv
+
+_log = get_logger("utils.reporting")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None) -> str:
@@ -39,6 +46,9 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, ti
     lines.append("  ".join("-" * w for w in widths))
     for row in rendered:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    _log.debug(
+        kv(event="table_rendered", title=title or "-", columns=len(headers), rows=len(rendered))
+    )
     return "\n".join(lines)
 
 
@@ -67,4 +77,13 @@ def speedup_table(
         row: list[object] = [value] + [times[m][i] for m in methods]
         row += [times[m][i] / base if base > 0 else float("inf") for m in methods if m != reference]
         rows.append(row)
+    _log.debug(
+        kv(
+            event="speedup_table",
+            sweep=sweep_name,
+            points=len(rows),
+            methods=",".join(methods),
+            reference=reference,
+        )
+    )
     return format_table(headers, rows)

@@ -69,6 +69,20 @@ class TestSweeps:
             assert result.times[method][0] > result.times["DCTA"][0]
 
 
+class TestSweepTelemetryColumns:
+    def test_plan_seconds_and_solve_counts_populated(self, experiment, small_scenario):
+        result = experiment.sweep_bandwidth((40,), n_processors=2)
+        assert set(result.plan_seconds) == set(result.times)
+        assert set(result.solve_counts) == set(result.times)
+        expected_solves = len(small_scenario.eval_epochs)
+        for method in result.times:
+            assert len(result.plan_seconds[method]) == 1
+            assert result.plan_seconds[method][0] >= 0.0
+            assert result.solve_counts[method] == [expected_solves]
+        assert "plan (ms)" in result.timing_table()
+        assert "solves" in result.timing_table()
+
+
 class TestSweepResult:
     def test_speedup_math(self):
         result = SweepResult("M", (1, 2), {"RM": [10.0, 8.0], "DCTA": [5.0, 2.0]})
@@ -83,3 +97,21 @@ class TestSweepResult:
         result = SweepResult("M", (1,), {"DCTA": [1.0]})
         with pytest.raises(DataError):
             result.speedup_over("RM")
+
+    def test_timing_columns_default_empty(self):
+        """Constructions without telemetry columns stay valid."""
+        result = SweepResult("M", (1,), {"RM": [10.0], "DCTA": [5.0]})
+        assert result.plan_seconds == {}
+        assert result.timing_table() == "(no plan-timing telemetry recorded)"
+
+    def test_timing_table_renders_columns(self):
+        result = SweepResult(
+            "M",
+            (1, 2),
+            {"DCTA": [5.0, 4.0]},
+            plan_seconds={"DCTA": [0.002, 0.003]},
+            solve_counts={"DCTA": [2, 2]},
+        )
+        text = result.timing_table()
+        assert "DCTA plan (ms)" in text and "DCTA solves" in text
+        assert "2" in text

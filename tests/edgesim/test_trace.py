@@ -62,6 +62,55 @@ class TestTracingSimulator:
         assert all(e.node_id == 0 for e in executions)
 
 
+class TestJsonlRoundTrip:
+    def test_events_survive_serialize_parse_unchanged(self, traced_run):
+        """Every TraceEvent round-trips exactly, float timestamps included."""
+        _, _, trace = traced_run
+        parsed = Trace.from_jsonl(trace.to_jsonl())
+        assert parsed.events == trace.events
+        assert parsed.decision_time == trace.decision_time
+        for original, restored in zip(trace.events, parsed.events):
+            assert restored.start == original.start  # exact float equality
+            assert restored.end == original.end
+
+    def test_awkward_float_timestamps_exact(self):
+        trace = Trace(
+            events=[TraceEvent("execution", 3, 1, start=0.1 + 0.2, end=10.123249999999997)],
+            decision_time=1e-9,
+        )
+        parsed = Trace.from_jsonl(trace.to_jsonl())
+        assert parsed.events[0].start == 0.1 + 0.2
+        assert parsed.events[0].end == 10.123249999999997
+        assert parsed.decision_time == 1e-9
+
+    def test_empty_trace_and_none_decision(self):
+        parsed = Trace.from_jsonl(Trace().to_jsonl())
+        assert parsed.events == []
+        assert parsed.decision_time is None
+
+    def test_file_round_trip(self, tmp_path, traced_run):
+        _, _, trace = traced_run
+        path = tmp_path / "epoch.jsonl"
+        trace.write_jsonl(path)
+        assert Trace.read_jsonl(path).events == trace.events
+
+    def test_unknown_kinds_skipped(self):
+        text = (
+            '{"kind": "meta", "events": 1, "decision_time": null}\n'
+            '{"kind": "future_thing", "x": 1}\n'
+            '{"kind": "event", "event": "input", "task_id": 0, "node_id": 1, "start": 0.0, "end": 1.5}\n'
+        )
+        parsed = Trace.from_jsonl(text)
+        assert len(parsed.events) == 1
+        assert parsed.events[0].node_id == 1
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(DataError):
+            Trace.from_jsonl("{broken")
+        with pytest.raises(DataError):
+            Trace.from_jsonl('{"kind": "event", "event": "input"}')
+
+
 class TestGantt:
     def test_renders_lanes_and_glyphs(self, traced_run):
         _, _, trace = traced_run

@@ -1,0 +1,14 @@
+"""Telemetry tests share process-wide sinks; always restore the defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import reset_registry, set_run_trace
+
+
+@pytest.fixture(autouse=True)
+def disabled_telemetry_after_each_test():
+    yield
+    reset_registry()
+    set_run_trace(None)

@@ -1,0 +1,24 @@
+"""Regenerate the exporter golden files after an intentional format change.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/telemetry/make_goldens.py
+"""
+
+from __future__ import annotations
+
+from telemetry.test_exporters import GOLDEN_DIR, build_reference_registry
+
+from repro.telemetry import to_json, to_prometheus
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    registry = build_reference_registry()
+    (GOLDEN_DIR / "reference.prom").write_text(to_prometheus(registry), encoding="utf-8")
+    (GOLDEN_DIR / "reference.json").write_text(to_json(registry) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_DIR / 'reference.prom'} and {GOLDEN_DIR / 'reference.json'}")
+
+
+if __name__ == "__main__":
+    main()

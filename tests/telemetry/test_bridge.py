@@ -1,0 +1,68 @@
+import pytest
+
+from repro.edgesim.network import StarNetwork
+from repro.edgesim.node import make_node
+from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
+from repro.edgesim.trace import TracingSimulator
+from repro.edgesim.workload import SimTask
+from repro.telemetry import RunTrace, record_edgesim_trace, set_run_trace, use_run_trace
+
+
+@pytest.fixture
+def traced_epoch():
+    nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+    tasks = [
+        SimTask(0, input_mb=30.0, memory_mb=10.0, true_importance=0.6),
+        SimTask(1, input_mb=30.0, memory_mb=10.0, true_importance=0.4),
+    ]
+    simulator = TracingSimulator(EdgeSimulator(nodes, StarNetwork(), quality_threshold=1.0))
+    plan = ExecutionPlan(((0, 0), (1, 1)), label="unit")
+    return simulator, tasks, plan
+
+
+class TestBridge:
+    def test_events_become_nested_sim_spans(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        _, trace = simulator.run(tasks, plan)
+        sink = RunTrace()
+        added = record_edgesim_trace(trace, run_trace=sink, label="unit")
+        assert added == len(trace.events) + 1  # events + the epoch parent
+        (root,) = sink.roots()
+        assert root.name == "edgesim.epoch"
+        assert root.attrs["clock"] == "sim"
+        assert root.attrs["label"] == "unit"
+        children = sink.children_of(0)
+        assert len(children) == len(trace.events)
+        assert {c.name for c in children} == {
+            "edgesim.input",
+            "edgesim.execution",
+            "edgesim.result",
+        }
+        for child in children:
+            assert child.parent == 0 and "task_id" in child.attrs
+
+    def test_noop_without_any_sink(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        _, trace = simulator.run(tasks, plan)
+        set_run_trace(None)
+        assert record_edgesim_trace(trace) == 0
+
+    def test_tracing_simulator_feeds_active_run_trace(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        sink = RunTrace()
+        with use_run_trace(sink):
+            _, trace = simulator.run(tasks, plan)
+        # The wrapped simulator's own wall-clock span plus the bridged
+        # simulated-clock epoch with one child per DES event.
+        names = [s.name for s in sink.spans]
+        assert "edgesim.run" in names
+        epoch_index = names.index("edgesim.epoch")
+        assert sink.spans[epoch_index].parent is None
+        assert len(sink.children_of(epoch_index)) == len(trace.events)
+
+    def test_tracing_simulator_silent_without_run_trace(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        set_run_trace(None)
+        result, trace = simulator.run(tasks, plan)
+        assert result.tasks_executed == 2
+        assert trace.events  # the edgesim trace itself is unaffected

@@ -1,0 +1,117 @@
+from pathlib import Path
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    metrics_table,
+    snapshot,
+    snapshot_table,
+    to_json,
+    to_prometheus,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """Deterministic registry used for the golden-file comparisons.
+
+    No wall-clock observations: every value is fixed, so the exported
+    text is byte-stable across machines. ``make_goldens.py`` regenerates
+    the golden files from this same function.
+    """
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_tatim_solves_total", help="TATIM solver invocations", solver="density_greedy"
+    ).inc(3)
+    registry.counter(
+        "repro_tatim_solves_total", help="TATIM solver invocations", solver="branch_and_bound"
+    ).inc()
+    registry.gauge("repro_rl_dqn_epsilon", help="Exploration rate after the last episode").set(
+        0.25
+    )
+    histogram = registry.histogram(
+        "repro_core_plan_seconds",
+        buckets=(0.01, 0.1, 1.0),
+        help="Controller-side plan computation latency",
+        policy="DCTA",
+    )
+    for value in (0.005, 0.05, 0.05, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestGoldenFiles:
+    def test_prometheus_matches_golden(self):
+        expected = (GOLDEN_DIR / "reference.prom").read_text(encoding="utf-8")
+        assert to_prometheus(build_reference_registry()) == expected
+
+    def test_json_matches_golden(self):
+        expected = (GOLDEN_DIR / "reference.json").read_text(encoding="utf-8")
+        assert to_json(build_reference_registry()) + "\n" == expected
+
+
+class TestSnapshot:
+    def test_counter_and_gauge_entries(self):
+        data = snapshot(build_reference_registry())
+        by_name = {}
+        for entry in data["metrics"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+        assert len(by_name["repro_tatim_solves_total"]) == 2
+        solvers = {e["labels"]["solver"]: e["value"] for e in by_name["repro_tatim_solves_total"]}
+        assert solvers == {"branch_and_bound": 1.0, "density_greedy": 3.0}
+        (epsilon,) = by_name["repro_rl_dqn_epsilon"]
+        assert epsilon["kind"] == "gauge" and epsilon["value"] == 0.25
+
+    def test_histogram_entry_has_cumulative_buckets(self):
+        data = snapshot(build_reference_registry())
+        (entry,) = [e for e in data["metrics"] if e["kind"] == "histogram"]
+        assert entry["buckets"] == {"0.01": 1, "0.1": 3, "1": 3, "+Inf": 4}
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(2.105)
+
+    def test_json_is_parseable(self):
+        data = json.loads(to_json(build_reference_registry()))
+        assert {m["name"] for m in data["metrics"]} == {
+            "repro_core_plan_seconds",
+            "repro_rl_dqn_epsilon",
+            "repro_tatim_solves_total",
+        }
+
+
+class TestPrometheusText:
+    def test_histogram_exposition_shape(self):
+        text = to_prometheus(build_reference_registry())
+        assert '# TYPE repro_core_plan_seconds histogram' in text
+        assert 'repro_core_plan_seconds_bucket{policy="DCTA",le="+Inf"} 4' in text
+        assert 'repro_core_plan_seconds_count{policy="DCTA"} 4' in text
+        assert 'repro_tatim_solves_total{solver="density_greedy"} 3' in text
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestTables:
+    def test_metrics_table_lists_every_child(self):
+        text = metrics_table(build_reference_registry())
+        assert "repro_tatim_solves_total" in text
+        assert "solver=density_greedy" in text
+        assert "n=4" in text
+
+    def test_metrics_table_empty(self):
+        assert metrics_table(MetricsRegistry()) == "(no metrics recorded)"
+
+    def test_snapshot_table_round_trips_through_json(self):
+        data = json.loads(to_json(build_reference_registry()))
+        text = snapshot_table(data)
+        assert "repro_rl_dqn_epsilon" in text
+        assert "policy=DCTA" in text
+
+    def test_snapshot_table_rejects_malformed(self):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            snapshot_table({"nope": []})

@@ -1,0 +1,113 @@
+"""End-to-end checks that the hot paths actually report into the sinks."""
+
+import pytest
+
+from repro.building.dataset import BuildingOperationConfig
+from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+from repro.tatim.generators import random_instance
+from repro.tatim.greedy import density_greedy
+from repro.telemetry import MetricsRegistry, RunTrace, use_registry, use_run_trace
+
+
+@pytest.fixture(scope="module")
+def pipeline_telemetry():
+    """Build a tiny DCTASystem and run one epoch with both sinks active."""
+    registry = MetricsRegistry()
+    trace = RunTrace(label="smoke")
+    config = DCTASystemConfig(
+        building=BuildingOperationConfig(n_days=14, n_buildings=2, seed=7),
+        n_processors=4,
+        crl_clusters=2,
+        crl_episodes=10,
+        dqn_hidden=(16,),
+        seed=7,
+    )
+    with use_registry(registry), use_run_trace(trace):
+        system = DCTASystem(config).build()
+        system.run_epoch(int(system.eval_days[0]))
+    return registry, trace
+
+
+class TestDCTASystemMetrics:
+    def test_expected_metric_names_emitted(self, pipeline_telemetry):
+        registry, _ = pipeline_telemetry
+        names = registry.names()
+        expected = {
+            # building
+            "repro_building_datasets_generated_total",
+            "repro_building_generate_seconds",
+            # tatim (selection labels use density_greedy per history day)
+            "repro_tatim_solves_total",
+            "repro_tatim_solve_seconds",
+            "repro_tatim_placements_tried_total",
+            # rl
+            "repro_rl_dqn_train_steps_total",
+            "repro_rl_dqn_epsilon",
+            "repro_rl_replay_size",
+            "repro_rl_crl_agents_trained_total",
+            "repro_rl_crl_knn_lookups_total",
+            # allocation
+            "repro_allocation_local_fits_total",
+            "repro_allocation_combines_total",
+            # core + edgesim
+            "repro_core_build_seconds",
+            "repro_core_epochs_total",
+            "repro_core_epoch_pt_seconds",
+            "repro_edgesim_runs_total",
+            "repro_edgesim_tasks_executed_total",
+        }
+        missing = expected - names
+        assert not missing, f"missing metric families: {sorted(missing)}"
+
+    def test_at_least_four_subsystems_report(self, pipeline_telemetry):
+        registry, _ = pipeline_telemetry
+        subsystems = {name.split("_")[1] for name in registry.names()}
+        assert {"tatim", "rl", "core", "edgesim"} <= subsystems
+
+    def test_per_policy_labels_present(self, pipeline_telemetry):
+        registry, _ = pipeline_telemetry
+        for policy in ("RM", "DML", "CRL", "DCTA"):
+            assert registry.get("repro_edgesim_runs_total", plan=policy).value >= 1.0
+
+    def test_solver_latency_observed(self, pipeline_telemetry):
+        registry, _ = pipeline_telemetry
+        histogram = registry.get("repro_tatim_solve_seconds", solver="density_greedy")
+        assert histogram.count >= 1
+        assert histogram.sum >= 0.0
+
+
+class TestDCTASystemSpans:
+    def test_nested_build_and_epoch_spans(self, pipeline_telemetry):
+        _, trace = pipeline_telemetry
+        names = {s.name for s in trace.spans}
+        assert {"core.build", "core.build.mtl_fit", "core.epoch", "core.epoch.policy"} <= names
+        build = next(s for s in trace.spans if s.name == "core.build")
+        mtl = next(s for s in trace.spans if s.name == "core.build.mtl_fit")
+        assert mtl.depth > build.depth
+        assert all(s.end is not None for s in trace.spans)
+
+    def test_policy_spans_cover_all_policies(self, pipeline_telemetry):
+        _, trace = pipeline_telemetry
+        policies = {
+            s.attrs["policy"] for s in trace.spans if s.name == "core.epoch.policy"
+        }
+        assert policies == {"RM", "DML", "CRL", "DCTA"}
+
+
+class TestSolverDecorator:
+    def test_greedy_emits_solver_labelled_metrics(self):
+        problem = random_instance(8, 2, seed=3)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            density_greedy(problem)
+        assert registry.get("repro_tatim_solves_total", solver="density_greedy").value == 1.0
+        assert registry.get("repro_tatim_solve_seconds", solver="density_greedy").count == 1
+        assert registry.get("repro_tatim_placements_tried_total").value > 0
+
+    def test_disabled_mode_changes_nothing(self):
+        problem = random_instance(8, 2, seed=3)
+        baseline = density_greedy(problem)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            instrumented = density_greedy(problem)
+        assert (instrumented.matrix == baseline.matrix).all()

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.telemetry import DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram
+from repro.telemetry.instruments import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(DataError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_default_buckets_are_strictly_increasing(self):
+        assert all(
+            b > a for a, b in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:])
+        )
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(())
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram((1.0, 1.0, 2.0))
+
+    def test_observation_lands_in_le_bucket(self):
+        histogram = Histogram((1.0, 2.0, 5.0))
+        histogram.observe(0.5)  # <= 1.0
+        histogram.observe(1.5)  # <= 2.0
+        histogram.observe(4.0)  # <= 5.0
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.overflow == 0
+
+    def test_value_equal_to_edge_is_inclusive(self):
+        """Prometheus ``le`` semantics: value == edge falls in that bucket."""
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        assert histogram.bucket_counts == [1, 1]
+        assert histogram.overflow == 0
+
+    def test_overflow_above_last_edge(self):
+        histogram = Histogram((1.0,))
+        histogram.observe(1.0000001)
+        assert histogram.bucket_counts == [0]
+        assert histogram.overflow == 1
+        assert histogram.count == 1
+
+    def test_sum_and_count_track_all_observations(self):
+        histogram = Histogram((1.0,))
+        for value in (0.5, 3.0, 0.25):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(3.75)
+
+    def test_cumulative_counts(self):
+        histogram = Histogram((1.0, 2.0, 5.0))
+        for value in (0.5, 0.9, 1.5, 10.0):
+            histogram.observe(value)
+        assert histogram.cumulative_counts() == [2, 3, 3]
+
+
+class TestNullInstruments:
+    def test_null_calls_are_silent_noops(self):
+        NULL_COUNTER.inc(5.0)
+        NULL_GAUGE.set(3.0)
+        NULL_GAUGE.inc()
+        NULL_GAUGE.dec()
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0

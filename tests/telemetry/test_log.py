@@ -1,0 +1,93 @@
+import io
+import logging
+
+import pytest
+
+from repro.telemetry import KeyValueFormatter, configure_logging, get_logger, kv
+from repro.telemetry.log import format_value
+
+
+@pytest.fixture(autouse=True)
+def restore_logging_state():
+    """Leave the process-wide `repro` logger as the test found it."""
+    root = get_logger()
+    handlers, level = list(root.handlers), root.level
+    yield
+    root.handlers[:] = handlers
+    root.setLevel(level)
+
+
+class TestFormatValue:
+    def test_plain_values_unquoted(self):
+        assert format_value("greedy") == "greedy"
+        assert format_value(3) == "3"
+
+    def test_floats_use_six_significant_digits(self):
+        assert format_value(0.123456789) == "0.123457"
+
+    def test_values_with_spaces_equals_or_quotes_are_quoted(self):
+        assert format_value("two words") == '"two words"'
+        assert format_value("a=b") == '"a=b"'
+        assert format_value('say "hi"') == '"say \\"hi\\""'
+        assert format_value("") == '""'
+
+
+class TestKv:
+    def test_insertion_order_kept(self):
+        assert kv(b=1, a=2) == "b=1 a=2"
+
+    def test_mixed_types(self):
+        assert kv(event="solve done", solver="greedy", n=3) == 'event="solve done" solver=greedy n=3'
+
+
+class TestFormatter:
+    def _render(self, message: str) -> str:
+        record = logging.LogRecord(
+            name="repro.unit", level=logging.INFO, pathname=__file__, lineno=1,
+            msg=message, args=(), exc_info=None,
+        )
+        return KeyValueFormatter().format(record)
+
+    def test_fields_present(self):
+        line = self._render("event=solved n=3")
+        assert "level=info" in line
+        assert "logger=repro.unit" in line
+        assert 'msg="event=solved n=3"' in line
+
+
+class TestLoggerSetup:
+    def test_loggers_live_under_repro_namespace(self):
+        assert get_logger("utils.reporting").name == "repro.utils.reporting"
+        assert get_logger("repro.cli").name == "repro.cli"
+        assert get_logger().name == "repro"
+
+    def test_silent_by_default(self):
+        root = get_logger()
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_configure_logging_idempotent(self):
+        stream = io.StringIO()
+        before = len(get_logger().handlers)
+        configure_logging("debug", stream=stream)
+        configure_logging("info", stream=stream)
+        after = len(get_logger().handlers)
+        assert after == before + 1  # replaced, not stacked
+
+    def test_configured_stream_receives_kv_lines(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        get_logger("unit").debug(kv(event="ping", n=1))
+        assert 'msg="event=ping n=1"' in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_reporting_emits_debug_event(self):
+        from repro.utils.reporting import format_table
+
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        text = format_table(["a"], [[1]])
+        assert "a" in text  # printed text unchanged
+        assert "event=table_rendered" in stream.getvalue()

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+    telemetry_enabled,
+    use_registry,
+)
+from repro.telemetry.instruments import NULL_COUNTER
+
+
+class TestLabelSemantics:
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", solver="greedy")
+        b = registry.counter("repro_test_total", solver="greedy")
+        assert a is b
+
+    def test_label_order_is_canonicalized(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", a="1", b="2")
+        b = registry.counter("repro_test_total", b="2", a="1")
+        assert a is b
+
+    def test_label_values_are_stringified(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", day=3)
+        b = registry.counter("repro_test_total", day="3")
+        assert a is b
+
+    def test_distinct_label_values_get_distinct_children(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", solver="greedy")
+        b = registry.counter("repro_test_total", solver="exact")
+        assert a is not b
+        a.inc(2)
+        assert registry.get("repro_test_total", solver="greedy").value == 2.0
+        assert registry.get("repro_test_total", solver="exact").value == 0.0
+
+    def test_unlabeled_child_is_distinct_from_labeled(self):
+        registry = MetricsRegistry()
+        bare = registry.counter("repro_test_total")
+        labeled = registry.counter("repro_test_total", solver="greedy")
+        assert bare is not labeled
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_test_total", **{"Bad-Label": "x"})
+
+
+class TestFamilyRules:
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("Repro_X", "9leading", "has-dash", "has space"):
+            with pytest.raises(ConfigurationError):
+                registry.counter(bad)
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_test_total")
+
+    def test_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_test_seconds", buckets=(1.0, 5.0))
+
+    def test_help_is_sticky_on_first_setting(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        registry.counter("repro_test_total", help="first")
+        registry.counter("repro_test_total", help="second")
+        (family,) = registry.families()
+        assert family.help == "first"
+
+    def test_families_sorted_and_len_counts_children(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_b_value")
+        registry.counter("repro_a_total", solver="x")
+        registry.counter("repro_a_total", solver="y")
+        assert [f.name for f in registry.families()] == ["repro_a_total", "repro_b_value"]
+        assert len(registry) == 3
+        assert registry.names() == {"repro_a_total", "repro_b_value"}
+
+
+class TestProcessDefault:
+    def test_default_is_disabled_null_registry(self):
+        reset_registry()
+        assert not telemetry_enabled()
+        assert get_registry().counter("anything_goes_here") is NULL_COUNTER
+
+    def test_use_registry_installs_and_restores(self):
+        reset_registry()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert telemetry_enabled()
+            assert get_registry() is registry
+        assert not telemetry_enabled()
+
+    def test_use_registry_restores_on_error(self):
+        reset_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert not telemetry_enabled()
+
+    def test_set_registry_returns_argument(self):
+        registry = MetricsRegistry()
+        assert set_registry(registry) is registry
+        reset_registry()
+
+    def test_null_registry_enumerates_empty(self):
+        null = NullRegistry()
+        assert null.families() == []
+        assert null.names() == set()
+        assert len(null) == 0

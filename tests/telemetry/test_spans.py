@@ -1,0 +1,189 @@
+import pytest
+
+from repro.errors import DataError
+from repro.telemetry import (
+    RunTrace,
+    SpanRecord,
+    current_run_trace,
+    set_run_trace,
+    span,
+    use_run_trace,
+)
+from repro.telemetry.spans import _NOOP_SPAN
+
+
+@pytest.fixture
+def fake_clock():
+    """Deterministic monotonic clock advancing 1s per reading."""
+
+    class Clock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            self.now += 1.0
+            return self.now
+
+    return Clock()
+
+
+class TestNesting:
+    def test_depths_and_parents(self):
+        trace = RunTrace()
+        with use_run_trace(trace):
+            with span("outer"):
+                with span("middle"):
+                    with span("inner"):
+                        pass
+                with span("sibling"):
+                    pass
+        names = [s.name for s in trace.spans]
+        assert names == ["outer", "middle", "inner", "sibling"]
+        outer, middle, inner, sibling = trace.spans
+        assert (outer.depth, middle.depth, inner.depth, sibling.depth) == (0, 1, 2, 1)
+        assert outer.parent is None
+        assert middle.parent == 0 and sibling.parent == 0
+        assert inner.parent == 1
+        assert trace.roots() == [outer]
+        assert trace.children_of(0) == [middle, sibling]
+
+    def test_attrs_recorded(self):
+        trace = RunTrace()
+        with use_run_trace(trace):
+            with span("tatim.solve", solver="greedy", tasks=10):
+                pass
+        assert trace.spans[0].attrs == {"solver": "greedy", "tasks": 10}
+
+    def test_finish_requires_innermost(self, fake_clock):
+        trace = RunTrace(clock=fake_clock)
+        outer = trace.begin("outer")
+        trace.begin("inner")
+        with pytest.raises(DataError):
+            trace.finish(outer)
+
+
+class TestExceptionSafety:
+    def test_error_type_recorded_and_span_closed(self):
+        trace = RunTrace()
+        with use_run_trace(trace):
+            with pytest.raises(ValueError):
+                with span("outer"):
+                    with span("failing"):
+                        raise ValueError("boom")
+        failing = trace.spans[1]
+        assert failing.attrs["error"] == "ValueError"
+        assert failing.end is not None
+        # The enclosing span also closed, so the trace stays well-nested.
+        assert trace.spans[0].end is not None
+        # And a fresh span can open at the root afterwards.
+        with use_run_trace(trace):
+            with span("after"):
+                pass
+        assert trace.spans[-1].depth == 0
+
+    def test_exception_propagates_through_noop_span(self):
+        set_run_trace(None)
+        with pytest.raises(ValueError):
+            with span("anything"):
+                raise ValueError("boom")
+
+
+class TestDisabledMode:
+    def test_span_without_trace_is_shared_noop(self):
+        set_run_trace(None)
+        assert span("a") is _NOOP_SPAN
+        assert span("b", k=1) is _NOOP_SPAN
+
+    def test_use_run_trace_installs_and_restores(self):
+        set_run_trace(None)
+        trace = RunTrace()
+        with use_run_trace(trace):
+            assert current_run_trace() is trace
+        assert current_run_trace() is None
+
+
+class TestPreTimedSpans:
+    def test_add_span_links_parent_and_depth(self):
+        trace = RunTrace()
+        root = trace.add_span("edgesim.epoch", 0.0, 10.0)
+        child = trace.add_span("edgesim.execution", 2.0, 6.0, parent=root)
+        assert trace.spans[child].depth == 1
+        assert trace.spans[child].parent == root
+
+    def test_add_span_rejects_bad_ranges(self):
+        trace = RunTrace()
+        with pytest.raises(DataError):
+            trace.add_span("x", 5.0, 1.0)
+        with pytest.raises(DataError):
+            trace.add_span("x", 0.0, 1.0, parent=99)
+
+
+class TestSerialization:
+    def test_jsonl_round_trip_preserves_float_timestamps(self, fake_clock):
+        trace = RunTrace(label="unit", clock=fake_clock)
+        with use_run_trace(trace):
+            with span("outer", day=3):
+                with span("inner"):
+                    pass
+        trace.add_span("bridged", 0.123456789, 9.87654321, attrs={"clock": "sim"})
+        parsed = RunTrace.from_jsonl(trace.to_jsonl())
+        assert parsed.label == "unit"
+        assert len(parsed.spans) == len(trace.spans)
+        for original, restored in zip(trace.spans, parsed.spans):
+            assert restored.name == original.name
+            assert restored.start == original.start  # exact, not approx
+            assert restored.end == original.end
+            assert restored.depth == original.depth
+            assert restored.parent == original.parent
+            assert restored.attrs == original.attrs
+
+    def test_file_round_trip(self, tmp_path, fake_clock):
+        trace = RunTrace(label="file", clock=fake_clock)
+        with use_run_trace(trace):
+            with span("only"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        trace.write_jsonl(path)
+        parsed = RunTrace.read_jsonl(path)
+        assert parsed.label == "file"
+        assert parsed.spans[0].name == "only"
+
+    def test_unknown_kinds_skipped(self):
+        text = (
+            '{"kind": "meta", "label": "fwd", "spans": 1}\n'
+            '{"kind": "comment", "text": "future extension"}\n'
+            '{"kind": "span", "name": "a", "start": 0.0, "end": 1.0}\n'
+        )
+        parsed = RunTrace.from_jsonl(text)
+        assert [s.name for s in parsed.spans] == ["a"]
+
+    def test_invalid_lines_rejected(self):
+        with pytest.raises(DataError):
+            RunTrace.from_jsonl("not json at all")
+        with pytest.raises(DataError):
+            SpanRecord.from_dict({"name": "x"})  # missing start
+
+
+class TestAggregation:
+    def test_self_time_subtracts_direct_children(self, fake_clock):
+        trace = RunTrace(clock=fake_clock)
+        root = trace.add_span("outer", 0.0, 10.0)
+        trace.add_span("inner", 1.0, 4.0, parent=root)
+        rollup = trace.aggregate()
+        assert rollup["outer"]["total_s"] == pytest.approx(10.0)
+        assert rollup["outer"]["self_s"] == pytest.approx(7.0)
+        assert rollup["inner"]["self_s"] == pytest.approx(3.0)
+        assert rollup["inner"]["calls"] == 1
+
+    def test_flame_renders_tree_and_chart(self, fake_clock):
+        trace = RunTrace(label="demo", clock=fake_clock)
+        root = trace.add_span("outer", 0.0, 10.0)
+        trace.add_span("inner", 1.0, 4.0, parent=root, attrs={"clock": "sim"})
+        text = trace.flame()
+        assert "trace 'demo'" in text
+        assert "outer" in text and "inner" in text
+        assert "[sim]" in text
+        assert "self time by span name" in text
+
+    def test_flame_empty(self):
+        assert RunTrace().flame() == "(empty trace)"

@@ -1,5 +1,7 @@
 """CLI smoke tests (fast subcommands only)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -31,6 +33,16 @@ class TestParser:
         args = build_parser().parse_args(["pipeline", "--episodes", "5"])
         assert args.episodes == 5
 
+    def test_telemetry_flags_on_every_experiment_subcommand(self):
+        for command in ("fig9", "fig10", "fig11", "longtail", "report", "pipeline"):
+            args = build_parser().parse_args([command, "--metrics-out", "m.json"])
+            assert args.metrics_out == "m.json"
+            assert args.trace_out is None
+
+    def test_telemetry_report_registered(self):
+        args = build_parser().parse_args(["telemetry-report", "--metrics", "m.json"])
+        assert args.metrics == "m.json"
+
 
 class TestExecution:
     def test_longtail_runs(self, capsys):
@@ -59,3 +71,71 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "DCTA" in out and "bandwidth_mbps" in out
+
+
+class TestTelemetryOutputs:
+    def test_longtail_writes_metrics_and_trace(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "longtail",
+                "--days",
+                "10",
+                "--n-buildings",
+                "2",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(metrics_path.read_text())
+        names = {entry["name"] for entry in data["metrics"]}
+        assert "repro_building_datasets_generated_total" in names
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta" and lines[0]["label"] == "longtail"
+        assert any(l["kind"] == "span" for l in lines[1:])
+
+    def test_telemetry_report_renders_saved_files(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        main(
+            [
+                "longtail",
+                "--days",
+                "10",
+                "--n-buildings",
+                "2",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "telemetry-report",
+                "--metrics",
+                str(metrics_path),
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_building_generate_seconds" in out
+        assert "trace 'longtail'" in out
+
+    def test_telemetry_report_requires_an_input(self, capsys):
+        assert main(["telemetry-report"]) == 2
+
+    def test_default_run_leaves_telemetry_disabled(self):
+        from repro.telemetry import current_run_trace, telemetry_enabled
+
+        code = main(["longtail", "--days", "10", "--n-buildings", "2"])
+        assert code == 0
+        assert not telemetry_enabled()
+        assert current_run_trace() is None
