@@ -1,0 +1,67 @@
+"""Perf-suite fixtures: timed hot paths, tracked in ``BENCH_perf.json``.
+
+Unlike the figure benchmarks one directory up (which reproduce the
+paper's *results*), this suite tracks the *speed* of the pipeline's hot
+paths — dataset generation, system build, CRL training at ``jobs=1`` vs
+``jobs=N``, and cold/warm-cache planning. Timings collected here are
+merged into ``BENCH_perf.json`` at the repo root at session end, keyed
+by bench name with the current commit, so perf regressions show up in
+the diff history.
+
+Run with ``--benchmark-disable`` for a correctness-only pass (CI smoke):
+the assertions about determinism and cache behaviour still run; only the
+timing entries are skipped.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.bench import bench_commit, record, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Session-wide collector; written to BENCH_perf.json at session end.
+_RESULTS: dict = {}
+
+
+@pytest.fixture
+def track(benchmark):
+    """Time ``fn`` once under pytest-benchmark and track it by name.
+
+    Returns the function's result. When benchmarking is disabled
+    (``--benchmark-disable``) the function still runs — so correctness
+    assertions hold — but no timing entry is recorded.
+
+    pytest-benchmark allows one timed target per test, so the first call
+    goes through ``benchmark.pedantic`` and later calls in the same test
+    fall back to a plain ``perf_counter`` timing (the cache benches time
+    uncached/cold/warm passes inside a single test).
+    """
+    commit = bench_commit()
+    benchmark_used = False
+
+    def _track(name: str, fn):
+        nonlocal benchmark_used
+        if not benchmark_used:
+            benchmark_used = True
+            result = benchmark.pedantic(fn, rounds=1, iterations=1)
+            if not getattr(benchmark, "disabled", False):
+                stats = benchmark.stats.stats
+                record(_RESULTS, name, stats.mean, stats.rounds, commit=commit)
+            return result
+        started = time.perf_counter()
+        result = fn()
+        if not getattr(benchmark, "disabled", False):
+            record(_RESULTS, name, time.perf_counter() - started, 1, commit=commit)
+        return result
+
+    return _track
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RESULTS:
+        write_bench_json(_RESULTS, REPO_ROOT / "BENCH_perf.json")

@@ -1,0 +1,17 @@
+"""Perf: full DCTASystem build (dataset → MTL → importance → CRL → SVM)."""
+
+from __future__ import annotations
+
+from repro.building.dataset import BuildingOperationConfig
+from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+
+
+def test_perf_dcta_system_build(track):
+    config = DCTASystemConfig(
+        building=BuildingOperationConfig(n_days=12, n_buildings=2, seed=0),
+        crl_episodes=4,
+        seed=0,
+    )
+    system = track("dcta_system_build", lambda: DCTASystem(config).build())
+    assert system.allocators is not None
+    assert set(system.allocators) == {"RM", "DML", "CRL", "DCTA"}

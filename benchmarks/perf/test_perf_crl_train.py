@@ -1,0 +1,85 @@
+"""Perf: per-cluster CRL training — serial vs process-parallel.
+
+The determinism assertion (jobs=1 and jobs=N produce byte-identical
+plans) always runs. The speedup assertion only runs when benchmarking is
+enabled and the machine actually has the cores to show it — on a 1-2
+core CI runner, process fan-out is pure overhead and the timing claim
+would be meaningless.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.allocation.base import EpochContext
+from repro.core.experiment import build_allocators
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.edgesim.testbed import scaled_testbed
+
+PARALLEL_JOBS = 4
+
+
+@pytest.fixture(scope="module")
+def train_scenario() -> SyntheticScenario:
+    return SyntheticScenario(
+        ScenarioConfig(
+            n_tasks=24,
+            n_regimes=4,
+            n_history=16,
+            n_eval=3,
+            fluctuation_sigma=0.7,
+            seed=0,
+        )
+    )
+
+
+def _train(scenario, nodes, jobs):
+    return build_allocators(
+        scenario, nodes, crl_episodes=30, crl_clusters=4, jobs=jobs, seed=0
+    )["CRL"]
+
+
+def _plans(scenario, nodes, allocator):
+    plans = []
+    for epoch in scenario.eval_epochs:
+        workload = scenario.workload_for(epoch)
+        context = EpochContext(
+            sensing=epoch.sensing, features=epoch.features, day=epoch.day
+        )
+        plans.append(allocator.plan(workload, nodes, context))
+    return plans
+
+
+def test_perf_crl_train_serial(track, train_scenario):
+    nodes, _ = scaled_testbed(6)
+    crl = track("crl_train_4cluster_jobs1", lambda: _train(train_scenario, nodes, 1))
+    assert crl is not None
+
+
+def test_perf_crl_train_parallel_deterministic(track, train_scenario):
+    """jobs=N must produce byte-identical plans to jobs=1."""
+    nodes, _ = scaled_testbed(6)
+    serial = _train(train_scenario, nodes, 1)
+    started = time.perf_counter()
+    parallel = track(
+        f"crl_train_4cluster_jobs{PARALLEL_JOBS}",
+        lambda: _train(train_scenario, nodes, PARALLEL_JOBS),
+    )
+    parallel_s = time.perf_counter() - started
+
+    serial_plans = _plans(train_scenario, nodes, serial)
+    parallel_plans = _plans(train_scenario, nodes, parallel)
+    assert len(serial_plans) == len(parallel_plans) > 0
+    for a, b in zip(serial_plans, parallel_plans):
+        assert a.assignments == b.assignments
+
+    # Only assert a speedup where one is physically possible.
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        started = time.perf_counter()
+        _train(train_scenario, nodes, 1)
+        serial_s = time.perf_counter() - started
+        speedup = serial_s / max(parallel_s, 1e-9)
+        assert speedup >= 2.0, f"jobs={PARALLEL_JOBS} speedup {speedup:.2f}x < 2x"

@@ -1,0 +1,15 @@
+"""Perf: building-dataset generation hot path."""
+
+from __future__ import annotations
+
+from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+
+
+def test_perf_dataset_generate(track):
+    config = BuildingOperationConfig(n_days=20, n_buildings=2, seed=7)
+    dataset = track(
+        "building_dataset_generate",
+        lambda: BuildingOperationDataset(config).generate(),
+    )
+    assert dataset.n_tasks > 0
+    assert dataset.days.size == 20

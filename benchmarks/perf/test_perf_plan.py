@@ -1,0 +1,91 @@
+"""Perf: cold- vs warm-cache planning over near-identical repeat queries.
+
+Asserts the headline cache claim regardless of whether benchmarking is
+enabled: with the :class:`~repro.tatim.cache.AllocationCache` installed,
+10 repeat plan queries (sensing jitter below the cache's quantization)
+need at least 5x fewer DQN rollouts than the uncached path, and every
+cached allocation is byte-identical to its uncached counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.base import EpochContext
+from repro.core.bench import _family_total
+from repro.core.experiment import build_allocators
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.edgesim.testbed import scaled_testbed
+from repro.tatim.cache import AllocationCache, use_allocation_cache
+from repro.telemetry import MetricsRegistry, use_registry
+
+N_QUERIES = 10
+
+
+@pytest.fixture(scope="module")
+def plan_setup():
+    scenario = SyntheticScenario(
+        ScenarioConfig(
+            n_tasks=24,
+            n_regimes=4,
+            n_history=16,
+            n_eval=3,
+            fluctuation_sigma=0.7,
+            seed=0,
+        )
+    )
+    nodes, _ = scaled_testbed(6)
+    crl = build_allocators(
+        scenario, nodes, crl_episodes=10, crl_clusters=3, seed=0
+    )["CRL"]
+    epoch = scenario.eval_epochs[0]
+    workload = scenario.workload_for(epoch)
+    jitter_rng = np.random.default_rng(0)
+    contexts = [
+        EpochContext(
+            sensing=epoch.sensing
+            + jitter_rng.normal(0.0, 1e-9, size=epoch.sensing.shape),
+            features=epoch.features,
+            day=epoch.day,
+        )
+        for _ in range(N_QUERIES)
+    ]
+    return crl, workload, nodes, contexts
+
+
+def test_perf_plan_cache_reduction(track, plan_setup):
+    crl, workload, nodes, contexts = plan_setup
+    registry = MetricsRegistry()
+
+    def rollouts() -> float:
+        return _family_total(registry, "repro_rl_crl_rollouts_total")
+
+    def plan_all():
+        return [crl.plan(workload, nodes, context) for context in contexts]
+
+    with use_registry(registry):
+        before = rollouts()
+        uncached_plans = track(f"plan_{N_QUERIES}x_uncached", plan_all)
+        uncached_rollouts = rollouts() - before
+
+        cache = AllocationCache()
+        with use_allocation_cache(cache):
+            before = rollouts()
+            cold_plans = track(f"plan_{N_QUERIES}x_cold_cache", plan_all)
+            cold_rollouts = rollouts() - before
+            before = rollouts()
+            warm_plans = track(f"plan_{N_QUERIES}x_warm_cache", plan_all)
+            warm_rollouts = rollouts() - before
+
+    for a, b, c in zip(uncached_plans, cold_plans, warm_plans):
+        assert a.assignments == b.assignments == c.assignments
+
+    assert uncached_rollouts == N_QUERIES
+    assert warm_rollouts == 0
+    reduction = uncached_rollouts / max(cold_rollouts, 1.0)
+    assert reduction >= 5.0, (
+        f"cached planning used {cold_rollouts} rollouts vs "
+        f"{uncached_rollouts} uncached ({reduction:.1f}x < 5x)"
+    )
+    assert cache.hit_ratio > 0.5

@@ -7,9 +7,15 @@ Usage::
     python -m repro fig11 [--bandwidths 10 20 40 80 120]
     python -m repro longtail [--days 60]
     python -m repro pipeline [--days 30]
+    python -m repro bench    [--jobs 4 --full]
 
 Each subcommand prints the corresponding figure's table; `pipeline` runs
-the full building-data DCTA system once.
+the full building-data DCTA system once; `bench` runs the tracked
+performance benchmarks and merges results into ``BENCH_perf.json``.
+
+Experiment subcommands accept ``--jobs N`` (parallel per-cluster CRL
+training) and ``--no-cache`` (disable the allocation cache); see
+``docs/performance.md``.
 
 Every experiment subcommand also accepts the telemetry flags::
 
@@ -54,7 +60,12 @@ def _make_experiment(args: argparse.Namespace) -> PTExperiment:
             seed=args.seed,
         )
     )
-    return PTExperiment(scenario, crl_episodes=args.episodes, seed=args.seed)
+    return PTExperiment(
+        scenario,
+        crl_episodes=args.episodes,
+        jobs=getattr(args, "jobs", 1),
+        seed=args.seed,
+    )
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -63,6 +74,24 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--history", type=int, default=32, help="history epochs")
     parser.add_argument("--eval-epochs", type=int, default=4, dest="eval_epochs")
     parser.add_argument("--seed", type=int, default=0)
+    _add_performance_arguments(parser)
+
+
+def _add_performance_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("performance")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-cluster CRL training (1 = serial)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        help="disable the allocation cache (on by default; see docs/performance.md)",
+    )
+    parser.set_defaults(cache=True)
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -146,6 +175,7 @@ def _command_pipeline(args: argparse.Namespace) -> int:
                 n_days=args.days, n_buildings=args.n_buildings, seed=args.seed
             ),
             crl_episodes=args.episodes,
+            jobs=getattr(args, "jobs", 1),
             seed=args.seed,
         )
     ).build()
@@ -176,6 +206,18 @@ def _command_telemetry_report(args: argparse.Namespace) -> int:
         if args.metrics is not None:
             print()
         print(trace.flame())
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.core.bench import bench_table, run_bench
+
+    results, notes = run_bench(
+        jobs=args.jobs, quick=not args.full, rounds=args.rounds, out=args.out
+    )
+    print(bench_table(results))
+    for note in notes:
+        print(note)
     return 0
 
 
@@ -241,8 +283,30 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--n-buildings", type=int, default=3, dest="n_buildings")
     pipeline.add_argument("--episodes", type=int, default=30)
     pipeline.add_argument("--seed", type=int, default=0)
+    _add_performance_arguments(pipeline)
     _add_telemetry_arguments(pipeline)
     pipeline.set_defaults(handler=_command_pipeline)
+
+    bench = commands.add_parser(
+        "bench", help="run tracked perf benchmarks and update BENCH_perf.json"
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for the parallel-train bench"
+    )
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size workloads (default is CI-sized quick mode)",
+    )
+    bench.add_argument("--rounds", type=int, default=1, help="timing rounds per bench")
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_perf.json",
+        help="results JSON to merge into (use /dev/null to skip)",
+    )
+    _add_telemetry_arguments(bench)
+    bench.set_defaults(handler=_command_bench)
 
     telemetry = commands.add_parser(
         "telemetry-report", help="render saved metrics/trace files as tables"
@@ -271,6 +335,10 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
             stack.enter_context(use_registry(registry))
         if trace is not None:
             stack.enter_context(use_run_trace(trace))
+        if getattr(args, "cache", False):
+            from repro.tatim.cache import AllocationCache, use_allocation_cache
+
+            stack.enter_context(use_allocation_cache(AllocationCache()))
         status = args.handler(args)
 
     logger = get_logger("cli")

@@ -1,0 +1,260 @@
+"""Tracked performance benchmarks behind ``repro bench``.
+
+Times the pipeline's hot paths — building-dataset generation, the full
+:class:`~repro.core.dcta_system.DCTASystem` build, per-cluster CRL
+training at ``jobs=1`` vs ``jobs=N``, and cold- vs warm-cache planning —
+and writes the results to ``BENCH_perf.json`` at the repo root so the
+performance trajectory is tracked commit over commit.
+
+Schema (one entry per bench)::
+
+    {"<bench_name>": {"mean_s": float, "rounds": int, "commit": str}}
+
+:func:`write_bench_json` merges into an existing file, so partial runs
+(e.g. the pytest ``benchmarks/perf/`` suite, which reuses this writer)
+update their entries without clobbering the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.experiment import PTExperiment, build_allocators
+from repro.core.scenario import ScenarioConfig, SyntheticScenario
+from repro.allocation.base import EpochContext
+from repro.edgesim.testbed import scaled_testbed
+from repro.tatim.cache import AllocationCache, use_allocation_cache
+from repro.telemetry import (
+    MetricsRegistry,
+    get_registry,
+    telemetry_enabled,
+    use_registry,
+)
+
+#: Default output path, relative to the current working directory (CI
+#: runs from the repo root; the pytest suite resolves the root itself).
+DEFAULT_BENCH_PATH = "BENCH_perf.json"
+
+
+def bench_commit() -> str:
+    """Short git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def record(results: dict, name: str, mean_s: float, rounds: int, *, commit: str | None = None) -> None:
+    """Append one bench entry in the ``BENCH_perf.json`` schema."""
+    results[name] = {
+        "mean_s": float(mean_s),
+        "rounds": int(rounds),
+        "commit": commit if commit is not None else bench_commit(),
+    }
+
+
+def write_bench_json(results: dict, path=DEFAULT_BENCH_PATH) -> None:
+    """Merge ``results`` into the JSON file at ``path`` (create if absent)."""
+    path = Path(path)
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(results)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def bench_table(results: dict) -> str:
+    from repro.utils.reporting import format_table
+
+    rows = [
+        [name, entry["mean_s"], entry["rounds"], entry["commit"]]
+        for name, entry in sorted(results.items())
+    ]
+    return format_table(["bench", "mean_s", "rounds", "commit"], rows, title="repro bench")
+
+
+def _timed(fn, rounds: int) -> tuple[float, object]:
+    """(mean seconds, last result) over ``rounds`` calls."""
+    result = None
+    total = 0.0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        total += time.perf_counter() - started
+    return total / rounds, result
+
+
+def _family_total(registry, name: str) -> float:
+    """Sum of a counter family across label sets (0 when absent)."""
+    for family in registry.families():
+        if family.name == name:
+            return float(sum(child.value for child in family.children.values()))
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+def run_bench(
+    *,
+    jobs: int = 4,
+    quick: bool = True,
+    rounds: int = 1,
+    out: str | None = DEFAULT_BENCH_PATH,
+) -> tuple[dict, list[str]]:
+    """Run the tracked perf suite; returns (results, human-readable notes).
+
+    ``quick`` uses CI-sized workloads (the default); disable it for
+    higher-fidelity numbers. The cache benches always verify that cached
+    and uncached plans agree byte-for-byte before reporting speedups.
+    """
+    commit = bench_commit()
+    results: dict = {}
+    notes: list[str] = []
+    # Count solver/rollout invocations in the ambient registry when
+    # telemetry is on (so cache hit-rate metrics reach the CLI exports),
+    # else in a private one.
+    registry = get_registry() if telemetry_enabled() else MetricsRegistry()
+    with use_registry(registry):
+        _bench_dataset(results, rounds, commit, quick)
+        _bench_system_build(results, rounds, commit, quick)
+        _bench_crl_train(results, rounds, commit, quick, jobs, notes)
+        _bench_plan_cache(results, commit, quick, notes, registry)
+    if out is not None:
+        write_bench_json(results, out)
+        notes.append(f"wrote {len(results)} benches to {out}")
+    return results, notes
+
+
+def _bench_dataset(results, rounds, commit, quick) -> None:
+    from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+
+    config = BuildingOperationConfig(
+        n_days=20 if quick else 90, n_buildings=2 if quick else 3, seed=7
+    )
+    mean_s, _ = _timed(lambda: BuildingOperationDataset(config).generate(), rounds)
+    record(results, "building_dataset_generate", mean_s, rounds, commit=commit)
+
+
+def _bench_system_build(results, rounds, commit, quick) -> None:
+    from repro.building.dataset import BuildingOperationConfig
+    from repro.core.dcta_system import DCTASystem, DCTASystemConfig
+
+    config = DCTASystemConfig(
+        building=BuildingOperationConfig(
+            n_days=12 if quick else 30, n_buildings=2 if quick else 3, seed=0
+        ),
+        crl_episodes=4 if quick else 40,
+        seed=0,
+    )
+    mean_s, _ = _timed(lambda: DCTASystem(config).build(), rounds)
+    record(results, "dcta_system_build", mean_s, rounds, commit=commit)
+
+
+def _train_scenario(quick: bool) -> SyntheticScenario:
+    return SyntheticScenario(
+        ScenarioConfig(
+            n_tasks=24 if quick else 50,
+            n_regimes=4,
+            n_history=16 if quick else 32,
+            n_eval=3 if quick else 6,
+            fluctuation_sigma=0.7,
+            seed=0,
+        )
+    )
+
+
+def _bench_crl_train(results, rounds, commit, quick, jobs, notes) -> None:
+    scenario = _train_scenario(quick)
+    nodes, _ = scaled_testbed(6)
+    episodes = 30 if quick else 80
+
+    def train(n_jobs: int):
+        return build_allocators(
+            scenario, nodes, crl_episodes=episodes, crl_clusters=4, jobs=n_jobs, seed=0
+        )
+
+    serial_s, _ = _timed(lambda: train(1), rounds)
+    record(results, "crl_train_4cluster_jobs1", serial_s, rounds, commit=commit)
+    if jobs > 1:
+        parallel_s, _ = _timed(lambda: train(jobs), rounds)
+        record(results, f"crl_train_4cluster_jobs{jobs}", parallel_s, rounds, commit=commit)
+        notes.append(
+            f"CRL train speedup at jobs={jobs}: {serial_s / max(parallel_s, 1e-9):.2f}x"
+        )
+
+
+def _bench_plan_cache(results, commit, quick, notes, registry) -> None:
+    """Cold vs warm cache planning over near-identical repeat queries."""
+    scenario = _train_scenario(quick)
+    nodes, _ = scaled_testbed(6)
+    allocators = build_allocators(
+        scenario, nodes, crl_episodes=10 if quick else 40, crl_clusters=3, seed=0
+    )
+    crl = allocators["CRL"]
+    epoch = scenario.eval_epochs[0]
+    workload = scenario.workload_for(epoch)
+    # Repeat queries with sub-quantization jitter: the drift regime where
+    # consecutive epochs quantize to the same environment.
+    jitter_rng = np.random.default_rng(0)
+    contexts = [
+        EpochContext(
+            sensing=epoch.sensing + jitter_rng.normal(0.0, 1e-9, size=epoch.sensing.shape),
+            features=epoch.features,
+            day=epoch.day,
+        )
+        for _ in range(10)
+    ]
+
+    def plan_all():
+        return [crl.plan(workload, nodes, context) for context in contexts]
+
+    def rollouts() -> float:
+        return _family_total(registry, "repro_rl_crl_rollouts_total")
+
+    before = rollouts()
+    uncached_s, uncached_plans = _timed(plan_all, 1)
+    uncached_rollouts = rollouts() - before
+    record(results, "plan_10x_uncached", uncached_s, 1, commit=commit)
+
+    cache = AllocationCache()
+    with use_allocation_cache(cache):
+        before = rollouts()
+        cold_s, cold_plans = _timed(plan_all, 1)
+        cold_rollouts = rollouts() - before
+        before = rollouts()
+        warm_s, warm_plans = _timed(plan_all, 1)
+        warm_rollouts = rollouts() - before
+    record(results, "plan_10x_cold_cache", cold_s, 1, commit=commit)
+    record(results, "plan_10x_warm_cache", warm_s, 1, commit=commit)
+
+    identical = all(
+        a.assignments == b.assignments == c.assignments
+        for a, b, c in zip(uncached_plans, cold_plans, warm_plans)
+    )
+    reduction = uncached_rollouts / max(cold_rollouts, 1.0)
+    notes.append(
+        f"cache: {int(uncached_rollouts)} rollouts/10 plans uncached vs "
+        f"{int(cold_rollouts)} cold + {int(warm_rollouts)} warm "
+        f"(hit ratio {cache.hit_ratio:.2f}); allocations byte-identical: {identical}"
+    )
+    if not identical:
+        raise AssertionError("cached allocations diverged from uncached run")
+    notes.append(
+        f"cached-plan solver-invocation reduction: {reduction:.1f}x fewer rollouts"
+    )

@@ -58,6 +58,8 @@ class DCTASystemConfig:
     weights: tuple[float, float] = (0.5, 0.5)
     quality_threshold: float = 0.9
     mean_input_mb: float = 500.0
+    #: Worker processes for per-cluster CRL training (1 = serial).
+    jobs: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -143,6 +145,7 @@ class DCTASystem:
             n_clusters=config.crl_clusters,
             episodes=config.crl_episodes,
             dqn_config=DQNConfig(hidden_sizes=config.dqn_hidden),
+            jobs=config.jobs,
             seed=config.seed,
         )
         crl_model.fit(store)

@@ -23,7 +23,7 @@ from repro.allocation.dml import DMLAllocator
 from repro.allocation.local import LocalProcess
 from repro.allocation.oracle import OracleAllocator
 from repro.allocation.random_mapping import RandomMapping
-from repro.core.scenario import Epoch, SyntheticScenario
+from repro.core.scenario import Epoch, ScenarioConfig, SyntheticScenario
 from repro.edgesim.node import EdgeNode
 from repro.edgesim.network import StarNetwork
 from repro.edgesim.simulator import EdgeSimulator
@@ -124,12 +124,14 @@ def build_allocators(
     dqn_hidden: tuple[int, ...] = (64, 32),
     weights: tuple[float, float] = (0.5, 0.5),
     include_oracle: bool = False,
+    jobs: int = 1,
     seed: int = 0,
 ) -> dict[str, Allocator]:
     """Train and assemble the RM / DML / CRL / DCTA policy set.
 
     The CRL geometry is bound to ``nodes``; rebuild when the node set
-    changes (the Fig. 9 sweep does this per point).
+    changes (the Fig. 9 sweep does this per point). ``jobs > 1`` fans
+    per-cluster CRL training out over worker processes.
     """
     geometry = tatim_from_workload(scenario.tasks, nodes)
     crl_model = CRLModel(
@@ -137,6 +139,7 @@ def build_allocators(
         n_clusters=crl_clusters,
         episodes=crl_episodes,
         dqn_config=DQNConfig(hidden_sizes=dqn_hidden),
+        jobs=jobs,
         seed=seed,
     )
     crl_model.fit(scenario.environment_store())
@@ -168,11 +171,13 @@ class PTExperiment:
         *,
         quality_threshold: float = 0.9,
         crl_episodes: int = 60,
+        jobs: int = 1,
         seed: int = 0,
     ) -> None:
         self.scenario = scenario
         self.quality_threshold = quality_threshold
         self.crl_episodes = crl_episodes
+        self.jobs = int(jobs)
         self.seed = seed
 
     # ------------------------------------------------------------------
@@ -246,7 +251,11 @@ class PTExperiment:
             for count in processor_counts:
                 nodes, network = scaled_testbed(count)
                 allocators = build_allocators(
-                    self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+                    self.scenario,
+                    nodes,
+                    crl_episodes=self.crl_episodes,
+                    jobs=self.jobs,
+                    seed=self.seed,
                 )
                 point = self._run_point(nodes, network, allocators)
                 self._append_point(point, times, plan_seconds, solve_counts)
@@ -267,7 +276,7 @@ class PTExperiment:
         """Fig. 10: PT vs average input data size (Mb)."""
         nodes, network = scaled_testbed(n_processors)
         allocators = build_allocators(
-            self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+            self.scenario, nodes, crl_episodes=self.crl_episodes, jobs=self.jobs, seed=self.seed
         )
         base_mean = float(np.mean([task.input_mb for task in self.scenario.tasks]))
         times: dict[str, list[float]] = {}
@@ -299,7 +308,7 @@ class PTExperiment:
         """Fig. 11: PT vs network bandwidth (Mbps)."""
         nodes, _ = scaled_testbed(n_processors)
         allocators = build_allocators(
-            self.scenario, nodes, crl_episodes=self.crl_episodes, seed=self.seed
+            self.scenario, nodes, crl_episodes=self.crl_episodes, jobs=self.jobs, seed=self.seed
         )
         times: dict[str, list[float]] = {}
         plan_seconds: dict[str, list[float]] = {}
@@ -316,3 +325,81 @@ class PTExperiment:
             plan_seconds=plan_seconds,
             solve_counts=solve_counts,
         )
+
+
+# ----------------------------------------------------------------------
+# Multi-seed fan-out: Fig. 9-style sweeps repeated across scenario seeds
+# are embarrassingly parallel (one independent scenario + policy set per
+# seed), so they ride the same ParallelTrainer as per-cluster CRL fits.
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Picklable description of one seed's sweep for the process pool."""
+
+    scenario_config: ScenarioConfig
+    seed: int
+    axis: str = "processors"
+    points: tuple = (2, 4, 6, 8, 10)
+    crl_episodes: int = 60
+    quality_threshold: float = 0.9
+
+
+def run_sweep_spec(spec: SweepSpec) -> SweepResult:
+    """Build the seed's scenario + experiment and run one sweep (worker fn)."""
+    scenario = SyntheticScenario(replace(spec.scenario_config, seed=spec.seed))
+    experiment = PTExperiment(
+        scenario,
+        quality_threshold=spec.quality_threshold,
+        crl_episodes=spec.crl_episodes,
+        seed=spec.seed,
+    )
+    if spec.axis == "processors":
+        return experiment.sweep_processors(spec.points)
+    if spec.axis == "input_size_mb":
+        return experiment.sweep_input_size(spec.points)
+    if spec.axis == "bandwidth_mbps":
+        return experiment.sweep_bandwidth(spec.points)
+    raise DataError(f"unknown sweep axis {spec.axis!r}")
+
+
+def run_multiseed(
+    scenario_config: ScenarioConfig,
+    seeds: Sequence[int],
+    *,
+    axis: str = "processors",
+    points: Sequence | None = None,
+    crl_episodes: int = 60,
+    quality_threshold: float = 0.9,
+    jobs: int = 1,
+) -> list[SweepResult]:
+    """One full sweep per seed, fanned out over ``jobs`` processes.
+
+    Each seed is an independent draw of the scenario (regimes, workloads,
+    CRL training), so the fan-out changes nothing but wall-clock; results
+    come back in seed order and feed straight into
+    :func:`repro.core.statistics.aggregate_sweeps`.
+    """
+    from repro.parallel import ParallelTrainer
+
+    if points is None:
+        points = {
+            "processors": (2, 4, 6, 8, 10),
+            "input_size_mb": (200, 400, 600, 800, 1000),
+            "bandwidth_mbps": (10, 20, 40, 80, 120),
+        }.get(axis)
+    if points is None:
+        raise DataError(f"unknown sweep axis {axis!r}")
+    specs = [
+        SweepSpec(
+            scenario_config=scenario_config,
+            seed=int(seed),
+            axis=axis,
+            points=tuple(points),
+            crl_episodes=crl_episodes,
+            quality_threshold=quality_threshold,
+        )
+        for seed in seeds
+    ]
+    trainer = ParallelTrainer(run_sweep_spec, jobs=jobs, label="multiseed")
+    return trainer.map(specs)

@@ -1,0 +1,17 @@
+"""Process-parallel execution for embarrassingly parallel pipeline stages.
+
+:class:`ParallelTrainer` fans a picklable worker function out over a
+process pool with deterministic, submission-ordered results, telemetry
+merged back into the parent's registry/trace, and a graceful serial
+fallback. Used by per-cluster CRL training
+(:meth:`repro.rl.crl.CRLModel.fit` with ``jobs > 1``) and the multi-seed
+sweep runner (:func:`repro.core.experiment.run_multiseed`).
+"""
+
+from repro.parallel.trainer import (
+    ParallelTrainer,
+    merge_worker_metrics,
+    merge_worker_spans,
+)
+
+__all__ = ["ParallelTrainer", "merge_worker_metrics", "merge_worker_spans"]

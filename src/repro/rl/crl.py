@@ -20,31 +20,50 @@ mis-prices tasks. CRL instead
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError, NotFittedError
 from repro.ml.kmeans import KMeans
 from repro.ml.knn import nearest_indices
+from repro.parallel import ParallelTrainer
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.env import AllocationEnv
 from repro.rl.replay import Transition
+from repro.tatim.cache import get_allocation_cache
 from repro.tatim.greedy import density_greedy
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
 from repro.telemetry import get_registry, span
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, derive_seeds
 
 
 class EnvironmentStore:
-    """Historical environments: (sensing Z, per-task importance I) pairs."""
+    """Historical environments: (sensing Z, per-task importance I) pairs.
+
+    The stacked matrices consumed by every kNN query are cached and
+    rebuilt only when the store mutates; ``version`` advances on each
+    :meth:`add` and mutation listeners (e.g. an
+    :class:`~repro.tatim.cache.AllocationCache` watching the store) are
+    notified so environment-keyed memos can invalidate.
+    """
 
     def __init__(self) -> None:
         self._sensing: list[np.ndarray] = []
         self._importance: list[np.ndarray] = []
+        self._sensing_stack: np.ndarray | None = None
+        self._importance_stack: np.ndarray | None = None
+        self._listeners: list = []
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._sensing)
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback()`` after every mutation (idempotent per callback)."""
+        if callback not in self._listeners:
+            self._listeners.append(callback)
 
     def add(self, sensing: np.ndarray, importance: np.ndarray) -> None:
         sensing = np.asarray(sensing, dtype=float).ravel()
@@ -60,18 +79,27 @@ class EnvironmentStore:
                 )
         self._sensing.append(sensing)
         self._importance.append(importance)
+        self._sensing_stack = None
+        self._importance_stack = None
+        self.version += 1
+        for callback in self._listeners:
+            callback()
 
     @property
     def sensing_matrix(self) -> np.ndarray:
         if not self._sensing:
             raise DataError("environment store is empty")
-        return np.vstack(self._sensing)
+        if self._sensing_stack is None:
+            self._sensing_stack = np.vstack(self._sensing)
+        return self._sensing_stack
 
     @property
     def importance_matrix(self) -> np.ndarray:
         if not self._importance:
             raise DataError("environment store is empty")
-        return np.vstack(self._importance)
+        if self._importance_stack is None:
+            self._importance_stack = np.vstack(self._importance)
+        return self._importance_stack
 
     def knn_importance(self, sensing: np.ndarray, k: int = 5) -> np.ndarray:
         """Environment definition e = kNN(E, Z): mean importance of the k
@@ -80,6 +108,77 @@ class EnvironmentStore:
         query = np.asarray(sensing, dtype=float).reshape(1, -1)
         index = nearest_indices(query, references, min(k, len(self)))[0]
         return self.importance_matrix[index].mean(axis=0)
+
+
+@dataclass(frozen=True)
+class AgentTrainTask:
+    """Self-contained, picklable spec for training one per-environment DQN.
+
+    Everything a worker process needs — geometry, the environment's
+    importance vector, hyper-parameters, and the pre-derived seed — so
+    training is a pure function of the task and serial/parallel runs are
+    byte-identical.
+    """
+
+    geometry: TATIMProblem
+    importance: np.ndarray
+    dqn_config: DQNConfig
+    episodes: int
+    seed: int
+    seed_demonstrations: bool = True
+    mode: str = "offline"
+
+
+def train_allocation_agent(task: AgentTrainTask) -> DQNAgent:
+    """Train one per-environment DQN from a spec (the parallel worker fn)."""
+    with span("rl.crl.train_agent", mode=task.mode):
+        problem = task.geometry.scaled(importance=task.importance)
+        env = AllocationEnv(problem)
+        agent = DQNAgent(env.state_dim, env.n_actions, task.dqn_config, seed=task.seed)
+        if task.seed_demonstrations:
+            push_demonstration(agent, env, problem)
+        agent.train(env, task.episodes)
+    get_registry().counter(
+        "repro_rl_crl_agents_trained_total",
+        help="Per-environment DQN agents trained by CRL",
+        mode=task.mode,
+    ).inc()
+    return agent
+
+
+def push_demonstration(agent: DQNAgent, env: AllocationEnv, problem: TATIMProblem) -> None:
+    """Replay the density-greedy allocation into the agent's buffer.
+
+    The episode assigns each greedy-selected task on its greedy
+    processor (in per-processor passes), then closes processors in
+    order, producing a full trajectory that ends in the terminal
+    reward. Transitions mirror exactly what on-policy collection would
+    have stored.
+    """
+    demo = density_greedy(problem)
+    assignment = demo.as_assignment()
+    state = env.reset()
+    plan: list[int] = []
+    for processor in range(problem.n_processors):
+        plan.extend(task for task, host in sorted(assignment.items()) if host == processor)
+        plan.append(env.close_action)
+    # Map each planned task assignment to the step where its processor
+    # is current; the plan above already interleaves closes correctly.
+    for action in plan:
+        next_state, reward, done, _ = env.step(action)
+        next_feasible = env.feasible_actions() if not done else np.array([], dtype=int)
+        agent.buffer.push(
+            Transition(
+                state=state,
+                action=action,
+                reward=reward,
+                next_state=next_state,
+                done=done,
+                next_feasible=next_feasible,
+            )
+        )
+        state = next_state
+    env.reset()
 
 
 class CRLModel:
@@ -106,6 +205,12 @@ class CRLModel:
         so the terminal reward signal is present from the first gradient
         step (a standard learning-from-demonstration warm start). Disable
         to measure pure exploration (ablation bench).
+    jobs:
+        Worker processes for per-cluster training (offline mode). The
+        clusters are independent, so ``jobs=N`` fans them out over a
+        process pool; seeds are derived up front in a fixed order, so any
+        ``jobs`` value produces byte-identical agents. ``1`` trains
+        serially in-process.
     """
 
     def __init__(
@@ -118,18 +223,22 @@ class CRLModel:
         episodes: int = 120,
         dqn_config: DQNConfig | None = None,
         seed_demonstrations: bool = True,
+        jobs: int = 1,
         seed=None,
     ) -> None:
         if mode not in ("offline", "online"):
             raise ConfigurationError(f"mode must be 'offline' or 'online', got {mode!r}")
         if n_clusters < 1 or knn_k < 1 or episodes < 1:
             raise ConfigurationError("n_clusters, knn_k and episodes must be >= 1")
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.geometry = geometry
         self.mode = mode
         self.n_clusters = int(n_clusters)
         self.knn_k = int(knn_k)
         self.episodes = int(episodes)
         self.seed_demonstrations = bool(seed_demonstrations)
+        self.jobs = int(jobs)
         self.dqn_config = dqn_config if dqn_config is not None else DQNConfig()
         self._rng = as_rng(seed)
         self.store: EnvironmentStore | None = None
@@ -138,75 +247,52 @@ class CRLModel:
         self._online_agents: dict[tuple[int, ...], DQNAgent] = {}
 
     # ------------------------------------------------------------------
-    def _train_agent(self, importance: np.ndarray) -> DQNAgent:
-        with span("rl.crl.train_agent", mode=self.mode):
-            problem = self.geometry.scaled(importance=importance)
-            env = AllocationEnv(problem)
-            agent = DQNAgent(
-                env.state_dim,
-                env.n_actions,
-                self.dqn_config,
-                seed=int(self._rng.integers(0, 2**31 - 1)),
-            )
-            if self.seed_demonstrations:
-                self._push_demonstration(agent, env, problem)
-            agent.train(env, self.episodes)
-        get_registry().counter(
-            "repro_rl_crl_agents_trained_total",
-            help="Per-environment DQN agents trained by CRL",
+    def _train_task(self, importance: np.ndarray, seed: int) -> AgentTrainTask:
+        return AgentTrainTask(
+            geometry=self.geometry,
+            importance=np.asarray(importance, dtype=float),
+            dqn_config=self.dqn_config,
+            episodes=self.episodes,
+            seed=int(seed),
+            seed_demonstrations=self.seed_demonstrations,
             mode=self.mode,
-        ).inc()
-        return agent
+        )
 
-    @staticmethod
-    def _push_demonstration(agent: DQNAgent, env: AllocationEnv, problem: TATIMProblem) -> None:
-        """Replay the density-greedy allocation into the agent's buffer.
-
-        The episode assigns each greedy-selected task on its greedy
-        processor (in per-processor passes), then closes processors in
-        order, producing a full trajectory that ends in the terminal
-        reward. Transitions mirror exactly what on-policy collection would
-        have stored.
-        """
-        demo = density_greedy(problem)
-        assignment = demo.as_assignment()
-        state = env.reset()
-        plan: list[int] = []
-        for processor in range(problem.n_processors):
-            plan.extend(task for task, host in sorted(assignment.items()) if host == processor)
-            plan.append(env.close_action)
-        # Map each planned task assignment to the step where its processor
-        # is current; the plan above already interleaves closes correctly.
-        for action in plan:
-            next_state, reward, done, _ = env.step(action)
-            next_feasible = env.feasible_actions() if not done else np.array([], dtype=int)
-            agent.buffer.push(
-                Transition(
-                    state=state,
-                    action=action,
-                    reward=reward,
-                    next_state=next_state,
-                    done=done,
-                    next_feasible=next_feasible,
-                )
-            )
-            state = next_state
-        env.reset()
+    def _train_agent(self, importance: np.ndarray) -> DQNAgent:
+        """Train one agent in-process (online mode's lazy path)."""
+        seed = int(self._rng.integers(0, 2**31 - 1))
+        return train_allocation_agent(self._train_task(importance, seed))
 
     def fit(self, store: EnvironmentStore) -> "CRLModel":
-        """Training phase of Algorithm 1 over the historical store."""
+        """Training phase of Algorithm 1 over the historical store.
+
+        Offline mode trains one DQN per k-means cluster; the clusters are
+        independent, so with ``jobs > 1`` they train in parallel worker
+        processes (results identical to the serial run by construction).
+        """
         if len(store) == 0:
             raise DataError("cannot fit CRL on an empty environment store")
         self.store = store
-        with span("rl.crl.fit", mode=self.mode, environments=len(store)):
+        cache = get_allocation_cache()
+        if cache is not None:
+            cache.watch(store)
+        with span("rl.crl.fit", mode=self.mode, environments=len(store), jobs=self.jobs):
             if self.mode == "offline":
                 k = min(self.n_clusters, len(store))
                 self._kmeans = KMeans(n_clusters=k, seed=self._rng)
                 labels = self._kmeans.fit_predict(store.sensing_matrix)
                 importance = store.importance_matrix
-                for cluster in np.unique(labels):
-                    mean_importance = importance[labels == cluster].mean(axis=0)
-                    self._cluster_agents[int(cluster)] = self._train_agent(mean_importance)
+                clusters = [int(c) for c in np.unique(labels)]
+                seeds = derive_seeds(self._rng, len(clusters))
+                tasks = [
+                    self._train_task(importance[labels == cluster].mean(axis=0), seed)
+                    for cluster, seed in zip(clusters, seeds)
+                ]
+                trainer = ParallelTrainer(
+                    train_allocation_agent, jobs=self.jobs, label="crl.fit"
+                )
+                for cluster, agent in zip(clusters, trainer.map(tasks)):
+                    self._cluster_agents[cluster] = agent
         return self
 
     def _require_fitted(self) -> None:
@@ -231,31 +317,75 @@ class CRLModel:
         ).observe(time.perf_counter() - started)
         return importance
 
-    def _agent_for(self, sensing: np.ndarray, importance: np.ndarray) -> DQNAgent:
+    def _environment_key(self, sensing: np.ndarray):
+        """Stable id of the environment a query maps to (cluster / kNN set)."""
         if self.mode == "offline":
-            cluster = int(self._kmeans.predict(np.asarray(sensing, dtype=float).reshape(1, -1))[0])
-            return self._cluster_agents[cluster]
-        # Online: cache one agent per distinct kNN neighbourhood.
+            return int(
+                self._kmeans.predict(np.asarray(sensing, dtype=float).reshape(1, -1))[0]
+            )
         references = self.store.sensing_matrix
         query = np.asarray(sensing, dtype=float).reshape(1, -1)
-        neighbourhood = tuple(
-            sorted(int(i) for i in nearest_indices(query, references, min(self.knn_k, len(self.store)))[0])
+        return tuple(
+            sorted(
+                int(i)
+                for i in nearest_indices(
+                    query, references, min(self.knn_k, len(self.store))
+                )[0]
+            )
         )
-        agent = self._online_agents.get(neighbourhood)
+
+    def _agent_for_key(self, environment_key, importance: np.ndarray) -> DQNAgent:
+        if self.mode == "offline":
+            return self._cluster_agents[environment_key]
+        # Online: cache one agent per distinct kNN neighbourhood.
+        agent = self._online_agents.get(environment_key)
         if agent is None:
             agent = self._train_agent(importance)
-            self._online_agents[neighbourhood] = agent
+            self._online_agents[environment_key] = agent
         return agent
 
     def allocate(self, sensing: np.ndarray) -> Allocation:
-        """Prediction phase of Algorithm 1: u = F1((e, s0); θ*)."""
+        """Prediction phase of Algorithm 1: u = F1((e, s0); θ*).
+
+        With an ambient :class:`~repro.tatim.cache.AllocationCache`
+        installed, the greedy rollout is memoized per (environment id,
+        quantized importance, geometry, store version): repeat queries
+        that quantize to the same environment return the cached
+        allocation without a rollout. Store mutations bump the version
+        (and clear watched caches), so stale environments can never hit.
+        """
         self._require_fitted()
+        registry = get_registry()
         with span("rl.crl.allocate", mode=self.mode):
             importance = self.estimate_importance(sensing)
-            agent = self._agent_for(sensing, importance)
-            env = AllocationEnv(self.geometry.scaled(importance=importance))
-            allocation = agent.solve(env)
-        get_registry().counter(
+            environment_key = self._environment_key(sensing)
+            cache = get_allocation_cache()
+            key = None
+            allocation = None
+            if cache is not None:
+                # Idempotent: covers caches installed after fit() ran.
+                cache.watch(self.store)
+                key = (
+                    "crl.allocate",
+                    self.mode,
+                    self.store.version,
+                    environment_key,
+                    cache.array_signature(importance),
+                    cache.problem_signature(self.geometry),
+                )
+                allocation = cache.get(key)
+            if allocation is None:
+                agent = self._agent_for_key(environment_key, importance)
+                env = AllocationEnv(self.geometry.scaled(importance=importance))
+                allocation = agent.solve(env)
+                registry.counter(
+                    "repro_rl_crl_rollouts_total",
+                    help="DQN greedy rollouts actually executed (cache misses)",
+                    mode=self.mode,
+                ).inc()
+                if key is not None:
+                    cache.put(key, allocation)
+        registry.counter(
             "repro_rl_crl_allocations_total",
             help="CRL allocation queries answered",
             mode=self.mode,

@@ -122,10 +122,20 @@ class DQNAgent:
 
     # ------------------------------------------------------------------
     def _feasible_mask_matrix(self, batch: list[Transition]) -> np.ndarray:
+        """Additive mask (0 feasible, MASKED_Q infeasible) for the whole batch.
+
+        Built with one scatter over flattened (row, action) index arrays —
+        no per-transition Python loop — so the Bellman max below stays a
+        single vectorized pass even for large batches.
+        """
         mask = np.full((len(batch), self.n_actions), MASKED_Q)
-        for row, transition in enumerate(batch):
-            if transition.next_feasible.size:
-                mask[row, transition.next_feasible] = 0.0
+        sizes = np.fromiter(
+            (t.next_feasible.size for t in batch), dtype=np.intp, count=len(batch)
+        )
+        if sizes.any():
+            rows = np.repeat(np.arange(len(batch)), sizes)
+            cols = np.concatenate([t.next_feasible for t in batch])
+            mask[rows, cols] = 0.0
         return mask
 
     def train_step(self) -> float | None:
@@ -133,11 +143,11 @@ class DQNAgent:
         if len(self.buffer) < self.config.warmup_transitions:
             return None
         batch = self.buffer.sample(self.config.batch_size)
-        states = np.vstack([t.state for t in batch])
-        next_states = np.vstack([t.next_state for t in batch])
-        rewards = np.array([t.reward for t in batch])
-        dones = np.array([t.done for t in batch], dtype=bool)
-        actions = np.array([t.action for t in batch], dtype=int)
+        states = np.stack([t.state for t in batch])
+        next_states = np.stack([t.next_state for t in batch])
+        rewards = np.fromiter((t.reward for t in batch), dtype=float, count=len(batch))
+        dones = np.fromiter((t.done for t in batch), dtype=bool, count=len(batch))
+        actions = np.fromiter((t.action for t in batch), dtype=int, count=len(batch))
 
         mask = self._feasible_mask_matrix(batch)
         target_q = self.target.forward(next_states) + mask

@@ -50,11 +50,22 @@ class ReplayBuffer:
         self._cursor = (self._cursor + 1) % self.capacity
 
     def sample(self, batch_size: int) -> list[Transition]:
+        """Uniform batch *without replacement* (clamped to the buffer size).
+
+        Sampling with replacement would let one transition appear several
+        times in a batch, double-counting its TD error in the gradient
+        step; drawing distinct indices keeps each batched update an
+        unbiased average over distinct experience.
+        """
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         if not self._storage:
             raise DataError("cannot sample from an empty replay buffer")
-        indices = self._rng.integers(0, len(self._storage), size=min(batch_size, len(self._storage)))
+        n = len(self._storage)
+        if n > batch_size:
+            indices = self._rng.choice(n, size=batch_size, replace=False)
+        else:
+            indices = self._rng.permutation(n)
         return [self._storage[i] for i in indices]
 
     def clear(self) -> None:

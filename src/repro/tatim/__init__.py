@@ -10,6 +10,12 @@ single-knapsack dynamic program, and random instance generators.
 
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
+from repro.tatim.cache import (
+    AllocationCache,
+    get_allocation_cache,
+    set_allocation_cache,
+    use_allocation_cache,
+)
 from repro.tatim.greedy import best_fit_greedy, density_greedy, importance_greedy
 from repro.tatim.exact import branch_and_bound, single_knapsack_dp
 from repro.tatim.local_search import improve_allocation
@@ -19,6 +25,10 @@ from repro.tatim.generators import random_instance, longtail_instance
 __all__ = [
     "TATIMProblem",
     "Allocation",
+    "AllocationCache",
+    "get_allocation_cache",
+    "set_allocation_cache",
+    "use_allocation_cache",
     "density_greedy",
     "importance_greedy",
     "best_fit_greedy",

@@ -1,0 +1,216 @@
+"""Environment-keyed memoization of allocation solves.
+
+DCTA re-solves the TATIM knapsack every decision epoch, but the instance
+only changes through the importance vector — and importance drifts slowly
+(Obs. 3), so consecutive epochs frequently quantize to the *same*
+instance. :class:`AllocationCache` exploits this: solves are memoized
+under a key built from quantized problem arrays (importance signature,
+capacity/time signatures) plus an optional environment identifier (the
+CRL cluster or kNN neighbourhood), so a warm controller answers repeat
+queries without touching a solver or a DQN rollout.
+
+The cache is *ambient*, mirroring the telemetry registry pattern: install
+one with :func:`use_allocation_cache` (or :func:`set_allocation_cache`)
+and every instrumented TATIM solver plus :meth:`repro.rl.crl.CRLModel.allocate`
+consults it; with none installed (the default) all lookups are no-ops.
+
+Correctness notes:
+
+- Quantization (``decimals``, default 6) deliberately coalesces keys whose
+  arrays differ below solver-relevant precision; cached allocations are
+  byte-identical to a fresh solve of the quantized-equal instance.
+- Cached values are returned by reference and must be treated as
+  immutable (``Allocation`` is effectively frozen; nothing in the
+  pipeline mutates solved allocations).
+- Mutating the environment store invalidates CRL-side entries: wire
+  :meth:`AllocationCache.watch` to any object exposing ``subscribe``
+  (e.g. :class:`repro.rl.crl.EnvironmentStore`), and the cache clears
+  itself on mutation.
+
+Metrics (live in the ambient registry):
+
+- ``repro_tatim_cache_hits_total{scope=...}`` / ``..._misses_total``
+- ``repro_tatim_cache_hit_ratio`` — hits / lookups over the cache's life
+- ``repro_tatim_cache_entries`` — current size
+- ``repro_tatim_cache_invalidations_total`` — explicit clears
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tatim.problem import TATIMProblem
+from repro.telemetry import get_registry
+
+
+def quantize(array: np.ndarray, decimals: int) -> np.ndarray:
+    """Round to ``decimals`` and normalize -0.0 so signatures are stable."""
+    return np.round(np.asarray(array, dtype=float), decimals) + 0.0
+
+
+def array_signature(array: np.ndarray, *, decimals: int = 6) -> str:
+    """Hex digest of a quantized array (shape-sensitive)."""
+    quantized = quantize(array, decimals)
+    digest = hashlib.sha1()
+    digest.update(str(quantized.shape).encode())
+    digest.update(quantized.tobytes())
+    return digest.hexdigest()
+
+
+def problem_signature(problem: TATIMProblem, *, decimals: int = 6) -> str:
+    """Hex digest of a full TATIM instance: importance, geometry, budgets."""
+    digest = hashlib.sha1()
+    for array in (
+        problem.importance,
+        problem.times,
+        problem.resources,
+        problem.capacities,
+        problem.processor_time_limits(),
+    ):
+        quantized = quantize(array, decimals)
+        digest.update(str(quantized.shape).encode())
+        digest.update(quantized.tobytes())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+class AllocationCache:
+    """LRU memo of allocation solves keyed on quantized instance signatures.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry cap; least-recently-used entries are evicted beyond it.
+    decimals:
+        Quantization precision for array signatures. Vectors that agree
+        to ``decimals`` places share a key; anything coarser misses.
+    """
+
+    def __init__(self, *, maxsize: int = 2048, decimals: int = 6) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(f"maxsize must be >= 1, got {maxsize}")
+        if decimals < 0:
+            raise ConfigurationError(f"decimals must be >= 0, got {decimals}")
+        self.maxsize = int(maxsize)
+        self.decimals = int(decimals)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._watched: list[int] = []
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def array_signature(self, array: np.ndarray) -> str:
+        return array_signature(array, decimals=self.decimals)
+
+    def problem_signature(self, problem: TATIMProblem) -> str:
+        return problem_signature(problem, decimals=self.decimals)
+
+    def problem_key(self, scope: str, problem: TATIMProblem) -> tuple:
+        """Cache key for a full instance solved by ``scope`` (solver name)."""
+        return (scope, self.problem_signature(problem))
+
+    # ------------------------------------------------------------------
+    def _scope_of(self, key: Hashable) -> str:
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0]
+        return "unscoped"
+
+    def get(self, key: Hashable):
+        """Cached value or None; updates hit/miss metrics and LRU order."""
+        registry = get_registry()
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            registry.counter(
+                "repro_tatim_cache_hits_total",
+                help="Allocation-cache hits",
+                scope=self._scope_of(key),
+            ).inc()
+        else:
+            self.misses += 1
+            registry.counter(
+                "repro_tatim_cache_misses_total",
+                help="Allocation-cache misses",
+                scope=self._scope_of(key),
+            ).inc()
+        registry.gauge(
+            "repro_tatim_cache_hit_ratio",
+            help="Allocation-cache hits / lookups over the cache lifetime",
+        ).set(self.hit_ratio)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        get_registry().gauge(
+            "repro_tatim_cache_entries", help="Allocation-cache resident entries"
+        ).set(len(self._entries))
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every entry (e.g. after an environment-store mutation)."""
+        self._entries.clear()
+        self.invalidations += 1
+        registry = get_registry()
+        registry.counter(
+            "repro_tatim_cache_invalidations_total",
+            help="Explicit allocation-cache invalidations",
+        ).inc()
+        registry.gauge(
+            "repro_tatim_cache_entries", help="Allocation-cache resident entries"
+        ).set(0)
+
+    def watch(self, store) -> None:
+        """Invalidate whenever ``store`` mutates (idempotent per store).
+
+        ``store`` must expose ``subscribe(callback)`` — e.g.
+        :class:`repro.rl.crl.EnvironmentStore`.
+        """
+        if id(store) in self._watched:
+            return
+        store.subscribe(self.invalidate)
+        self._watched.append(id(store))
+
+
+_active_cache: AllocationCache | None = None
+
+
+def get_allocation_cache() -> AllocationCache | None:
+    """The installed ambient cache, or None when caching is off."""
+    return _active_cache
+
+
+def set_allocation_cache(cache: AllocationCache | None) -> AllocationCache | None:
+    """Install (or clear, with None) the process-wide allocation cache."""
+    global _active_cache
+    _active_cache = cache
+    return cache
+
+
+@contextmanager
+def use_allocation_cache(cache: AllocationCache) -> Iterator[AllocationCache]:
+    """Temporarily install ``cache``; restores the previous one on exit."""
+    previous = _active_cache
+    set_allocation_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_allocation_cache(previous)

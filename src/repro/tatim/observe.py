@@ -12,6 +12,13 @@ Sec. V "allocation time" breakdown is comparable across solvers:
 Solver-specific work counters (branch-and-bound nodes, local-search
 rounds, subgradient iterations, greedy placement attempts) are emitted at
 their call sites.
+
+When an :class:`repro.tatim.cache.AllocationCache` is installed (see
+:func:`repro.tatim.cache.use_allocation_cache`), zero-argument solves are
+memoized here: a hit returns the cached result without invoking the
+solver (so ``repro_tatim_solves_total`` does not advance), a miss solves
+and stores. Calls with extra positional/keyword arguments bypass the
+cache since those arguments change the result.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import time
 from functools import wraps
 
+from repro.tatim.cache import get_allocation_cache
 from repro.telemetry import get_registry, span
 
 
@@ -33,6 +41,13 @@ def instrumented_solver(solver_name: str):
     def decorate(fn):
         @wraps(fn)
         def wrapper(problem, *args, **kwargs):
+            cache = get_allocation_cache()
+            key = None
+            if cache is not None and not args and not kwargs:
+                key = cache.problem_key(solver_name, problem)
+                cached = cache.get(key)
+                if cached is not None:
+                    return cached
             started = time.perf_counter()
             with span("tatim.solve", solver=solver_name):
                 result = fn(problem, *args, **kwargs)
@@ -59,6 +74,8 @@ def instrumented_solver(solver_name: str):
                 help="Achieved importance of the latest solution",
                 solver=solver_name,
             ).set(float(allocation.objective(problem)))
+            if key is not None:
+                cache.put(key, result)
             return result
 
         return wrapper

@@ -37,3 +37,18 @@ def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.ra
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     return list(as_rng(seed).spawn(count))
+
+
+def derive_seeds(seed: int | np.random.Generator | None, count: int) -> list[int]:
+    """``count`` deterministic integer seeds drawn from one source.
+
+    Unlike :func:`spawn_rngs` this yields plain ints, which survive
+    pickling into worker processes unchanged — the parallel trainer's
+    contract that ``jobs=1`` and ``jobs=N`` runs see identical seeds
+    depends on deriving them up front in the parent, in a fixed order,
+    rather than drawing lazily per worker.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = as_rng(seed)
+    return [int(rng.integers(0, 2**31 - 1)) for _ in range(count)]

@@ -1,0 +1,136 @@
+"""ParallelTrainer: ordering, determinism, telemetry merge, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import ParallelTrainer, merge_worker_metrics, merge_worker_spans
+from repro.parallel.trainer import _run_in_worker
+from repro.rl.crl import AgentTrainTask, train_allocation_agent
+from repro.rl.dqn import DQNConfig
+from repro.tatim.generators import random_instance
+from repro.telemetry import MetricsRegistry, RunTrace, use_registry, use_run_trace
+from repro.utils.rng import as_rng, derive_seeds
+
+
+def square(payload):
+    return payload * payload
+
+
+def seeded_draw(seed):
+    return float(as_rng(seed).random())
+
+
+def spin_metrics(payload):
+    from repro.telemetry import get_registry, span
+
+    with span("worker.step", payload=payload):
+        get_registry().counter("repro_test_worker_total", help="test").inc(payload)
+        get_registry().histogram(
+            "repro_test_worker_seconds", buckets=(1.0, 10.0), help="test"
+        ).observe(float(payload))
+    return payload
+
+
+def _counter_total(registry, name):
+    for family in registry.families():
+        if family.name == name:
+            return float(sum(child.value for child in family.children.values()))
+    return 0.0
+
+
+def _train_task(seed: int) -> AgentTrainTask:
+    geometry = random_instance(6, 2, seed=0)
+    rng = np.random.default_rng(4)
+    return AgentTrainTask(
+        geometry=geometry,
+        importance=np.abs(rng.normal(size=6)),
+        dqn_config=DQNConfig(hidden_sizes=(16,)),
+        episodes=10,
+        seed=seed,
+        seed_demonstrations=0,
+        mode="offline",
+    )
+
+
+class TestMap:
+    def test_invalid_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ParallelTrainer(square, jobs=0)
+
+    def test_empty_payloads(self):
+        assert ParallelTrainer(square, jobs=2).map([]) == []
+
+    def test_serial_matches_input_order(self):
+        assert ParallelTrainer(square, jobs=1).map([3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        payloads = list(range(6))
+        serial = ParallelTrainer(square, jobs=1).map(payloads)
+        parallel = ParallelTrainer(square, jobs=2).map(payloads)
+        assert parallel == serial
+
+    def test_seeded_payloads_deterministic_across_jobs(self):
+        seeds = derive_seeds(0, 4)
+        serial = ParallelTrainer(seeded_draw, jobs=1).map(seeds)
+        parallel = ParallelTrainer(seeded_draw, jobs=2).map(seeds)
+        assert parallel == serial
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            trainer = ParallelTrainer(lambda p: p + 1, jobs=2)
+            assert trainer.map([1, 2, 3]) == [2, 3, 4]
+        assert _counter_total(registry, "repro_parallel_fallbacks_total") == 1
+
+    def test_agent_training_identical_serial_vs_parallel(self):
+        """The real CRL worker: same seeds, same greedy policy either way."""
+        tasks = [_train_task(seed) for seed in derive_seeds(0, 2)]
+        serial = ParallelTrainer(train_allocation_agent, jobs=1).map(tasks)
+        parallel = ParallelTrainer(train_allocation_agent, jobs=2).map(tasks)
+        problem = tasks[0].geometry.scaled(importance=np.asarray(tasks[0].importance))
+        from repro.rl.env import AllocationEnv
+
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(
+                a.solve(AllocationEnv(problem)).matrix,
+                b.solve(AllocationEnv(problem)).matrix,
+            )
+
+
+class TestTelemetryMerge:
+    def test_run_in_worker_returns_plain_data(self):
+        value, spans, metrics = _run_in_worker(spin_metrics, 3)
+        assert value == 3
+        assert isinstance(metrics, dict)
+        assert all(isinstance(record, dict) for record in spans)
+
+    def test_worker_metrics_merged_into_parent(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ParallelTrainer(spin_metrics, jobs=2).map([2, 5])
+        assert _counter_total(registry, "repro_test_worker_total") == 7
+        assert _counter_total(registry, "repro_parallel_tasks_total") == 2
+        for family in registry.families():
+            if family.name == "repro_test_worker_seconds":
+                child = next(iter(family.children.values()))
+                assert child.count == 2
+                assert child.sum == pytest.approx(7.0)
+                break
+        else:  # pragma: no cover
+            pytest.fail("worker histogram not merged")
+
+    def test_worker_spans_grafted_under_parallel_worker(self):
+        registry = MetricsRegistry()
+        trace = RunTrace(label="parent")
+        with use_registry(registry), use_run_trace(trace):
+            ParallelTrainer(spin_metrics, jobs=2).map([1, 2])
+        names = [record.name for record in trace.spans]
+        assert names.count("parallel.worker") == 2
+        workers = [r for r in trace.spans if r.name == "parallel.worker"]
+        assert all(r.attrs.get("clock") == "worker" for r in workers)
+
+    def test_merge_helpers_noop_without_sinks(self):
+        # No ambient registry/trace: merging must not raise.
+        merge_worker_metrics({"metrics": [{"name": "x", "kind": "counter", "value": 1}]})
+        merge_worker_spans([{"name": "s", "start": 0.0, "end": 1.0}], worker=0)

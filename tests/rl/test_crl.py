@@ -126,3 +126,72 @@ class TestCRLModel:
         # under A's importance as under B's in most cases; assert it is
         # non-trivial under its own regime.
         assert value_a_under_a > 0.0
+
+
+class TestEnvironmentStoreCache:
+    def test_stacked_matrices_cached_and_rebuilt_on_add(self, rng):
+        store = EnvironmentStore()
+        store.add(rng.normal(size=3), rng.random(5))
+        first = store.sensing_matrix
+        assert store.sensing_matrix is first  # cached between adds
+        store.add(rng.normal(size=3), rng.random(5))
+        rebuilt = store.sensing_matrix
+        assert rebuilt is not first
+        assert rebuilt.shape == (2, 3)
+        assert store.importance_matrix.shape == (2, 5)
+
+    def test_nearest_indices_unchanged_by_caching(self, rng):
+        """The cached stack must return the same kNN answers as fresh stacks."""
+        store = EnvironmentStore()
+        rows = [rng.normal(size=4) for _ in range(10)]
+        profiles = [rng.random(6) for _ in range(10)]
+        for row, profile in zip(rows, profiles):
+            store.add(row, profile)
+        query = rng.normal(size=4)
+        from repro.ml.knn import nearest_indices
+
+        cached = nearest_indices(query.reshape(1, -1), store.sensing_matrix, 3)[0]
+        fresh = nearest_indices(query.reshape(1, -1), np.vstack(rows), 3)[0]
+        assert np.array_equal(cached, fresh)
+        expected = store.importance_matrix[fresh].mean(axis=0)
+        assert np.allclose(store.knn_importance(query, k=3), expected)
+
+    def test_version_and_subscribers(self, rng):
+        store = EnvironmentStore()
+        events = []
+        store.subscribe(lambda: events.append(store.version))
+        assert store.version == 0
+        store.add(rng.normal(size=3), rng.random(5))
+        store.add(rng.normal(size=3), rng.random(5))
+        assert store.version == 2
+        assert events == [1, 2]
+
+
+class TestParallelFit:
+    def test_parallel_fit_matches_serial(self, geometry, store):
+        """jobs=2 must train byte-identical agents to jobs=1."""
+        environments, *_ = store
+        serial = CRLModel(
+            geometry,
+            n_clusters=2,
+            episodes=15,
+            dqn_config=DQNConfig(hidden_sizes=(16,)),
+            jobs=1,
+            seed=0,
+        ).fit(environments)
+        parallel = CRLModel(
+            geometry,
+            n_clusters=2,
+            episodes=15,
+            dqn_config=DQNConfig(hidden_sizes=(16,)),
+            jobs=2,
+            seed=0,
+        ).fit(environments)
+        for sensing in (np.zeros(4), np.full(4, 8.0)):
+            assert np.array_equal(
+                serial.allocate(sensing).matrix, parallel.allocate(sensing).matrix
+            )
+
+    def test_invalid_jobs_rejected(self, geometry):
+        with pytest.raises(ConfigurationError):
+            CRLModel(geometry, jobs=0)

@@ -56,6 +56,22 @@ class TestReplayBuffer:
         buffer.clear()
         assert len(buffer) == 0
 
+    def test_sample_without_replacement(self):
+        """Regression: a batch must never double-count a transition."""
+        buffer = ReplayBuffer(seed=0)
+        for reward in range(20):
+            buffer.push(make_transition(float(reward)))
+        for _ in range(50):
+            rewards = [t.reward for t in buffer.sample(10)]
+            assert len(rewards) == len(set(rewards)) == 10
+
+    def test_full_buffer_sample_is_permutation(self):
+        buffer = ReplayBuffer(seed=0)
+        for reward in range(8):
+            buffer.push(make_transition(float(reward)))
+        rewards = sorted(t.reward for t in buffer.sample(100))
+        assert rewards == [float(r) for r in range(8)]
+
     def test_sampling_deterministic_given_seed(self):
         a = ReplayBuffer(seed=1)
         b = ReplayBuffer(seed=1)

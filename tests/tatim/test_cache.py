@@ -1,0 +1,210 @@
+"""AllocationCache: keys, quantization, invalidation, end-to-end reuse."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.crl import CRLModel, EnvironmentStore
+from repro.rl.dqn import DQNConfig
+from repro.tatim.cache import (
+    AllocationCache,
+    array_signature,
+    get_allocation_cache,
+    problem_signature,
+    set_allocation_cache,
+    use_allocation_cache,
+)
+from repro.tatim.generators import random_instance
+from repro.tatim.greedy import density_greedy
+from repro.telemetry import MetricsRegistry, use_registry
+
+
+def _counter_total(registry, name: str) -> float:
+    for family in registry.families():
+        if family.name == name:
+            return float(sum(child.value for child in family.children.values()))
+    return 0.0
+
+
+class TestSignatures:
+    def test_below_quantization_coalesces(self):
+        base = np.array([0.5, 1.0, 2.0])
+        jittered = base + 1e-9
+        assert array_signature(base) == array_signature(jittered)
+
+    def test_above_quantization_distinguishes(self):
+        base = np.array([0.5, 1.0, 2.0])
+        shifted = base + 1e-3
+        assert array_signature(base) != array_signature(shifted)
+
+    def test_boundary_at_decimals(self):
+        """decimals=2: differences at 1e-3 round away, at 1e-2 they don't."""
+        base = np.array([0.10])
+        assert array_signature(base, decimals=2) == array_signature(
+            np.array([0.101]), decimals=2
+        )
+        assert array_signature(base, decimals=2) != array_signature(
+            np.array([0.12]), decimals=2
+        )
+
+    def test_negative_zero_normalized(self):
+        assert array_signature(np.array([0.0])) == array_signature(np.array([-0.0]))
+
+    def test_shape_sensitive(self):
+        flat = np.arange(4.0)
+        assert array_signature(flat) != array_signature(flat.reshape(2, 2))
+
+    def test_problem_signature_tracks_importance(self):
+        problem = random_instance(6, 2, seed=0)
+        same = problem.scaled()
+        changed = problem.scaled(importance=problem.importance * 2.0)
+        assert problem_signature(problem) == problem_signature(same)
+        assert problem_signature(problem) != problem_signature(changed)
+
+
+class TestAllocationCache:
+    def test_hit_miss_counters(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = AllocationCache()
+            assert cache.get(("scope", "k1")) is None
+            cache.put(("scope", "k1"), "value")
+            assert cache.get(("scope", "k1")) == "value"
+            assert cache.hits == 1 and cache.misses == 1
+            assert cache.hit_ratio == 0.5
+            assert _counter_total(registry, "repro_tatim_cache_hits_total") == 1
+            assert _counter_total(registry, "repro_tatim_cache_misses_total") == 1
+
+    def test_lru_eviction(self):
+        cache = AllocationCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AllocationCache(maxsize=0)
+        with pytest.raises(ConfigurationError):
+            AllocationCache(decimals=-1)
+
+    def test_invalidate_clears(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = AllocationCache()
+            cache.put("a", 1)
+            cache.invalidate()
+            assert len(cache) == 0 and cache.invalidations == 1
+            assert (
+                _counter_total(registry, "repro_tatim_cache_invalidations_total") == 1
+            )
+
+    def test_watch_invalidates_on_store_add(self):
+        cache = AllocationCache()
+        store = EnvironmentStore()
+        cache.watch(store)
+        cache.watch(store)  # idempotent: one subscription, one clear per add
+        cache.put("a", 1)
+        store.add(np.zeros(3), np.zeros(5))
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_ambient_install_and_restore(self):
+        assert get_allocation_cache() is None
+        cache = AllocationCache()
+        with use_allocation_cache(cache):
+            assert get_allocation_cache() is cache
+            inner = AllocationCache()
+            with use_allocation_cache(inner):
+                assert get_allocation_cache() is inner
+            assert get_allocation_cache() is cache
+        assert get_allocation_cache() is None
+
+    def test_set_allocation_cache_roundtrip(self):
+        cache = set_allocation_cache(AllocationCache())
+        try:
+            assert get_allocation_cache() is cache
+        finally:
+            set_allocation_cache(None)
+        assert get_allocation_cache() is None
+
+
+class TestSolverMemoization:
+    def test_instrumented_solver_uses_cache(self):
+        registry = MetricsRegistry()
+        problem = random_instance(10, 2, seed=1)
+        with use_registry(registry), use_allocation_cache(AllocationCache()) as cache:
+            first = density_greedy(problem)
+            second = density_greedy(problem)
+        assert second is first  # cached value returned by reference
+        assert cache.hits == 1 and cache.misses == 1
+        assert _counter_total(registry, "repro_tatim_solves_total") == 1
+
+    def test_different_instances_do_not_collide(self):
+        with use_allocation_cache(AllocationCache()):
+            a = density_greedy(random_instance(10, 2, seed=1))
+            b = density_greedy(random_instance(10, 2, seed=2))
+        assert not np.array_equal(a.matrix, b.matrix) or a is not b
+
+
+class TestCRLAllocationCaching:
+    def _fitted_model(self, geometry, store):
+        model = CRLModel(
+            geometry,
+            n_clusters=2,
+            episodes=20,
+            dqn_config=DQNConfig(hidden_sizes=(16,)),
+            seed=0,
+        )
+        model.fit(store)
+        return model
+
+    def _store(self):
+        rng = np.random.default_rng(3)
+        store = EnvironmentStore()
+        for i in range(12):
+            center = 0.0 if i % 2 == 0 else 8.0
+            store.add(rng.normal(center, 0.3, size=4), np.abs(rng.normal(size=8)))
+        return store
+
+    def test_cached_allocation_byte_identical(self):
+        """Warm-cache allocations match the uncached run bit for bit."""
+        geometry = random_instance(8, 2, seed=0)
+        sensing = np.zeros(4)
+
+        uncached = self._fitted_model(geometry, self._store()).allocate(sensing)
+        model = self._fitted_model(geometry, self._store())
+        with use_allocation_cache(AllocationCache()) as cache:
+            cold = model.allocate(sensing)
+            warm = model.allocate(sensing)
+        assert np.array_equal(uncached.matrix, cold.matrix)
+        assert np.array_equal(uncached.matrix, warm.matrix)
+        assert cache.hits == 1
+
+    def test_rollouts_skipped_on_hit(self):
+        registry = MetricsRegistry()
+        geometry = random_instance(8, 2, seed=0)
+        model = self._fitted_model(geometry, self._store())
+        with use_registry(registry), use_allocation_cache(AllocationCache()):
+            for _ in range(5):
+                model.allocate(np.zeros(4))
+        assert _counter_total(registry, "repro_rl_crl_rollouts_total") == 1
+        assert _counter_total(registry, "repro_rl_crl_allocations_total") == 5
+
+    def test_store_mutation_invalidates_crl_entries(self):
+        """fit() watches the store, so add() can never serve a stale hit."""
+        geometry = random_instance(8, 2, seed=0)
+        store = self._store()
+        model = self._fitted_model(geometry, store)
+        with use_allocation_cache(AllocationCache()) as cache:
+            model.allocate(np.zeros(4))
+            model.allocate(np.zeros(4))
+            assert cache.hits == 1
+            rng = np.random.default_rng(9)
+            store.add(rng.normal(0.0, 0.3, size=4), np.abs(rng.normal(size=8)))
+            assert len(cache) == 0
+            # Post-mutation lookups key on the new store version: a miss.
+            model.allocate(np.zeros(4))
+            assert cache.misses == 2 and cache.hits == 1
