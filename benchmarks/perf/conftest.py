@@ -15,6 +15,8 @@ timing entries are skipped.
 
 from __future__ import annotations
 
+import os
+import statistics
 import time
 from pathlib import Path
 
@@ -24,39 +26,63 @@ from repro.core.bench import bench_commit, record, write_bench_json
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+#: Timing rounds per tracked bench; ≥ 3 so the regression gate compares
+#: means with a recorded ``std_s`` instead of single noisy samples.
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
+
 #: Session-wide collector; written to BENCH_perf.json at session end.
 _RESULTS: dict = {}
 
 
 @pytest.fixture
 def track(benchmark):
-    """Time ``fn`` once under pytest-benchmark and track it by name.
+    """Time ``fn`` over ``BENCH_ROUNDS`` rounds and track it by name.
 
-    Returns the function's result. When benchmarking is disabled
-    (``--benchmark-disable``) the function still runs — so correctness
-    assertions hold — but no timing entry is recorded.
+    Returns the function's (last) result. When benchmarking is disabled
+    (``--benchmark-disable``) the function still runs once — so
+    correctness assertions hold — but no timing entry is recorded.
 
     pytest-benchmark allows one timed target per test, so the first call
     goes through ``benchmark.pedantic`` and later calls in the same test
-    fall back to a plain ``perf_counter`` timing (the cache benches time
+    fall back to a plain ``perf_counter`` loop (the cache benches time
     uncached/cold/warm passes inside a single test).
     """
     commit = bench_commit()
     benchmark_used = False
+    disabled = getattr(benchmark, "disabled", False)
 
-    def _track(name: str, fn):
+    def _track(name: str, fn, *, rounds: int = BENCH_ROUNDS):
         nonlocal benchmark_used
+        if disabled:
+            return fn()
         if not benchmark_used:
             benchmark_used = True
-            result = benchmark.pedantic(fn, rounds=1, iterations=1)
-            if not getattr(benchmark, "disabled", False):
-                stats = benchmark.stats.stats
-                record(_RESULTS, name, stats.mean, stats.rounds, commit=commit)
+            result = benchmark.pedantic(fn, rounds=rounds, iterations=1)
+            stats = benchmark.stats.stats
+            record(
+                _RESULTS,
+                name,
+                stats.mean,
+                stats.rounds,
+                std_s=getattr(stats, "stddev", 0.0) or 0.0,
+                commit=commit,
+            )
             return result
-        started = time.perf_counter()
-        result = fn()
-        if not getattr(benchmark, "disabled", False):
-            record(_RESULTS, name, time.perf_counter() - started, 1, commit=commit)
+        samples = []
+        result = None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = fn()
+            samples.append(time.perf_counter() - started)
+        std = statistics.pstdev(samples) if len(samples) > 1 else 0.0
+        record(
+            _RESULTS,
+            name,
+            statistics.fmean(samples),
+            len(samples),
+            std_s=std,
+            commit=commit,
+        )
         return result
 
     return _track

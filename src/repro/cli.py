@@ -7,11 +7,13 @@ Usage::
     python -m repro fig11 [--bandwidths 10 20 40 80 120]
     python -m repro longtail [--days 60]
     python -m repro pipeline [--days 30]
-    python -m repro bench    [--jobs 4 --full]
+    python -m repro bench    [--jobs 4 --full --check --threshold 1.25]
 
 Each subcommand prints the corresponding figure's table; `pipeline` runs
 the full building-data DCTA system once; `bench` runs the tracked
-performance benchmarks and merges results into ``BENCH_perf.json``.
+performance benchmarks and merges results into ``BENCH_perf.json``
+(``--check`` additionally compares against a same-machine baseline and
+exits non-zero on regression).
 
 Experiment subcommands accept ``--jobs N`` (parallel per-cluster CRL
 training) and ``--no-cache`` (disable the allocation cache); see
@@ -210,14 +212,37 @@ def _command_telemetry_report(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.core.bench import bench_table, run_bench
+    from repro.core.bench import (
+        bench_table,
+        check_regressions,
+        load_bench_json,
+        run_bench,
+    )
 
+    baseline = None
+    if args.check:
+        # Snapshot the baseline before run_bench merges fresh numbers
+        # into the same file.
+        baseline = load_bench_json(args.baseline)
+        if not baseline:
+            print(f"bench --check: no usable baseline at {args.baseline}", file=sys.stderr)
+            return 2
     results, notes = run_bench(
         jobs=args.jobs, quick=not args.full, rounds=args.rounds, out=args.out
     )
     print(bench_table(results))
     for note in notes:
         print(note)
+    if baseline is not None:
+        failures, table = check_regressions(results, baseline, threshold=args.threshold)
+        print()
+        print(table)
+        if failures:
+            print()
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("bench --check: no regressions")
     return 0
 
 
@@ -298,12 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="full-size workloads (default is CI-sized quick mode)",
     )
-    bench.add_argument("--rounds", type=int, default=1, help="timing rounds per bench")
+    bench.add_argument("--rounds", type=int, default=3, help="timing rounds per bench")
     bench.add_argument(
         "--out",
         metavar="PATH",
         default="BENCH_perf.json",
         help="results JSON to merge into (use /dev/null to skip)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against a baseline BENCH_perf.json and exit 1 on regression",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="BENCH_perf.json",
+        help="baseline JSON for --check (read before --out is updated)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="default allowed current/baseline ratio for --check",
     )
     _add_telemetry_arguments(bench)
     bench.set_defaults(handler=_command_bench)

@@ -8,11 +8,17 @@ performance trajectory is tracked commit over commit.
 
 Schema (one entry per bench)::
 
-    {"<bench_name>": {"mean_s": float, "rounds": int, "commit": str}}
+    {"<bench_name>": {"mean_s": float, "std_s": float, "rounds": int, "commit": str}}
 
 :func:`write_bench_json` merges into an existing file, so partial runs
 (e.g. the pytest ``benchmarks/perf/`` suite, which reuses this writer)
 update their entries without clobbering the rest.
+
+:func:`check_regressions` closes the loop: ``repro bench --check``
+compares a fresh run against a baseline ``BENCH_perf.json`` with
+per-bench relative thresholds (plus a std-derived noise allowance and a
+floor below which micro-benches are informational only) and reports
+failures, so perf work is gated rather than just tracked.
 """
 
 from __future__ import annotations
@@ -58,10 +64,19 @@ def bench_commit() -> str:
         return "unknown"
 
 
-def record(results: dict, name: str, mean_s: float, rounds: int, *, commit: str | None = None) -> None:
+def record(
+    results: dict,
+    name: str,
+    mean_s: float,
+    rounds: int,
+    *,
+    std_s: float = 0.0,
+    commit: str | None = None,
+) -> None:
     """Append one bench entry in the ``BENCH_perf.json`` schema."""
     results[name] = {
         "mean_s": float(mean_s),
+        "std_s": float(std_s),
         "rounds": int(rounds),
         "commit": commit if commit is not None else bench_commit(),
     }
@@ -84,21 +99,50 @@ def bench_table(results: dict) -> str:
     from repro.utils.reporting import format_table
 
     rows = [
-        [name, entry["mean_s"], entry["rounds"], entry["commit"]]
+        [name, entry["mean_s"], entry.get("std_s", 0.0), entry["rounds"], entry["commit"]]
         for name, entry in sorted(results.items())
     ]
-    return format_table(["bench", "mean_s", "rounds", "commit"], rows, title="repro bench")
+    return format_table(
+        ["bench", "mean_s", "std_s", "rounds", "commit"], rows, title="repro bench"
+    )
 
 
-def _timed(fn, rounds: int) -> tuple[float, object]:
-    """(mean seconds, last result) over ``rounds`` calls."""
+def _timed(fn, rounds: int) -> tuple[float, float, object]:
+    """(mean seconds, population std, last result) over ``rounds`` calls."""
     result = None
-    total = 0.0
+    samples = []
     for _ in range(rounds):
         started = time.perf_counter()
         result = fn()
-        total += time.perf_counter() - started
-    return total / rounds, result
+        samples.append(time.perf_counter() - started)
+    samples = np.asarray(samples)
+    return float(samples.mean()), float(samples.std()), result
+
+
+def _timed_interleaved(fns: dict, rounds: int) -> dict:
+    """Time several variants with interleaved rounds (A B A B ... not A A B B).
+
+    Clock speed drifts over a bench process's lifetime (thermal/turbo
+    decay, background load), so timing all of variant A's rounds before
+    variant B's biases whichever runs later. Interleaving spreads the
+    drift evenly across variants. Returns
+    ``{name: (mean_s, std_s, last_result)}``.
+    """
+    samples: dict = {name: [] for name in fns}
+    last: dict = {name: None for name in fns}
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            started = time.perf_counter()
+            last[name] = fn()
+            samples[name].append(time.perf_counter() - started)
+    return {
+        name: (
+            float(np.mean(samples[name])),
+            float(np.std(samples[name])),
+            last[name],
+        )
+        for name in fns
+    }
 
 
 def _family_total(registry, name: str) -> float:
@@ -110,31 +154,134 @@ def _family_total(registry, name: str) -> float:
 
 
 # ----------------------------------------------------------------------
+# Regression gate
+
+#: Default allowed current/baseline mean ratio before a bench fails.
+DEFAULT_THRESHOLD = 1.25
+
+#: Per-bench overrides for benches whose absolute times are so small that
+#: scheduler jitter regularly exceeds the default relative threshold.
+PER_BENCH_THRESHOLD = {
+    "building_dataset_generate": 1.6,
+    "plan_10x_uncached": 2.0,
+    "plan_10x_cold_cache": 2.0,
+    "plan_10x_warm_cache": 2.5,
+}
+
+#: Benches with baseline means under this floor are reported but never
+#: fail the gate — at sub-millisecond scale the ratio is pure noise.
+MIN_GATED_SECONDS = 0.002
+
+
+def check_regressions(
+    current: dict,
+    baseline: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[str], str]:
+    """Compare a fresh bench run against a baseline ``BENCH_perf.json``.
+
+    A bench regresses when its current mean exceeds
+    ``baseline_mean * limit + 2 * max(stds)`` where ``limit`` is the
+    per-bench threshold (``PER_BENCH_THRESHOLD`` falling back to
+    ``threshold``) and the std term absorbs recorded round-to-round
+    noise. Benches only present on one side are reported as ``new`` /
+    ``missing`` but never fail; neither do sub-floor micro-benches.
+
+    Returns ``(failures, table)`` — an empty ``failures`` list means the
+    gate passes. Baselines must be produced on the same machine as the
+    current run; cross-machine ratios are meaningless.
+    """
+    from repro.utils.reporting import format_table
+
+    failures: list[str] = []
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            rows.append([name, "-", cur["mean_s"], "-", "-", "new"])
+            continue
+        if cur is None:
+            rows.append([name, base["mean_s"], "-", "-", "-", "missing"])
+            continue
+        limit = PER_BENCH_THRESHOLD.get(name, threshold)
+        base_mean = float(base["mean_s"])
+        cur_mean = float(cur["mean_s"])
+        ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
+        noise = 2.0 * max(float(base.get("std_s", 0.0)), float(cur.get("std_s", 0.0)))
+        if base_mean < MIN_GATED_SECONDS:
+            status = "ok (ungated: micro)"
+        elif cur_mean > base_mean * limit + noise:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cur_mean:.4f}s vs baseline {base_mean:.4f}s "
+                f"(ratio {ratio:.2f}x > limit {limit:.2f}x + noise {noise:.4f}s)"
+            )
+        else:
+            status = "ok"
+        rows.append([name, base_mean, cur_mean, f"{ratio:.2f}x", f"{limit:.2f}x", status])
+    table = format_table(
+        ["bench", "baseline_s", "current_s", "ratio", "limit", "status"],
+        rows,
+        title="bench regression check",
+    )
+    return failures, table
+
+
+def load_bench_json(path=DEFAULT_BENCH_PATH) -> dict:
+    """Read a ``BENCH_perf.json`` baseline (empty dict when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+# ----------------------------------------------------------------------
 def run_bench(
     *,
     jobs: int = 4,
     quick: bool = True,
-    rounds: int = 1,
+    rounds: int = 3,
     out: str | None = DEFAULT_BENCH_PATH,
 ) -> tuple[dict, list[str]]:
     """Run the tracked perf suite; returns (results, human-readable notes).
 
     ``quick`` uses CI-sized workloads (the default); disable it for
     higher-fidelity numbers. The cache benches always verify that cached
-    and uncached plans agree byte-for-byte before reporting speedups.
+    and uncached plans agree byte-for-byte before reporting speedups, and
+    the importance benches verify ``jobs=1`` / ``jobs=N`` byte-identity.
+    The worker pool is warmed once up front so parallel benches measure
+    steady-state dispatch, not spin-up; it is shut down (and its shared
+    segments released) before returning.
     """
+    import os
+
+    from repro.parallel import get_worker_pool, shutdown_worker_pool
+
     commit = bench_commit()
     results: dict = {}
     notes: list[str] = []
+    notes.append(f"machine: {os.cpu_count() or 1} cpu(s); pool degrades to serial on 1")
     # Count solver/rollout invocations in the ambient registry when
     # telemetry is on (so cache hit-rate metrics reach the CLI exports),
     # else in a private one.
     registry = get_registry() if telemetry_enabled() else MetricsRegistry()
-    with use_registry(registry):
-        _bench_dataset(results, rounds, commit, quick)
-        _bench_system_build(results, rounds, commit, quick)
-        _bench_crl_train(results, rounds, commit, quick, jobs, notes)
-        _bench_plan_cache(results, commit, quick, notes, registry)
+    try:
+        with use_registry(registry):
+            if jobs > 1 and (os.cpu_count() or 1) > 1:
+                get_worker_pool().executor(min(jobs, os.cpu_count() or 1))
+            _bench_dataset(results, rounds, commit, quick)
+            _bench_system_build(results, rounds, commit, quick)
+            _bench_crl_train(results, rounds, commit, quick, jobs, notes)
+            _bench_importance(results, rounds, commit, quick, jobs, notes)
+            _bench_edgesim(results, rounds, commit, quick)
+            _bench_plan_cache(results, commit, quick, notes, registry)
+    finally:
+        shutdown_worker_pool()
     if out is not None:
         write_bench_json(results, out)
         notes.append(f"wrote {len(results)} benches to {out}")
@@ -147,8 +294,8 @@ def _bench_dataset(results, rounds, commit, quick) -> None:
     config = BuildingOperationConfig(
         n_days=20 if quick else 90, n_buildings=2 if quick else 3, seed=7
     )
-    mean_s, _ = _timed(lambda: BuildingOperationDataset(config).generate(), rounds)
-    record(results, "building_dataset_generate", mean_s, rounds, commit=commit)
+    mean_s, std_s, _ = _timed(lambda: BuildingOperationDataset(config).generate(), rounds)
+    record(results, "building_dataset_generate", mean_s, rounds, std_s=std_s, commit=commit)
 
 
 def _bench_system_build(results, rounds, commit, quick) -> None:
@@ -162,8 +309,8 @@ def _bench_system_build(results, rounds, commit, quick) -> None:
         crl_episodes=4 if quick else 40,
         seed=0,
     )
-    mean_s, _ = _timed(lambda: DCTASystem(config).build(), rounds)
-    record(results, "dcta_system_build", mean_s, rounds, commit=commit)
+    mean_s, std_s, _ = _timed(lambda: DCTASystem(config).build(), rounds)
+    record(results, "dcta_system_build", mean_s, rounds, std_s=std_s, commit=commit)
 
 
 def _train_scenario(quick: bool) -> SyntheticScenario:
@@ -189,14 +336,128 @@ def _bench_crl_train(results, rounds, commit, quick, jobs, notes) -> None:
             scenario, nodes, crl_episodes=episodes, crl_clusters=4, jobs=n_jobs, seed=0
         )
 
-    serial_s, _ = _timed(lambda: train(1), rounds)
-    record(results, "crl_train_4cluster_jobs1", serial_s, rounds, commit=commit)
     if jobs > 1:
-        parallel_s, _ = _timed(lambda: train(jobs), rounds)
-        record(results, f"crl_train_4cluster_jobs{jobs}", parallel_s, rounds, commit=commit)
+        timings = _timed_interleaved({"jobs1": lambda: train(1), "jobsN": lambda: train(jobs)}, rounds)
+        serial_s, serial_std, _ = timings["jobs1"]
+        parallel_s, parallel_std, _ = timings["jobsN"]
+        record(
+            results, "crl_train_4cluster_jobs1", serial_s, rounds, std_s=serial_std, commit=commit
+        )
+        record(
+            results,
+            f"crl_train_4cluster_jobs{jobs}",
+            parallel_s,
+            rounds,
+            std_s=parallel_std,
+            commit=commit,
+        )
         notes.append(
             f"CRL train speedup at jobs={jobs}: {serial_s / max(parallel_s, 1e-9):.2f}x"
         )
+    else:
+        serial_s, serial_std, _ = _timed(lambda: train(1), rounds)
+        record(
+            results, "crl_train_4cluster_jobs1", serial_s, rounds, std_s=serial_std, commit=commit
+        )
+
+
+def _bench_importance(results, rounds, commit, quick, jobs, notes) -> None:
+    """Leave-one-out + Shapley evaluators at jobs=1 vs jobs=N.
+
+    Fresh evaluators are built inside each timed call so the cross-call
+    coalition caches never leak warmth between rounds; byte-identity of
+    the jobs=1 and jobs=N outputs is asserted before recording.
+    """
+    from repro.building.dataset import BuildingOperationConfig, BuildingOperationDataset
+    from repro.importance.importance import ImportanceEvaluator
+    from repro.importance.shapley import ShapleyImportanceEvaluator
+    from repro.transfer.registry import make_strategy
+
+    dataset = BuildingOperationDataset(
+        BuildingOperationConfig(n_days=12 if quick else 30, n_buildings=2, seed=3)
+    ).generate()
+    model_set = make_strategy("clustered", "ridge", seed=0).fit(dataset.tasks)
+    days = np.arange(8 if quick else 20)
+    n_permutations = 8 if quick else 16
+
+    def loo(n_jobs: int):
+        return ImportanceEvaluator(dataset, model_set, jobs=n_jobs).importance_matrix(days)
+
+    def shapley(n_jobs: int):
+        return ShapleyImportanceEvaluator(
+            dataset, model_set, n_permutations=n_permutations, seed=5, jobs=n_jobs
+        ).importance_for_day(1)
+
+    if jobs > 1:
+        timings = _timed_interleaved(
+            {
+                "loo1": lambda: loo(1),
+                "looN": lambda: loo(jobs),
+                "shap1": lambda: shapley(1),
+                "shapN": lambda: shapley(jobs),
+            },
+            rounds,
+        )
+        loo1_s, loo1_std, loo1 = timings["loo1"]
+        loon_s, loon_std, loon = timings["looN"]
+        shap1_s, shap1_std, shap1 = timings["shap1"]
+        shapn_s, shapn_std, shapn = timings["shapN"]
+        record(results, "loo_importance_jobs1", loo1_s, rounds, std_s=loo1_std, commit=commit)
+        record(
+            results, "shapley_importance_jobs1", shap1_s, rounds, std_s=shap1_std, commit=commit
+        )
+        record(
+            results, f"loo_importance_jobs{jobs}", loon_s, rounds, std_s=loon_std, commit=commit
+        )
+        record(
+            results,
+            f"shapley_importance_jobs{jobs}",
+            shapn_s,
+            rounds,
+            std_s=shapn_std,
+            commit=commit,
+        )
+        if not np.array_equal(loo1, loon) or not np.array_equal(shap1, shapn):
+            raise AssertionError("importance at jobs=N diverged from jobs=1")
+        notes.append(
+            f"importance speedup at jobs={jobs}: "
+            f"LOO {loo1_s / max(loon_s, 1e-9):.2f}x, "
+            f"Shapley {shap1_s / max(shapn_s, 1e-9):.2f}x (byte-identical)"
+        )
+    else:
+        loo1_s, loo1_std, _ = _timed(lambda: loo(1), rounds)
+        record(results, "loo_importance_jobs1", loo1_s, rounds, std_s=loo1_std, commit=commit)
+        shap1_s, shap1_std, _ = _timed(lambda: shapley(1), rounds)
+        record(
+            results, "shapley_importance_jobs1", shap1_s, rounds, std_s=shap1_std, commit=commit
+        )
+
+
+def _bench_edgesim(results, rounds, commit, quick) -> None:
+    """EdgeSimulator epoch runs, with and without mid-run node failures."""
+    from repro.edgesim.simulator import EdgeSimulator
+
+    scenario = _train_scenario(quick)
+    nodes, network = scaled_testbed(6)
+    allocators = build_allocators(
+        scenario, nodes, crl_episodes=10 if quick else 40, crl_clusters=3, seed=0
+    )
+    dcta = allocators["DCTA"]
+    epoch = scenario.eval_epochs[0]
+    workload = scenario.workload_for(epoch)
+    context = EpochContext(sensing=epoch.sensing, features=epoch.features, day=epoch.day)
+    plan = dcta.plan(workload, nodes, context)
+    simulator = EdgeSimulator(nodes, network)
+    # Knock out a third of the nodes mid-run so the re-dispatch path is
+    # part of the tracked cost.
+    failures = {node.node_id: 5.0 for node in list(nodes)[:: 3]}
+
+    mean_s, std_s, _ = _timed(lambda: simulator.run(workload, plan), rounds)
+    record(results, "edgesim_epoch_run", mean_s, rounds, std_s=std_s, commit=commit)
+    mean_s, std_s, _ = _timed(
+        lambda: simulator.run(workload, plan, failures=failures), rounds
+    )
+    record(results, "edgesim_epoch_run_failures", mean_s, rounds, std_s=std_s, commit=commit)
 
 
 def _bench_plan_cache(results, commit, quick, notes, registry) -> None:
@@ -228,17 +489,17 @@ def _bench_plan_cache(results, commit, quick, notes, registry) -> None:
         return _family_total(registry, "repro_rl_crl_rollouts_total")
 
     before = rollouts()
-    uncached_s, uncached_plans = _timed(plan_all, 1)
+    uncached_s, _, uncached_plans = _timed(plan_all, 1)
     uncached_rollouts = rollouts() - before
     record(results, "plan_10x_uncached", uncached_s, 1, commit=commit)
 
     cache = AllocationCache()
     with use_allocation_cache(cache):
         before = rollouts()
-        cold_s, cold_plans = _timed(plan_all, 1)
+        cold_s, _, cold_plans = _timed(plan_all, 1)
         cold_rollouts = rollouts() - before
         before = rollouts()
-        warm_s, warm_plans = _timed(plan_all, 1)
+        warm_s, _, warm_plans = _timed(plan_all, 1)
         warm_rollouts = rollouts() - before
     record(results, "plan_10x_cold_cache", cold_s, 1, commit=commit)
     record(results, "plan_10x_warm_cache", warm_s, 1, commit=commit)

@@ -162,6 +162,60 @@ def build_allocators(
     return allocators
 
 
+#: Rough serial cost of one Fig. 9 sweep point (allocator rebuild + eval
+#: epochs on the reference bench machine); feeds the pool's fan-out decision.
+EST_SWEEP_POINT_S = 0.4
+
+
+@dataclass(frozen=True)
+class _ProcessorPoint:
+    """Picklable payload: one Fig. 9 sweep point (allocator rebuild + eval).
+
+    ``scenario`` is usually a :class:`~repro.parallel.shm.SharedBlobRef`
+    so the scenario (environment store included) is pickled once into
+    shared memory rather than once per point.
+    """
+
+    scenario: object
+    count: int
+    quality_threshold: float
+    crl_episodes: int
+    seed: int
+
+
+def _run_processor_point(point: _ProcessorPoint) -> dict:
+    """Rebuild allocators for ``count`` processors and evaluate (worker fn).
+
+    Allocators are built with ``jobs=1`` — the point itself is the unit of
+    parallelism, and the pool's fork-guard would serialise any nested
+    fan-out anyway.
+    """
+    from repro.parallel import resolve_shared
+
+    scenario = resolve_shared(point.scenario)
+    experiment = PTExperiment(
+        scenario,
+        quality_threshold=point.quality_threshold,
+        crl_episodes=point.crl_episodes,
+        jobs=1,
+        seed=point.seed,
+    )
+    nodes, network = scaled_testbed(point.count)
+    allocators = build_allocators(
+        scenario,
+        nodes,
+        crl_episodes=point.crl_episodes,
+        jobs=1,
+        seed=point.seed,
+    )
+    means = experiment._run_point(nodes, network, allocators)
+    return {
+        "means": means,
+        "plan_seconds": experiment._last_plan_seconds,
+        "solve_counts": experiment._last_solve_counts,
+    }
+
+
 class PTExperiment:
     """Sweeps processing time across the paper's three figure axes."""
 
@@ -243,22 +297,69 @@ class PTExperiment:
             solve_counts.setdefault(name, []).append(self._last_solve_counts[name])
 
     def sweep_processors(self, processor_counts: Sequence[int] = (2, 4, 6, 8, 10)) -> SweepResult:
-        """Fig. 9: PT vs number of processors."""
+        """Fig. 9: PT vs number of processors.
+
+        This is the one sweep that rebuilds the whole policy set per point
+        (CRL geometry is bound to the node set), so with ``jobs > 1`` the
+        points themselves fan out over the worker pool: the scenario is
+        published to shared memory once, each worker rebuilds and
+        evaluates its point with ``jobs=1`` internally, and columns are
+        reassembled in point order. CRL training and the simulator are
+        seed-deterministic, so PT columns are identical for any ``jobs``.
+        """
         times: dict[str, list[float]] = {}
         plan_seconds: dict[str, list[float]] = {}
         solve_counts: dict[str, list[int]] = {}
+        jobs = self.jobs
+        if jobs > 1 and len(processor_counts) > 1:
+            # Skip the share/shard machinery when the pool would degrade
+            # the run to serial anyway (single core, small sweeps).
+            from repro.parallel import get_worker_pool
+
+            jobs = get_worker_pool().effective_jobs(
+                jobs,
+                len(processor_counts),
+                estimated_cost_s=EST_SWEEP_POINT_S * len(processor_counts),
+            )
         with span("core.sweep", axis="processors", points=len(processor_counts)):
-            for count in processor_counts:
-                nodes, network = scaled_testbed(count)
-                allocators = build_allocators(
-                    self.scenario,
-                    nodes,
-                    crl_episodes=self.crl_episodes,
-                    jobs=self.jobs,
-                    seed=self.seed,
+            if jobs > 1 and len(processor_counts) > 1:
+                from repro.parallel import ParallelTrainer, get_shared_store
+
+                scenario_ref = get_shared_store().share(
+                    f"sweep.scenario:{id(self.scenario)}", self.scenario
                 )
-                point = self._run_point(nodes, network, allocators)
-                self._append_point(point, times, plan_seconds, solve_counts)
+                points = [
+                    _ProcessorPoint(
+                        scenario=scenario_ref,
+                        count=int(count),
+                        quality_threshold=self.quality_threshold,
+                        crl_episodes=self.crl_episodes,
+                        seed=self.seed,
+                    )
+                    for count in processor_counts
+                ]
+                trainer = ParallelTrainer(
+                    _run_processor_point,
+                    jobs=jobs,
+                    label="sweep.processors",
+                    estimated_cost_s=EST_SWEEP_POINT_S * len(points),
+                )
+                for result in trainer.map(points):
+                    self._last_plan_seconds = result["plan_seconds"]
+                    self._last_solve_counts = result["solve_counts"]
+                    self._append_point(result["means"], times, plan_seconds, solve_counts)
+            else:
+                for count in processor_counts:
+                    nodes, network = scaled_testbed(count)
+                    allocators = build_allocators(
+                        self.scenario,
+                        nodes,
+                        crl_episodes=self.crl_episodes,
+                        jobs=self.jobs,
+                        seed=self.seed,
+                    )
+                    point = self._run_point(nodes, network, allocators)
+                    self._append_point(point, times, plan_seconds, solve_counts)
         return SweepResult(
             "processors",
             tuple(processor_counts),
@@ -401,5 +502,10 @@ def run_multiseed(
         )
         for seed in seeds
     ]
-    trainer = ParallelTrainer(run_sweep_spec, jobs=jobs, label="multiseed")
+    trainer = ParallelTrainer(
+        run_sweep_spec,
+        jobs=jobs,
+        label="multiseed",
+        estimated_cost_s=EST_SWEEP_POINT_S * len(points) * len(specs),
+    )
     return trainer.map(specs)

@@ -12,19 +12,114 @@ uses permutation sampling (Castro et al. 2009): draw random orderings,
 walk each ordering accumulating tasks, and credit each task with the
 performance delta it causes on arrival. Unbiased, with variance shrinking
 as 1/sqrt(n_permutations).
+
+Permutations are independent given their orderings, so with ``jobs > 1``
+they shard across the persistent worker pool: all orderings are drawn up
+front in the parent (one rng, fixed order — the
+:func:`~repro.utils.rng.derive_seeds` discipline), each shard walks its
+orderings with a local coalition-value cache, and the parent reassembles
+per-permutation marginal rows in draw order before reducing. Coalition
+values are deterministic, and the reduction order is fixed, so ``jobs=1``
+and ``jobs=N`` produce byte-identical importance vectors. A
+cross-permutation (and cross-call, per day) coalition-value cache removes
+the repeated H evaluations that make the estimator expensive.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.building.dataset import BuildingOperationDataset
 from repro.errors import ConfigurationError, DataError
+from repro.parallel import (
+    ParallelTrainer,
+    get_shared_store,
+    get_worker_pool,
+    resolve_shared,
+)
 from repro.transfer.decision import MTLDecisionModel
 from repro.transfer.task import TaskModelSet
 from repro.utils.rng import as_rng
+
+#: Rough serial cost of one sampled permutation (n_tasks coalition
+#: evaluations); feeds the pool's work-vs-overhead fan-out decision.
+EST_SHAPLEY_S_PER_PERMUTATION = 0.1
+
+
+def _coalition_value(
+    dataset: BuildingOperationDataset,
+    model_set: TaskModelSet,
+    task_ids: list[int],
+    day: int,
+    cache: dict,
+) -> float:
+    """H of the coalition (empty coalition = all-nameplate sequencing)."""
+    key = frozenset(task_ids)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    if task_ids:
+        restricted = model_set.restricted_to(task_ids)
+        # Include unfitted placeholders for the remaining tasks so the
+        # lookup falls back to nameplate for them.
+        value = MTLDecisionModel(dataset, restricted).overall_performance(day)
+    else:
+        from repro.transfer.task import LearningTask
+
+        bare = TaskModelSet([LearningTask(data=t.data, model=None) for t in model_set])
+        value = MTLDecisionModel(dataset, bare).overall_performance(day)
+    cache[key] = value
+    return value
+
+
+def _permutation_marginals(
+    dataset: BuildingOperationDataset,
+    model_set: TaskModelSet,
+    orders: list[np.ndarray],
+    day: int,
+    cache: dict,
+) -> np.ndarray:
+    """(len(orders), n_tasks) marginal-contribution rows, one per ordering."""
+    task_ids = model_set.task_ids
+    rows = np.zeros((len(orders), len(task_ids)))
+    for row, order in enumerate(orders):
+        coalition: list[int] = []
+        previous = _coalition_value(dataset, model_set, coalition, day, cache)
+        for position in order:
+            coalition = coalition + [task_ids[position]]
+            current = _coalition_value(dataset, model_set, coalition, day, cache)
+            rows[row, position] = current - previous
+            previous = current
+    return rows
+
+
+@dataclass(frozen=True)
+class _PermutationShard:
+    """Picklable payload: walk a chunk of sampled orderings in a worker.
+
+    ``dataset``/``model_set`` are usually
+    :class:`~repro.parallel.shm.SharedBlobRef` handles (pickled once into
+    shared memory); ``orders`` are the parent-drawn orderings, so workers
+    perform no random draws at all.
+    """
+
+    dataset: object
+    model_set: object
+    day: int
+    orders: tuple[tuple[int, ...], ...]
+
+
+def _evaluate_permutation_shard(shard: _PermutationShard) -> np.ndarray:
+    """Marginal rows for the shard's orderings (worker fn, local cache)."""
+    return _permutation_marginals(
+        resolve_shared(shard.dataset),
+        resolve_shared(shard.model_set),
+        [np.asarray(order, dtype=int) for order in shard.orders],
+        shard.day,
+        {},
+    )
 
 
 class ShapleyImportanceEvaluator:
@@ -39,6 +134,10 @@ class ShapleyImportanceEvaluator:
         Sampled orderings; the estimator averages marginals over them.
     seed:
         Permutation sampling seed.
+    jobs:
+        Worker processes for :meth:`importance_for_day`. Orderings are
+        drawn up front in the parent, so the rng stream — and the result,
+        byte-for-byte — is independent of ``jobs``.
     """
 
     def __init__(
@@ -48,51 +147,78 @@ class ShapleyImportanceEvaluator:
         *,
         n_permutations: int = 8,
         seed=None,
+        jobs: int = 1,
     ) -> None:
         if n_permutations < 1:
             raise ConfigurationError(f"n_permutations must be >= 1, got {n_permutations}")
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.dataset = dataset
         self.model_set = model_set
         self.n_permutations = int(n_permutations)
+        self.jobs = int(jobs)
         self._rng = as_rng(seed)
+        #: Cross-permutation, cross-call coalition-value memo, per day.
+        self._value_caches: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     def _coalition_value(self, task_ids: list[int], day: int, cache: dict) -> float:
-        """H of the coalition (empty coalition = all-nameplate sequencing)."""
-        key = frozenset(task_ids)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        if task_ids:
-            model_set = self.model_set.restricted_to(task_ids)
-            # Include unfitted placeholders for the remaining tasks so the
-            # lookup falls back to nameplate for them.
-            value = MTLDecisionModel(self.dataset, model_set).overall_performance(day)
-        else:
-            from repro.transfer.task import LearningTask
+        """H of the coalition — kept public-ish for the efficiency-axiom tests."""
+        return _coalition_value(self.dataset, self.model_set, list(task_ids), day, cache)
 
-            bare = TaskModelSet(
-                [LearningTask(data=t.data, model=None) for t in self.model_set]
-            )
-            value = MTLDecisionModel(self.dataset, bare).overall_performance(day)
-        cache[key] = value
-        return value
+    def _cache_for(self, day: int) -> dict:
+        if len(self._value_caches) > 64:  # bound cross-call growth
+            self._value_caches.clear()
+        return self._value_caches.setdefault(int(day), {})
 
-    def importance_for_day(self, day: int) -> np.ndarray:
+    def importance_for_day(self, day: int, *, jobs: int | None = None) -> np.ndarray:
         """Shapley importance per task id (order of ``model_set.task_ids``)."""
-        task_ids = self.model_set.task_ids
-        totals = np.zeros(len(task_ids))
-        cache: dict = {}
-        for _ in range(self.n_permutations):
-            order = self._rng.permutation(len(task_ids))
-            coalition: list[int] = []
-            previous = self._coalition_value(coalition, day, cache)
-            for position in order:
-                coalition = coalition + [task_ids[position]]
-                current = self._coalition_value(coalition, day, cache)
-                totals[position] += current - previous
-                previous = current
-        return totals / self.n_permutations
+        n_tasks = len(self.model_set.task_ids)
+        orders = [self._rng.permutation(n_tasks) for _ in range(self.n_permutations)]
+        jobs = self.jobs if jobs is None else int(jobs)
+        # Ask the pool up front whether fan-out will actually happen: a
+        # degraded run (single core, small work) must take the unified
+        # serial path so permutations keep sharing one coalition cache —
+        # shard-local caches would make a serialised "parallel" run slower.
+        estimated_s = EST_SHAPLEY_S_PER_PERMUTATION * len(orders)
+        if jobs > 1 and len(orders) > 1:
+            jobs = get_worker_pool().effective_jobs(
+                jobs, len(orders), estimated_cost_s=estimated_s
+            )
+        if jobs > 1 and len(orders) > 1:
+            shared = get_shared_store()
+            dataset_ref = shared.share(f"shapley.dataset:{id(self.dataset)}", self.dataset)
+            model_ref = shared.share(
+                f"shapley.model_set:{id(self.model_set)}", self.model_set
+            )
+            chunks = [
+                chunk
+                for chunk in np.array_split(np.arange(len(orders)), min(jobs, len(orders)))
+                if chunk.size
+            ]
+            shards = [
+                _PermutationShard(
+                    dataset=dataset_ref,
+                    model_set=model_ref,
+                    day=int(day),
+                    orders=tuple(
+                        tuple(int(i) for i in orders[index]) for index in chunk
+                    ),
+                )
+                for chunk in chunks
+            ]
+            trainer = ParallelTrainer(
+                _evaluate_permutation_shard,
+                jobs=jobs,
+                label="importance.shapley",
+                estimated_cost_s=estimated_s,
+            )
+            marginals = np.vstack(trainer.map(shards))
+        else:
+            marginals = _permutation_marginals(
+                self.dataset, self.model_set, orders, int(day), self._cache_for(day)
+            )
+        return marginals.sum(axis=0) / self.n_permutations
 
 
 def compare_importance_metrics(
@@ -102,12 +228,13 @@ def compare_importance_metrics(
     *,
     n_permutations: int = 6,
     seed=None,
+    jobs: int = 1,
 ) -> dict[str, np.ndarray]:
     """Leave-one-out (Definition 1) vs Shapley importance for one day."""
     from repro.importance.importance import ImportanceEvaluator
 
     loo = ImportanceEvaluator(dataset, model_set).importance_for_day(day)
     shapley = ShapleyImportanceEvaluator(
-        dataset, model_set, n_permutations=n_permutations, seed=seed
+        dataset, model_set, n_permutations=n_permutations, seed=seed, jobs=jobs
     ).importance_for_day(day)
     return {"leave_one_out": loo, "shapley": shapley}

@@ -1,17 +1,48 @@
 """Process-parallel execution for embarrassingly parallel pipeline stages.
 
-:class:`ParallelTrainer` fans a picklable worker function out over a
-process pool with deterministic, submission-ordered results, telemetry
-merged back into the parent's registry/trace, and a graceful serial
-fallback. Used by per-cluster CRL training
-(:meth:`repro.rl.crl.CRLModel.fit` with ``jobs > 1``) and the multi-seed
-sweep runner (:func:`repro.core.experiment.run_multiseed`).
+Three layers:
+
+- :class:`WorkerPool` — a lazily created, persistent, fork-safe process
+  pool singleton with adaptive serial fallback (``pool.py``).
+- :class:`SharedArrayStore` / :class:`SharedBlobRef` — a plasma-style
+  shared-memory data plane: publish large read-only inputs once, attach
+  zero-copy in every worker (``shm.py``).
+- :class:`ParallelTrainer` — ordered, deterministic fan-out of picklable
+  payloads over the pool, with worker telemetry merged back idempotently
+  (``trainer.py``).
+
+Used by per-cluster CRL training (:meth:`repro.rl.crl.CRLModel.fit`),
+the sharded importance evaluators (:mod:`repro.importance`), the Fig. 9
+per-point sweep (:class:`repro.core.experiment.PTExperiment`), and the
+multi-seed runner (:func:`repro.core.experiment.run_multiseed`).
 """
 
+from repro.parallel.pool import WorkerPool, get_worker_pool, shutdown_worker_pool
+from repro.parallel.shm import (
+    SharedArrayStore,
+    SharedBlobRef,
+    get_shared_store,
+    release_shared_store,
+    resolve_shared,
+    share_environment_store,
+)
 from repro.parallel.trainer import (
     ParallelTrainer,
     merge_worker_metrics,
     merge_worker_spans,
 )
 
-__all__ = ["ParallelTrainer", "merge_worker_metrics", "merge_worker_spans"]
+__all__ = [
+    "ParallelTrainer",
+    "SharedArrayStore",
+    "SharedBlobRef",
+    "WorkerPool",
+    "get_shared_store",
+    "get_worker_pool",
+    "merge_worker_metrics",
+    "merge_worker_spans",
+    "release_shared_store",
+    "resolve_shared",
+    "share_environment_store",
+    "shutdown_worker_pool",
+]

@@ -1,0 +1,186 @@
+"""Persistent, fork-safe worker pool with adaptive serial fallback.
+
+PR 3 created a fresh :class:`~concurrent.futures.ProcessPoolExecutor`
+per fan-out, so every call repaid worker spin-up — ``BENCH_perf.json``
+showed ``jobs=4`` CRL training *losing* to serial. :class:`WorkerPool`
+amortizes that cost:
+
+- **Lazily created, reusable** — one process-wide executor, spun up on
+  the first parallel map and reused by every later one (growing only
+  when a call asks for more workers than it holds). Warm dispatch costs
+  milliseconds instead of a pool build.
+- **Fork-safe** — the pool remembers its creating pid. Code running in a
+  forked child (including our own workers, so nested fan-outs inside a
+  sharded evaluation degrade cleanly) sees :meth:`effective_jobs` return
+  1 and never touches the inherited executor.
+- **Adaptive serial fallback** — when the estimated serial cost of the
+  workload is below the spin-up + dispatch overhead it would pay, or the
+  machine has a single core, the pool declines to parallelize (counted
+  by ``repro_pool_adaptive_serial_total{reason=...}``). Parallelism is a
+  wall-clock optimization; it must never *cost* wall-clock.
+- **Explicit shutdown** — :func:`shutdown_worker_pool` tears down the
+  executor and (by default) unlinks every shared-memory block the
+  ambient :class:`~repro.parallel.shm.SharedArrayStore` published, so a
+  clean exit leaves nothing in ``/dev/shm``.
+
+Set ``REPRO_POOL_FORCE_PARALLEL=1`` to bypass the adaptive checks —
+tests use it to exercise the real multi-process path on small machines.
+
+Metrics: ``repro_pool_tasks_total{label}``, ``repro_pool_spinups_total``,
+``repro_pool_adaptive_serial_total{reason}``, ``repro_pool_workers``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.telemetry import get_registry
+
+#: Estimated one-time cost of spinning up one worker process (fork +
+#: interpreter state). Overridable for unusual machines/tests.
+SPINUP_PER_WORKER_S = float(os.environ.get("REPRO_POOL_SPINUP_S", "0.08"))
+
+#: Estimated per-task dispatch overhead on a warm pool (pickle + IPC).
+DISPATCH_PER_TASK_S = 0.003
+
+
+def _force_parallel() -> bool:
+    return os.environ.get("REPRO_POOL_FORCE_PARALLEL", "") not in ("", "0")
+
+
+class WorkerPool:
+    """A reusable process pool; see the module docstring for guarantees."""
+
+    def __init__(self) -> None:
+        self._executor: ProcessPoolExecutor | None = None
+        self._size = 0
+        self._pid: int | None = None
+        self.spinups = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def warm(self) -> bool:
+        return self._executor is not None and self._pid == os.getpid()
+
+    @property
+    def size(self) -> int:
+        return self._size if self.warm else 0
+
+    def _adaptive_serial(self, reason: str) -> int:
+        get_registry().counter(
+            "repro_pool_adaptive_serial_total",
+            help="Fan-outs the pool declined to parallelize",
+            reason=reason,
+        ).inc()
+        return 1
+
+    def overhead_s(self, workers: int, tasks: int) -> float:
+        """Estimated extra wall-clock a parallel map of ``tasks`` pays."""
+        cost = DISPATCH_PER_TASK_S * tasks
+        if not self.warm or self._size < workers:
+            cost += SPINUP_PER_WORKER_S * workers
+        return cost
+
+    def effective_jobs(
+        self,
+        jobs: int,
+        tasks: int,
+        *,
+        estimated_cost_s: float | None = None,
+        force: bool = False,
+    ) -> int:
+        """Worker count a fan-out should actually use (1 = run serial).
+
+        ``estimated_cost_s`` is the caller's estimate of the *total
+        serial* cost of the workload; when given, the pool parallelizes
+        only if the projected wall-clock saving beats the overhead.
+        """
+        if jobs <= 1 or tasks < 2:
+            return 1
+        workers = min(jobs, tasks)
+        if self._pid is not None and self._pid != os.getpid():
+            return self._adaptive_serial("forked_child")
+        if force or _force_parallel():
+            return workers
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            return self._adaptive_serial("single_core")
+        workers = min(workers, cpus)
+        if estimated_cost_s is not None:
+            saving = estimated_cost_s * (1.0 - 1.0 / workers)
+            if saving <= self.overhead_s(workers, tasks):
+                return self._adaptive_serial("small_work")
+        return workers
+
+    # ------------------------------------------------------------------
+    def executor(self, workers: int) -> ProcessPoolExecutor:
+        """The shared executor, (re)built to hold at least ``workers``."""
+        if self._pid is not None and self._pid != os.getpid():
+            # Inherited across a fork: the parent's executor is unusable
+            # here; forget it without touching its processes.
+            self._executor = None
+            self._size = 0
+        if self._executor is None or self._size < workers:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._size = workers
+            self._pid = os.getpid()
+            self.spinups += 1
+            registry = get_registry()
+            registry.counter(
+                "repro_pool_spinups_total", help="Worker-pool executor builds"
+            ).inc()
+            registry.gauge(
+                "repro_pool_workers", help="Worker processes the pool holds"
+            ).set(workers)
+        return self._executor
+
+    def count_tasks(self, n: int, *, label: str) -> None:
+        get_registry().counter(
+            "repro_pool_tasks_total",
+            help="Payloads executed on the persistent worker pool",
+            label=label,
+        ).inc(n)
+
+    def reset(self) -> None:
+        """Discard a broken executor so the next fan-out rebuilds it."""
+        executor, self._executor, self._size = self._executor, None, 0
+        if executor is not None and self._pid == os.getpid():
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent); the pool can be reused after."""
+        executor, self._executor, self._size = self._executor, None, 0
+        if executor is not None and self._pid == os.getpid():
+            executor.shutdown(wait=True)
+        get_registry().gauge(
+            "repro_pool_workers", help="Worker processes the pool holds"
+        ).set(0)
+
+
+# ----------------------------------------------------------------------
+_pool: WorkerPool | None = None
+
+
+def get_worker_pool() -> WorkerPool:
+    """The process-wide pool singleton, created lazily (never in a fork)."""
+    global _pool
+    if _pool is None:
+        _pool = WorkerPool()
+    return _pool
+
+
+def shutdown_worker_pool(*, release_shared: bool = True) -> None:
+    """Tear down the ambient pool and, by default, the shared-memory plane."""
+    if _pool is not None:
+        _pool.shutdown()
+    if release_shared:
+        from repro.parallel.shm import release_shared_store
+
+        release_shared_store()
+
+
+atexit.register(shutdown_worker_pool)

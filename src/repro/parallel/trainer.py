@@ -24,12 +24,15 @@ guarantees the rest of the pipeline relies on:
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.parallel.pool import get_worker_pool
 from repro.telemetry import (
     MetricsRegistry,
     RunTrace,
@@ -41,19 +44,47 @@ from repro.telemetry import (
     use_run_trace,
 )
 
+#: Parent-side task tokens: unique per submission, so telemetry merges
+#: are idempotent even if a result is observed twice (pool reuse, retry).
+_token_counter = itertools.count()
 
-def _run_in_worker(fn: Callable, payload) -> tuple:
+#: Tokens whose telemetry has already been merged, bounded LRU.
+_merged_tokens: OrderedDict[str, None] = OrderedDict()
+_MERGED_TOKEN_CAP = 8192
+
+
+def _next_token() -> str:
+    return f"{os.getpid()}:{next(_token_counter)}"
+
+
+def mark_merged(token: str | None) -> bool:
+    """True exactly once per token — the idempotency latch for merges."""
+    if token is None:
+        return True
+    if token in _merged_tokens:
+        return False
+    _merged_tokens[token] = None
+    while len(_merged_tokens) > _MERGED_TOKEN_CAP:
+        _merged_tokens.popitem(last=False)
+    return True
+
+
+def _run_in_worker(fn: Callable, payload, token: str | None = None) -> tuple:
     """Execute ``fn(payload)`` under private telemetry sinks.
 
-    Returns ``(value, spans, metrics)`` where ``spans`` is the worker
-    trace as dicts and ``metrics`` is a registry snapshot — both plain
-    data, picklable back to the parent.
+    Returns ``(value, spans, metrics, token)`` where ``spans`` is the
+    worker trace as dicts and ``metrics`` is a registry snapshot — plain
+    data, picklable back to the parent. The registry and trace are fresh
+    per task (not per worker process), so each result carries exactly the
+    deltas this task produced: a long-lived pool worker serving many
+    batches can never leak counts across tasks, and ``token`` lets the
+    parent merge each result at most once.
     """
     registry = MetricsRegistry()
     trace = RunTrace(label="worker")
     with use_registry(registry), use_run_trace(trace):
         value = fn(payload)
-    return value, [record.to_dict() for record in trace.spans], snapshot(registry)
+    return value, [record.to_dict() for record in trace.spans], snapshot(registry), token
 
 
 def merge_worker_metrics(metrics: dict) -> None:
@@ -140,6 +171,14 @@ def merge_worker_spans(spans: Sequence[dict], *, worker: int) -> None:
 class ParallelTrainer:
     """Runs ``fn`` over payloads across worker processes, in order.
 
+    Fan-outs execute on the process-wide persistent
+    :class:`~repro.parallel.pool.WorkerPool` — the executor is built once
+    and reused, so repeated maps (per-epoch evaluator reruns, per-point
+    allocator rebuilds) stop repaying spin-up. The pool may decline to
+    parallelize (single core, workload smaller than the overhead, forked
+    child); the map then runs serially in-process, which is always
+    result-identical by the determinism contract.
+
     Parameters
     ----------
     fn:
@@ -151,33 +190,53 @@ class ParallelTrainer:
         directly instead of through the merge path.
     label:
         Span label for the fan-out (``parallel.map`` attr).
+    estimated_cost_s:
+        Caller's estimate of the workload's total *serial* seconds; lets
+        the pool skip fan-outs whose parallel saving would not cover the
+        dispatch/spin-up overhead. ``None`` trusts the caller's ``jobs``.
+    force:
+        Bypass the pool's adaptive checks (tests use this to exercise the
+        multi-process path on small machines).
     """
 
-    def __init__(self, fn: Callable, *, jobs: int = 1, label: str = "train") -> None:
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        jobs: int = 1,
+        label: str = "train",
+        estimated_cost_s: float | None = None,
+        force: bool = False,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.fn = fn
         self.jobs = int(jobs)
         self.label = label
+        self.estimated_cost_s = estimated_cost_s
+        self.force = bool(force)
 
     # ------------------------------------------------------------------
     def _map_serial(self, payloads: Sequence) -> list:
         with span("parallel.map", label=self.label, jobs=1, tasks=len(payloads)):
             return [self.fn(payload) for payload in payloads]
 
-    def _map_parallel(self, payloads: Sequence) -> list:
-        workers = min(self.jobs, len(payloads))
+    def _map_parallel(self, payloads: Sequence, workers: int) -> list:
+        pool = get_worker_pool()
         with span("parallel.map", label=self.label, jobs=workers, tasks=len(payloads)):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_run_in_worker, self.fn, payload) for payload in payloads
-                ]
-                outcomes = [future.result() for future in futures]
+            executor = pool.executor(workers)
+            futures = [
+                executor.submit(_run_in_worker, self.fn, payload, _next_token())
+                for payload in payloads
+            ]
+            outcomes = [future.result() for future in futures]
         values = []
-        for worker, (value, spans, metrics) in enumerate(outcomes):
-            merge_worker_metrics(metrics)
-            merge_worker_spans(spans, worker=worker)
+        for worker, (value, spans, metrics, token) in enumerate(outcomes):
+            if mark_merged(token):
+                merge_worker_metrics(metrics)
+                merge_worker_spans(spans, worker=worker)
             values.append(value)
+        pool.count_tasks(len(payloads), label=self.label)
         get_registry().counter(
             "repro_parallel_tasks_total",
             help="Payloads executed by ParallelTrainer worker processes",
@@ -190,11 +249,19 @@ class ParallelTrainer:
         payloads = list(payloads)
         if not payloads:
             return []
-        if self.jobs == 1 or len(payloads) == 1:
+        workers = get_worker_pool().effective_jobs(
+            self.jobs,
+            len(payloads),
+            estimated_cost_s=self.estimated_cost_s,
+            force=self.force,
+        )
+        if workers == 1:
             return self._map_serial(payloads)
         try:
-            return self._map_parallel(payloads)
+            return self._map_parallel(payloads, workers)
         except (pickle.PicklingError, AttributeError, TypeError, BrokenProcessPool, OSError) as exc:
+            if isinstance(exc, BrokenProcessPool):
+                get_worker_pool().reset()
             get_registry().counter(
                 "repro_parallel_fallbacks_total",
                 help="Parallel fan-outs degraded to the serial path",

@@ -27,7 +27,7 @@ import numpy as np
 from repro.errors import ConfigurationError, DataError, NotFittedError
 from repro.ml.kmeans import KMeans
 from repro.ml.knn import nearest_indices
-from repro.parallel import ParallelTrainer
+from repro.parallel import ParallelTrainer, get_shared_store, resolve_shared
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.env import AllocationEnv
 from repro.rl.replay import Transition
@@ -110,6 +110,11 @@ class EnvironmentStore:
         return self.importance_matrix[index].mean(axis=0)
 
 
+#: Rough serial cost of one DQN training episode on the reference bench
+#: machine; feeds the pool's work-vs-overhead fan-out decision.
+EST_TRAIN_S_PER_EPISODE = 0.012
+
+
 @dataclass(frozen=True)
 class AgentTrainTask:
     """Self-contained, picklable spec for training one per-environment DQN.
@@ -117,7 +122,9 @@ class AgentTrainTask:
     Everything a worker process needs — geometry, the environment's
     importance vector, hyper-parameters, and the pre-derived seed — so
     training is a pure function of the task and serial/parallel runs are
-    byte-identical.
+    byte-identical. ``geometry`` may be a
+    :class:`~repro.parallel.shm.SharedBlobRef`: the parent then pickles
+    the TATIM instance once into shared memory instead of once per task.
     """
 
     geometry: TATIMProblem
@@ -132,7 +139,8 @@ class AgentTrainTask:
 def train_allocation_agent(task: AgentTrainTask) -> DQNAgent:
     """Train one per-environment DQN from a spec (the parallel worker fn)."""
     with span("rl.crl.train_agent", mode=task.mode):
-        problem = task.geometry.scaled(importance=task.importance)
+        geometry = resolve_shared(task.geometry)
+        problem = geometry.scaled(importance=task.importance)
         env = AllocationEnv(problem)
         agent = DQNAgent(env.state_dim, env.n_actions, task.dqn_config, seed=task.seed)
         if task.seed_demonstrations:
@@ -284,12 +292,34 @@ class CRLModel:
                 importance = store.importance_matrix
                 clusters = [int(c) for c in np.unique(labels)]
                 seeds = derive_seeds(self._rng, len(clusters))
+                estimated_s = EST_TRAIN_S_PER_EPISODE * self.episodes * len(clusters)
+                geometry = self.geometry
+                if self.jobs > 1 and len(clusters) > 1:
+                    # One shared-memory publication instead of one pickled
+                    # geometry per task; workers attach zero-copy (and the
+                    # serial fallback resolves the ref from its own cache).
+                    geometry = get_shared_store().share(
+                        f"crl.geometry:{id(self.geometry)}", self.geometry
+                    )
                 tasks = [
-                    self._train_task(importance[labels == cluster].mean(axis=0), seed)
+                    AgentTrainTask(
+                        geometry=geometry,
+                        importance=np.asarray(
+                            importance[labels == cluster].mean(axis=0), dtype=float
+                        ),
+                        dqn_config=self.dqn_config,
+                        episodes=self.episodes,
+                        seed=int(seed),
+                        seed_demonstrations=self.seed_demonstrations,
+                        mode=self.mode,
+                    )
                     for cluster, seed in zip(clusters, seeds)
                 ]
                 trainer = ParallelTrainer(
-                    train_allocation_agent, jobs=self.jobs, label="crl.fit"
+                    train_allocation_agent,
+                    jobs=self.jobs,
+                    label="crl.fit",
+                    estimated_cost_s=estimated_s,
                 )
                 for cluster, agent in zip(clusters, trainer.map(tasks)):
                     self._cluster_agents[cluster] = agent
