@@ -1,0 +1,51 @@
+"""Perf: single-process DQN kernel micro-benches.
+
+Tracks the hot-path kernels CRL training actually spends its time in —
+batched gradient steps over the structure-of-arrays replay buffer, full
+training episodes, greedy inference rollouts, and raw environment
+stepping — so a kernel regression surfaces on its own line instead of
+being smeared into the end-to-end ``crl_train_*`` numbers. Workloads
+come from :func:`repro.core.bench.dqn_bench_workloads`, the same factory
+``repro bench`` uses, so both writers update the same
+``BENCH_perf.json`` keys.
+
+The module-scoped workload fixture builds one warmed agent; tests mutate
+it (replay fills, epsilon decays) in a fixed order, which is fine for a
+bench — each run sees the same deterministic sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bench import dqn_bench_workloads
+
+
+@pytest.fixture(scope="module")
+def workloads() -> dict:
+    return dqn_bench_workloads(quick=True)
+
+
+def test_perf_dqn_train_steps(track, workloads):
+    loss = track("dqn_train_step_x200", workloads["dqn_train_step_x200"])
+    assert loss is not None and np.isfinite(loss)
+
+
+def test_perf_dqn_train_episodes(track, workloads):
+    returns = track("dqn_train_episode_x10", workloads["dqn_train_episode_x10"])
+    assert len(returns) == 10
+    assert all(np.isfinite(value) for value in returns)
+
+
+def test_perf_dqn_greedy_solve(track, workloads):
+    allocations = track("dqn_solve_greedy_x20", workloads["dqn_solve_greedy_x20"])
+    assert len(allocations) == 20
+    # Greedy inference is deterministic: every rollout must agree.
+    first = allocations[0].matrix
+    assert all(np.array_equal(first, allocation.matrix) for allocation in allocations)
+
+
+def test_perf_env_random_rollout(track, workloads):
+    steps = track("env_random_rollout_x50", workloads["env_random_rollout_x50"])
+    assert steps > 0

@@ -277,9 +277,10 @@ def run_bench(
             _bench_dataset(results, rounds, commit, quick)
             _bench_system_build(results, rounds, commit, quick)
             _bench_crl_train(results, rounds, commit, quick, jobs, notes)
+            _bench_dqn(results, rounds, commit, quick)
             _bench_importance(results, rounds, commit, quick, jobs, notes)
             _bench_edgesim(results, rounds, commit, quick)
-            _bench_plan_cache(results, commit, quick, notes, registry)
+            _bench_plan_cache(results, rounds, commit, quick, notes, registry)
     finally:
         shutdown_worker_pool()
     if out is not None:
@@ -359,6 +360,66 @@ def _bench_crl_train(results, rounds, commit, quick, jobs, notes) -> None:
         record(
             results, "crl_train_4cluster_jobs1", serial_s, rounds, std_s=serial_std, commit=commit
         )
+
+
+def dqn_bench_workloads(quick: bool = True) -> dict:
+    """Name → zero-arg callable for the single-process DQN kernel benches.
+
+    Shared by ``repro bench`` (:func:`_bench_dqn`) and the pytest perf
+    suite (``benchmarks/perf/test_perf_dqn.py``) so both record under the
+    same ``BENCH_perf.json`` keys. The agent is built once with its
+    replay buffer filled past warmup, so every timed gradient step
+    actually trains; workload sizes are chosen to land above the
+    regression gate's micro-bench floor.
+    """
+    from repro.rl.dqn import DQNAgent, DQNConfig
+    from repro.rl.env import AllocationEnv
+    from repro.tatim.generators import random_instance
+
+    problem = random_instance(24 if quick else 50, 3, seed=11)
+    env = AllocationEnv(problem)
+    config = DQNConfig(hidden_sizes=(128, 64), batch_size=32, warmup_transitions=64)
+    agent = DQNAgent(env.state_dim, env.n_actions, config, seed=5)
+    while len(agent.buffer) < 512:
+        agent.train_episode(env)
+    rollout_rng = np.random.default_rng(17)
+
+    def train_steps():
+        loss = None
+        for _ in range(200):
+            loss = agent.train_step()
+        return loss
+
+    def train_episodes():
+        return [agent.train_episode(env) for _ in range(10)]
+
+    def greedy_solves():
+        return [agent.solve(env) for _ in range(20)]
+
+    def env_rollouts():
+        steps = 0
+        for _ in range(50):
+            env.reset()
+            while not env.done:
+                feasible = env.feasible_actions()
+                env.step(int(rollout_rng.choice(feasible)))
+                steps += 1
+        env.reset()
+        return steps
+
+    return {
+        "dqn_train_step_x200": train_steps,
+        "dqn_train_episode_x10": train_episodes,
+        "dqn_solve_greedy_x20": greedy_solves,
+        "env_random_rollout_x50": env_rollouts,
+    }
+
+
+def _bench_dqn(results, rounds, commit, quick) -> None:
+    """Single-process DQN kernel hot paths (the in-process speed lever)."""
+    for name, fn in dqn_bench_workloads(quick).items():
+        mean_s, std_s, _ = _timed(fn, rounds)
+        record(results, name, mean_s, rounds, std_s=std_s, commit=commit)
 
 
 def _bench_importance(results, rounds, commit, quick, jobs, notes) -> None:
@@ -460,8 +521,16 @@ def _bench_edgesim(results, rounds, commit, quick) -> None:
     record(results, "edgesim_epoch_run_failures", mean_s, rounds, std_s=std_s, commit=commit)
 
 
-def _bench_plan_cache(results, commit, quick, notes, registry) -> None:
-    """Cold vs warm cache planning over near-identical repeat queries."""
+def _bench_plan_cache(results, rounds, commit, quick, notes, registry) -> None:
+    """Cold vs warm cache planning over near-identical repeat queries.
+
+    All three variants are timed over ``rounds`` rounds so the recorded
+    entries carry a real ``std_s`` for the regression gate's noise
+    allowance (they used to be single samples). Cold rounds each build a
+    fresh :class:`AllocationCache` so every timed pass really is cold;
+    warm rounds run against a cache primed by one untimed pass.
+    Rollout counts are averaged per round.
+    """
     scenario = _train_scenario(quick)
     nodes, _ = scaled_testbed(6)
     allocators = build_allocators(
@@ -489,20 +558,28 @@ def _bench_plan_cache(results, commit, quick, notes, registry) -> None:
         return _family_total(registry, "repro_rl_crl_rollouts_total")
 
     before = rollouts()
-    uncached_s, _, uncached_plans = _timed(plan_all, 1)
-    uncached_rollouts = rollouts() - before
-    record(results, "plan_10x_uncached", uncached_s, 1, commit=commit)
+    uncached_s, uncached_std, uncached_plans = _timed(plan_all, rounds)
+    uncached_rollouts = (rollouts() - before) / rounds
+    record(
+        results, "plan_10x_uncached", uncached_s, rounds, std_s=uncached_std, commit=commit
+    )
+
+    def cold_pass():
+        with use_allocation_cache(AllocationCache()):
+            return plan_all()
+
+    before = rollouts()
+    cold_s, cold_std, cold_plans = _timed(cold_pass, rounds)
+    cold_rollouts = (rollouts() - before) / rounds
+    record(results, "plan_10x_cold_cache", cold_s, rounds, std_s=cold_std, commit=commit)
 
     cache = AllocationCache()
     with use_allocation_cache(cache):
+        plan_all()  # prime once, untimed, so every timed pass is warm
         before = rollouts()
-        cold_s, _, cold_plans = _timed(plan_all, 1)
-        cold_rollouts = rollouts() - before
-        before = rollouts()
-        warm_s, _, warm_plans = _timed(plan_all, 1)
-        warm_rollouts = rollouts() - before
-    record(results, "plan_10x_cold_cache", cold_s, 1, commit=commit)
-    record(results, "plan_10x_warm_cache", warm_s, 1, commit=commit)
+        warm_s, warm_std, warm_plans = _timed(plan_all, rounds)
+        warm_rollouts = (rollouts() - before) / rounds
+    record(results, "plan_10x_warm_cache", warm_s, rounds, std_s=warm_std, commit=commit)
 
     identical = all(
         a.assignments == b.assignments == c.assignments

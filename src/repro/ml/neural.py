@@ -7,6 +7,18 @@ what DQN needs to regress Q-values — and a squared-error loss so the
 training step matches Algorithm 1 line 4:
 
     L(s, a | θ) = (r + max_a' Q(s', a'|θ) − Q(s, a|θ))^2
+
+Kernel layout: all weights and biases live in one flat parameter vector
+(the per-layer arrays are reshaped views into it), mirrored by one flat
+gradient vector, so an optimizer step is a handful of whole-network
+vector ops instead of a Python loop over 2·L small arrays. Backprop
+writes gradients into preallocated scratch (gradient views plus per-batch
+delta buffers), and :meth:`MLP.forward` with ``cache=True`` records the
+layer activations so :meth:`MLP.train_from_cache` can run the backward
+pass without re-running the forward — the DQN trainer's prediction pass
+and its gradient step share one forward. Every fused op preserves the
+exact operation order of the naive implementation, so results are
+bit-for-bit identical to the unfused code path.
 """
 
 from __future__ import annotations
@@ -21,6 +33,16 @@ _ACTIVATIONS = {
     "relu": (lambda z: np.maximum(z, 0.0), lambda z: (z > 0.0).astype(float)),
     "tanh": (np.tanh, lambda z: 1.0 - np.tanh(z) ** 2),
     "linear": (lambda z: z, lambda z: np.ones_like(z)),
+}
+
+#: Gradient *factors* for the in-place backward pass: value-identical to
+#: the ``_ACTIVATIONS`` derivative but allowed to return a bool array
+#: (multiplying a float array by a bool mask gives the same bits as
+#: multiplying by its 0.0/1.0 float cast, without the cast).
+_ACTIVATION_FACTORS = {
+    "relu": lambda z: z > 0.0,
+    "tanh": _ACTIVATIONS["tanh"][1],
+    "linear": _ACTIVATIONS["linear"][1],
 }
 
 
@@ -44,7 +66,13 @@ class SGD:
 
 
 class Adam:
-    """Adam optimizer (Kingma & Ba 2015)."""
+    """Adam optimizer (Kingma & Ba 2015).
+
+    The update is computed fully in place through preallocated scratch
+    buffers — no per-step temporaries — with the operation order of the
+    textbook expression preserved exactly, so the parameter trajectory is
+    bit-for-bit the same as the allocating formulation.
+    """
 
     def __init__(
         self,
@@ -59,23 +87,44 @@ class Adam:
         self.epsilon = epsilon
         self._m: list[np.ndarray] | None = None
         self._v: list[np.ndarray] | None = None
+        self._scratch: list[tuple[np.ndarray, np.ndarray]] | None = None
         self._t = 0
 
     def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
         if self._m is None:
             self._m = [np.zeros_like(p) for p in parameters]
             self._v = [np.zeros_like(p) for p in parameters]
+        if self._scratch is None or len(self._scratch) != len(parameters):
+            self._scratch = [
+                (np.empty_like(p), np.empty_like(p)) for p in parameters
+            ]
         self._t += 1
         correction1 = 1.0 - self.beta1**self._t
         correction2 = 1.0 - self.beta2**self._t
-        for parameter, gradient, m, v in zip(parameters, gradients, self._m, self._v):
+        for parameter, gradient, m, v, (s1, s2) in zip(
+            parameters, gradients, self._m, self._v, self._scratch
+        ):
+            # m ← β1·m + (1−β1)·g ; v ← β2·v + (1−β2)·g²
             m *= self.beta1
-            m += (1.0 - self.beta1) * gradient
+            np.multiply(gradient, 1.0 - self.beta1, out=s1)
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * gradient**2
-            m_hat = m / correction1
-            v_hat = v / correction2
-            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            np.multiply(gradient, gradient, out=s1)
+            s1 *= 1.0 - self.beta2
+            v += s1
+            # θ ← θ − lr·m̂ / (√v̂ + ε), computed as ((lr·m̂) / denom).
+            np.divide(m, correction1, out=s1)
+            s1 *= self.learning_rate
+            np.divide(v, correction2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.epsilon
+            s1 /= s2
+            parameter -= s1
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_scratch"] = None  # rebuilt lazily; never semantic state
+        return state
 
 
 class MLP:
@@ -113,18 +162,58 @@ class MLP:
         self.layer_sizes = tuple(int(s) for s in layer_sizes)
         self.activation = activation
         self.optimizer = optimizer if optimizer is not None else Adam()
+        self._allocate_storage()
         rng = as_rng(seed)
+        for weight, bias in zip(self.weights, self.biases):
+            fan_in = weight.shape[0]
+            scale = np.sqrt(2.0 / fan_in)
+            weight[...] = rng.normal(0.0, scale, size=weight.shape)
+            bias[...] = 0.0
+
+    def _allocate_storage(self) -> None:
+        """Flat parameter/gradient vectors with per-layer views into them."""
+        shapes = list(zip(self.layer_sizes[:-1], self.layer_sizes[1:]))
+        total = sum(fan_in * fan_out for fan_in, fan_out in shapes) + sum(
+            fan_out for _, fan_out in shapes
+        )
+        self._flat_params = np.empty(total, dtype=float)
+        self._flat_grads = np.empty(total, dtype=float)
         self.weights: list[np.ndarray] = []
         self.biases: list[np.ndarray] = []
-        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
-            scale = np.sqrt(2.0 / fan_in)
-            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
-            self.biases.append(np.zeros(fan_out))
+        self._weight_grads: list[np.ndarray] = []
+        self._bias_grads: list[np.ndarray] = []
+        offset = 0
+        for fan_in, fan_out in shapes:
+            size = fan_in * fan_out
+            self.weights.append(
+                self._flat_params[offset : offset + size].reshape(fan_in, fan_out)
+            )
+            self._weight_grads.append(
+                self._flat_grads[offset : offset + size].reshape(fan_in, fan_out)
+            )
+            offset += size
+        for _, fan_out in shapes:
+            self.biases.append(self._flat_params[offset : offset + fan_out])
+            self._bias_grads.append(self._flat_grads[offset : offset + fan_out])
+            offset += fan_out
+        self._forward_cache: tuple | None = None
+        self._delta_buffers: dict[int, list[np.ndarray]] = {}
 
     # ------------------------------------------------------------------
-    def forward(self, X: np.ndarray) -> np.ndarray:
-        """Forward pass; returns the linear outputs (no softmax)."""
-        return self._forward_cached(np.asarray(X, dtype=float))[0]
+    def forward(self, X: np.ndarray, *, cache: bool = False) -> np.ndarray:
+        """Forward pass; returns the linear outputs (no softmax).
+
+        With ``cache=True`` the layer activations are kept so a following
+        :meth:`train_from_cache` can backpropagate without re-running this
+        forward. The cache is consumed by that call; do not mutate the
+        returned outputs in between.
+        """
+        outputs, pre_activations, activations = self._forward_cached(
+            np.asarray(X, dtype=float)
+        )
+        if cache:
+            self._forward_cache = (outputs, pre_activations, activations)
+        return outputs
 
     def _forward_cached(self, X: np.ndarray):
         if X.ndim == 1:
@@ -145,31 +234,58 @@ class MLP:
             activations.append(hidden)
         return hidden, pre_activations, activations
 
+    def _deltas_for(self, batch: int) -> list[np.ndarray]:
+        """Per-layer backprop scratch for this batch size (reused across steps)."""
+        buffers = self._delta_buffers.get(batch)
+        if buffers is None:
+            buffers = [
+                np.empty((batch, width), dtype=float) for width in self.layer_sizes[1:]
+            ]
+            if len(self._delta_buffers) > 8:  # e.g. a sweep of odd batch sizes
+                self._delta_buffers.clear()
+            self._delta_buffers[batch] = buffers
+        return buffers
+
     def train_batch(self, X: np.ndarray, targets: np.ndarray) -> float:
         """One optimizer step on mean squared error; returns the loss."""
-        X = np.asarray(X, dtype=float)
+        self.forward(X, cache=True)
+        return self.train_from_cache(targets)
+
+    def train_from_cache(self, targets: np.ndarray) -> float:
+        """Backward pass + optimizer step reusing the last cached forward.
+
+        Pairs with ``forward(X, cache=True)``: together they are exactly
+        :meth:`train_batch`, minus the redundant second forward when the
+        caller already needed the predictions (the DQN training step).
+        """
+        if self._forward_cache is None:
+            raise DataError("no cached forward pass; call forward(X, cache=True) first")
+        outputs, pre_activations, activations = self._forward_cache
+        self._forward_cache = None
         targets = np.asarray(targets, dtype=float)
-        outputs, pre_activations, activations = self._forward_cached(X)
         if targets.ndim == 1:
             targets = targets.reshape(outputs.shape)
         if targets.shape != outputs.shape:
             raise DataError(
                 f"targets shape {targets.shape} does not match outputs {outputs.shape}"
             )
-        n = X.shape[0] if X.ndim == 2 else 1
-        delta = 2.0 * (outputs - targets) / n
-        loss = float(np.mean((outputs - targets) ** 2))
-        _, act_grad = _ACTIVATIONS[self.activation]
-        weight_gradients: list[np.ndarray] = [None] * len(self.weights)
-        bias_gradients: list[np.ndarray] = [None] * len(self.biases)
+        n = activations[0].shape[0]
+        factor = _ACTIVATION_FACTORS[self.activation]
+        buffers = self._deltas_for(n)
+        delta = buffers[-1]
+        np.subtract(outputs, targets, out=delta)
+        loss = float(np.mean(delta * delta))
+        delta *= 2.0
+        delta /= n
         for layer in reversed(range(len(self.weights))):
-            weight_gradients[layer] = activations[layer].T @ delta
-            bias_gradients[layer] = delta.sum(axis=0)
+            np.matmul(activations[layer].T, delta, out=self._weight_grads[layer])
+            np.sum(delta, axis=0, out=self._bias_grads[layer])
             if layer > 0:
-                delta = (delta @ self.weights[layer].T) * act_grad(pre_activations[layer - 1])
-        parameters = self.weights + self.biases
-        gradients = weight_gradients + bias_gradients
-        self.optimizer.step(parameters, gradients)
+                previous = buffers[layer - 1]
+                np.matmul(delta, self.weights[layer].T, out=previous)
+                previous *= factor(pre_activations[layer - 1])
+                delta = previous
+        self.optimizer.step([self._flat_params], [self._flat_grads])
         return loss
 
     # ------------------------------------------------------------------
@@ -188,12 +304,34 @@ class MLP:
         for i in range(count):
             if parameters[i].shape != self.weights[i].shape:
                 raise ConfigurationError("weight shape mismatch in set_parameters")
-            self.weights[i] = parameters[i].copy()
         for i in range(len(self.biases)):
             if parameters[count + i].shape != self.biases[i].shape:
                 raise ConfigurationError("bias shape mismatch in set_parameters")
-            self.biases[i] = parameters[count + i].copy()
+        for i in range(count):
+            self.weights[i][...] = parameters[i]
+        for i in range(len(self.biases)):
+            self.biases[i][...] = parameters[count + i]
 
     def copy_from(self, other: "MLP") -> None:
         """Hard-sync this network's parameters from another MLP."""
-        self.set_parameters(other.get_parameters())
+        if self.layer_sizes == other.layer_sizes:
+            np.copyto(self._flat_params, other._flat_params)
+        else:
+            self.set_parameters(other.get_parameters())
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle layer arrays as plain copies (views don't survive pickling)."""
+        return {
+            "layer_sizes": self.layer_sizes,
+            "activation": self.activation,
+            "optimizer": self.optimizer,
+            "parameters": self.get_parameters(),
+        }
+
+    def __setstate__(self, state) -> None:
+        self.layer_sizes = tuple(state["layer_sizes"])
+        self.activation = state["activation"]
+        self.optimizer = state["optimizer"]
+        self._allocate_storage()
+        self.set_parameters(state["parameters"])

@@ -267,9 +267,83 @@ class CRLModel:
         )
 
     def _train_agent(self, importance: np.ndarray) -> DQNAgent:
-        """Train one agent in-process (online mode's lazy path)."""
+        """Train one agent (online mode's lazy path).
+
+        Routed through :class:`ParallelTrainer` so the pool's
+        work-vs-overhead pre-check applies: a single payload never
+        clears it, so lone cache misses keep training serially
+        in-process, while the shared code path means bulk warming
+        (:meth:`warm_online_agents`) and lazy misses produce
+        byte-identical agents.
+        """
         seed = int(self._rng.integers(0, 2**31 - 1))
-        return train_allocation_agent(self._train_task(importance, seed))
+        trainer = ParallelTrainer(
+            train_allocation_agent,
+            jobs=self.jobs,
+            label="crl.online_train",
+            estimated_cost_s=EST_TRAIN_S_PER_EPISODE * self.episodes,
+        )
+        return trainer.map([self._train_task(importance, seed)])[0]
+
+    def warm_online_agents(self, sensing_rows, *, jobs: int | None = None) -> int:
+        """Pre-train the online-mode agents a batch of queries will need.
+
+        The lazy path trains each missing neighbourhood agent at first
+        lookup. When the sensing vectors are known up front (an
+        evaluation sweep, a day of forecast queries), this collects the
+        *distinct missing* neighbourhood keys in first-occurrence order,
+        draws each agent's seed from the model RNG in that same order —
+        exactly the draws the lazy path would have made — and fans the
+        independent trainings out through :class:`ParallelTrainer`.
+        Subsequent :meth:`allocate` calls then hit the agent cache, and
+        the warmed agents are byte-identical to lazily trained ones.
+        Returns the number of agents trained.
+        """
+        if self.mode != "online":
+            raise ConfigurationError(
+                f"warm_online_agents requires mode='online', got {self.mode!r}"
+            )
+        self._require_fitted()
+        jobs = self.jobs if jobs is None else int(jobs)
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        missing: dict[tuple, np.ndarray] = {}
+        for row in sensing_rows:
+            key = self._environment_key(row)
+            if key in self._online_agents or key in missing:
+                continue
+            missing[key] = self.estimate_importance(row)
+        if not missing:
+            return 0
+        with span("rl.crl.online_warm", agents=len(missing), jobs=jobs):
+            geometry = self.geometry
+            if jobs > 1 and len(missing) > 1:
+                geometry = get_shared_store().share(
+                    f"crl.geometry:{id(self.geometry)}", self.geometry
+                )
+            # Seeds are drawn per missing key in first-occurrence order:
+            # the exact RNG stream serial lazy training would consume.
+            tasks = [
+                AgentTrainTask(
+                    geometry=geometry,
+                    importance=np.asarray(importance, dtype=float),
+                    dqn_config=self.dqn_config,
+                    episodes=self.episodes,
+                    seed=int(self._rng.integers(0, 2**31 - 1)),
+                    seed_demonstrations=self.seed_demonstrations,
+                    mode=self.mode,
+                )
+                for importance in missing.values()
+            ]
+            trainer = ParallelTrainer(
+                train_allocation_agent,
+                jobs=jobs,
+                label="crl.online_warm",
+                estimated_cost_s=EST_TRAIN_S_PER_EPISODE * self.episodes * len(tasks),
+            )
+            for key, agent in zip(missing, trainer.map(tasks)):
+                self._online_agents[key] = agent
+        return len(tasks)
 
     def fit(self, store: EnvironmentStore) -> "CRLModel":
         """Training phase of Algorithm 1 over the historical store.

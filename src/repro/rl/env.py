@@ -16,6 +16,21 @@ Design follows the paper's key choices:
   reaches the terminal state, 0 otherwise (the paper's r(t)). A dense
   variant (+I_j per assignment) is available for the reward-shaping
   ablation benchmark.
+
+The observation is maintained *incrementally*: one preallocated buffer is
+written at :meth:`reset` — the geometry slices (normalized importance,
+times, resources) never change within an episode, so they are written
+once at construction — and :meth:`step` touches only the entries the
+action actually mutates (one selected bit, two one-hot entries, the
+current processor's two budget slots). Every write applies the same
+arithmetic, in the same order, as a from-scratch rebuild, so the buffer
+is bit-for-bit equal to what the old concatenating implementation
+produced; :meth:`state_vector` returns a copy so stored transitions stay
+immutable. Feasibility is tracked the same way: within a processor,
+budgets only shrink, so the candidate set can only lose members — each
+assignment rechecks just the surviving candidates instead of rescanning
+all tasks, and closing a processor triggers the one full rescan that is
+actually necessary.
 """
 
 from __future__ import annotations
@@ -25,6 +40,9 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.tatim.problem import TATIMProblem
 from repro.tatim.solution import Allocation
+
+#: Feasibility slack matching the solvers' tolerance.
+_TOL = 1e-12
 
 
 class AllocationEnv:
@@ -48,6 +66,23 @@ class AllocationEnv:
         self.n_tasks = problem.n_tasks
         self.n_processors = problem.n_processors
         self._importance_scale = float(problem.importance.max()) or 1.0
+        n, m = self.n_tasks, self.n_processors
+        self._limits = problem.processor_time_limits().astype(float)
+        self._capacities = problem.capacities.astype(float)
+        # Buffer layout: [selected | importance | times | resources |
+        # processor one-hot | remaining time | remaining capacity].
+        self._off_onehot = 4 * n
+        self._off_time = 4 * n + m
+        self._off_capacity = 4 * n + 2 * m
+        self._state = np.empty(4 * n + 3 * m, dtype=float)
+        self._state[n : 2 * n] = problem.importance / self._importance_scale
+        self._state[2 * n : 3 * n] = problem.times / float(self._limits.mean())
+        self._state[3 * n : 4 * n] = problem.resources / float(problem.capacities.mean())
+        self._assigned = np.empty(n, dtype=int)
+        self._remaining_time = np.empty(m, dtype=float)
+        self._remaining_capacity = np.empty(m, dtype=float)
+        self._empty_feasible = np.array([], dtype=int)
+        self._empty_feasible.flags.writeable = False
         self.reset()
 
     # ------------------------------------------------------------------
@@ -66,45 +101,55 @@ class AllocationEnv:
 
     # ------------------------------------------------------------------
     def reset(self) -> np.ndarray:
-        self._assigned = np.full(self.n_tasks, -1, dtype=int)
-        self._remaining_time = self.problem.processor_time_limits().astype(float).copy()
-        self._remaining_capacity = self.problem.capacities.astype(float).copy()
+        self._assigned.fill(-1)
+        self._remaining_time[:] = self._limits
+        self._remaining_capacity[:] = self._capacities
         self._current = 0
         self._done = False
+        buf = self._state
+        n = self.n_tasks
+        buf[:n] = 0.0
+        buf[self._off_onehot : self._off_time] = 0.0
+        buf[self._off_onehot] = 1.0
+        buf[self._off_time : self._off_capacity] = self._remaining_time / self._limits
+        buf[self._off_capacity :] = self._remaining_capacity / self._capacities
+        self._rescan_fits()
         return self.state_vector()
 
     def state_vector(self) -> np.ndarray:
         """Fixed-length observation: selection state ++ geometry ++ budgets."""
-        problem = self.problem
-        selected = (self._assigned >= 0).astype(float)
-        processor_onehot = np.zeros(self.n_processors)
-        if not self._done:
-            processor_onehot[self._current] = 1.0
-        mean_capacity = float(problem.capacities.mean())
-        limits = problem.processor_time_limits()
-        return np.concatenate(
-            [
-                selected,
-                problem.importance / self._importance_scale,
-                problem.times / float(limits.mean()),
-                problem.resources / mean_capacity,
-                processor_onehot,
-                self._remaining_time / limits,
-                self._remaining_capacity / problem.capacities,
-            ]
-        )
+        return self._state.copy()
 
     # ------------------------------------------------------------------
-    def feasible_actions(self) -> np.ndarray:
-        """Actions legal in the current state (closing is always legal)."""
+    def _rescan_fits(self) -> None:
+        """Full candidate rescan — only needed when the processor changes."""
         if self._done:
-            return np.array([], dtype=int)
-        fits = (
-            (self._assigned < 0)
-            & (self.problem.times <= self._remaining_time[self._current] + 1e-12)
-            & (self.problem.resources <= self._remaining_capacity[self._current] + 1e-12)
-        )
-        return np.append(np.flatnonzero(fits), self.close_action)
+            self._fit_idx = self._empty_feasible
+        else:
+            current = self._current
+            fits = (
+                (self._assigned < 0)
+                & (self.problem.times <= self._remaining_time[current] + _TOL)
+                & (self.problem.resources <= self._remaining_capacity[current] + _TOL)
+            )
+            self._fit_idx = np.flatnonzero(fits)
+        self._feasible = None
+
+    def feasible_actions(self) -> np.ndarray:
+        """Actions legal in the current state (closing is always legal).
+
+        The result is cached per state (the training loop asks twice per
+        transition: once for the next-state feasible set stored in replay
+        and once when that state becomes current) and returned read-only —
+        treat it as a snapshot, not a scratch array.
+        """
+        if self._done:
+            return self._empty_feasible
+        if self._feasible is None:
+            feasible = np.append(self._fit_idx, self.close_action)
+            feasible.flags.writeable = False
+            self._feasible = feasible
+        return self._feasible
 
     def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
         """Apply one action; returns (state, reward, done, info)."""
@@ -112,26 +157,52 @@ class AllocationEnv:
             raise SimulationError("episode already terminated; call reset()")
         action = int(action)
         reward = 0.0
+        buf = self._state
         if action == self.close_action:
+            buf[self._off_onehot + self._current] = 0.0
             self._current += 1
             if self._current >= self.n_processors:
                 self._done = True
                 if not self.dense_reward:
                     reward = self.total_importance()
+            else:
+                buf[self._off_onehot + self._current] = 1.0
+            self._rescan_fits()
         elif 0 <= action < self.n_tasks:
             if self._assigned[action] >= 0:
                 raise SimulationError(f"task {action} is already assigned")
+            current = self._current
             if (
-                self.problem.times[action] > self._remaining_time[self._current] + 1e-12
+                self.problem.times[action] > self._remaining_time[current] + _TOL
                 or self.problem.resources[action]
-                > self._remaining_capacity[self._current] + 1e-12
+                > self._remaining_capacity[current] + _TOL
             ):
                 raise SimulationError(
-                    f"task {action} does not fit on processor {self._current}"
+                    f"task {action} does not fit on processor {current}"
                 )
-            self._assigned[action] = self._current
-            self._remaining_time[self._current] -= self.problem.times[action]
-            self._remaining_capacity[self._current] -= self.problem.resources[action]
+            self._assigned[action] = current
+            self._remaining_time[current] -= self.problem.times[action]
+            self._remaining_capacity[current] -= self.problem.resources[action]
+            buf[action] = 1.0
+            buf[self._off_time + current] = (
+                self._remaining_time[current] / self._limits[current]
+            )
+            buf[self._off_capacity + current] = (
+                self._remaining_capacity[current] / self._capacities[current]
+            )
+            # Budgets only shrank: candidates can only drop out, so recheck
+            # the survivors instead of rescanning every task.
+            candidates = self._fit_idx
+            keep = (
+                (self.problem.times[candidates] <= self._remaining_time[current] + _TOL)
+                & (
+                    self.problem.resources[candidates]
+                    <= self._remaining_capacity[current] + _TOL
+                )
+                & (candidates != action)
+            )
+            self._fit_idx = candidates[keep]
+            self._feasible = None
             if self.dense_reward:
                 reward = float(self.problem.importance[action])
         else:

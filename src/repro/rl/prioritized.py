@@ -7,6 +7,12 @@ replay samples transitions proportionally to their last TD error
 sampling weights w_i = (N·P(i))^{-β}. Drop-in alternative to
 :class:`repro.rl.replay.ReplayBuffer` via the shared push/sample surface;
 the DQN agent applies the weights when the buffer provides them.
+
+Storage rides on the same structure-of-arrays backing store as the
+uniform buffer (:class:`repro.rl.replay._SoAStorage`), with priorities in
+a preallocated flat array — sampling powers/normalizes a slice view
+instead of materializing a Python list every draw, and priority updates
+are one vectorized scatter.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError
-from repro.rl.replay import Transition
+from repro.rl.replay import Transition, TransitionBatch, _SoAStorage
 from repro.utils.rng import as_rng
 
 
@@ -31,6 +37,9 @@ class PrioritizedReplayBuffer:
         Importance-sampling correction strength (1 = full correction).
     epsilon:
         Priority floor so zero-error transitions stay sampleable.
+    n_actions:
+        Optional action-space width enabling the feasible-mask fast path
+        (see :class:`repro.rl.replay.ReplayBuffer`).
     """
 
     def __init__(
@@ -40,6 +49,7 @@ class PrioritizedReplayBuffer:
         alpha: float = 0.6,
         beta: float = 0.4,
         epsilon: float = 1e-3,
+        n_actions: int | None = None,
         seed=None,
     ) -> None:
         if capacity < 1:
@@ -54,9 +64,8 @@ class PrioritizedReplayBuffer:
         self.alpha = float(alpha)
         self.beta = float(beta)
         self.epsilon = float(epsilon)
-        self._storage: list[Transition] = []
-        self._priorities: list[float] = []
-        self._cursor = 0
+        self._storage = _SoAStorage(capacity, n_actions)
+        self._priorities = np.empty(min(self.capacity, 1024), dtype=float)
         self._max_priority = 1.0
         self._rng = as_rng(seed)
         self._last_indices: np.ndarray | None = None
@@ -67,27 +76,37 @@ class PrioritizedReplayBuffer:
     # ------------------------------------------------------------------
     def push(self, transition: Transition) -> None:
         """Insert with maximal priority (every transition gets one look)."""
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-            self._priorities.append(self._max_priority)
-        else:
-            self._storage[self._cursor] = transition
-            self._priorities[self._cursor] = self._max_priority
-        self._cursor = (self._cursor + 1) % self.capacity
+        index = self._storage.push(transition)
+        if index >= self._priorities.size:
+            grown = np.empty(
+                min(self.capacity, max(self._priorities.size * 2, index + 1)),
+                dtype=float,
+            )
+            grown[: self._priorities.size] = self._priorities
+            self._priorities = grown
+        self._priorities[index] = self._max_priority
+
+    def _sample_indices(self, batch_size: int) -> np.ndarray:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        n = len(self._storage)
+        if not n:
+            raise DataError("cannot sample from an empty replay buffer")
+        priorities = self._priorities[:n] ** self.alpha
+        probabilities = priorities / priorities.sum()
+        size = min(batch_size, n)
+        indices = self._rng.choice(n, size=size, p=probabilities)
+        self._last_indices = indices
+        self._last_probabilities = probabilities[indices]
+        return indices
 
     def sample(self, batch_size: int) -> list[Transition]:
         """Priority-proportional sample; records indices for the update."""
-        if batch_size < 1:
-            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
-        if not self._storage:
-            raise DataError("cannot sample from an empty replay buffer")
-        priorities = np.asarray(self._priorities, dtype=float) ** self.alpha
-        probabilities = priorities / priorities.sum()
-        size = min(batch_size, len(self._storage))
-        indices = self._rng.choice(len(self._storage), size=size, p=probabilities)
-        self._last_indices = indices
-        self._last_probabilities = probabilities[indices]
-        return [self._storage[i] for i in indices]
+        return self._storage.gather_transitions(self._sample_indices(batch_size))
+
+    def sample_batch(self, batch_size: int) -> TransitionBatch:
+        """Priority-proportional sample as column matrices (fast path)."""
+        return self._storage.gather_batch(self._sample_indices(batch_size))
 
     def last_sample_weights(self) -> np.ndarray:
         """IS weights of the most recent sample, normalized to max 1."""
@@ -106,13 +125,10 @@ class PrioritizedReplayBuffer:
             raise DataError(
                 f"{errors.size} TD errors for {self._last_indices.size} sampled transitions"
             )
-        for index, error in zip(self._last_indices, errors):
-            priority = float(error + self.epsilon)
-            self._priorities[int(index)] = priority
-            self._max_priority = max(self._max_priority, priority)
+        priorities = errors + self.epsilon
+        self._priorities[self._last_indices] = priorities
+        self._max_priority = max(self._max_priority, float(priorities.max()))
 
     def clear(self) -> None:
         self._storage.clear()
-        self._priorities.clear()
-        self._cursor = 0
         self._last_indices = None

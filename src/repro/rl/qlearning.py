@@ -50,7 +50,14 @@ class QLearningAgent:
         return self._q.get((self._key(state), int(action)), 0.0)
 
     def best_action(self, state: np.ndarray, feasible: np.ndarray) -> int:
-        values = np.array([self.q_value(state, a) for a in feasible])
+        # Hash the state once, not once per candidate action: the key is a
+        # full-vector round + serialize, the lookups are cheap dict gets.
+        key = self._key(state)
+        values = np.fromiter(
+            (self._q.get((key, int(a)), 0.0) for a in feasible),
+            dtype=float,
+            count=feasible.size,
+        )
         return int(feasible[int(np.argmax(values))])
 
     def act(self, state: np.ndarray, feasible: np.ndarray, *, greedy: bool = False) -> int:
@@ -74,7 +81,10 @@ class QLearningAgent:
                 target = reward
             else:
                 next_feasible = env.feasible_actions()
-                best_next = max(self.q_value(next_state, a) for a in next_feasible)
+                next_key = self._key(next_state)
+                best_next = max(
+                    self._q.get((next_key, int(a)), 0.0) for a in next_feasible
+                )
                 target = reward + self.gamma * best_next
             key = (self._key(state), int(action))
             old = self._q.get(key, 0.0)

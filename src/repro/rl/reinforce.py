@@ -89,12 +89,18 @@ class ReinforceAgent:
     def train_episode(self, env: AllocationEnv) -> float:
         """Sample one episode and apply the policy-gradient update."""
         state = env.reset()
-        trajectory: list[tuple[np.ndarray, np.ndarray, int]] = []
+        trajectory: list[tuple[np.ndarray, np.ndarray, int, np.ndarray]] = []
         episode_return = 0.0
         while not env.done:
             feasible = env.feasible_actions()
-            action = self.act(state, feasible)
-            trajectory.append((state, feasible, action))
+            if feasible.size == 0:
+                raise ConfigurationError("no feasible actions to act on")
+            # Inline act() and keep its probabilities: the weights don't
+            # change until the episode ends, so the gradient loop below can
+            # reuse these instead of recomputing every forward pass.
+            probabilities = self._policy(state, feasible)
+            action = int(self._rng.choice(feasible, p=probabilities))
+            trajectory.append((state, feasible, action, probabilities))
             state, reward, _, _ = env.step(action)
             episode_return += reward
         advantage = episode_return - self.baseline
@@ -104,9 +110,9 @@ class ReinforceAgent:
         )
         # ∇ log π for linear softmax: x ⊗ (1{a} − π) over feasible actions.
         gradient = np.zeros_like(self.weights)
-        for features, feasible, action in trajectory:
-            probabilities = self._policy(features, feasible)
-            delta = np.zeros(self.n_actions)
+        delta = np.zeros(self.n_actions)
+        for features, feasible, action, probabilities in trajectory:
+            delta.fill(0.0)
             delta[feasible] -= probabilities
             delta[action] += 1.0
             gradient += np.outer(features, delta) / self.temperature

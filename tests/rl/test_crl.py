@@ -195,3 +195,73 @@ class TestParallelFit:
     def test_invalid_jobs_rejected(self, geometry):
         with pytest.raises(ConfigurationError):
             CRLModel(geometry, jobs=0)
+
+
+class TestOnlineWarming:
+    def _online_model(self, geometry, **kwargs):
+        defaults = dict(
+            mode="online",
+            knn_k=3,
+            episodes=15,
+            dqn_config=DQNConfig(hidden_sizes=(16,)),
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return CRLModel(geometry, **defaults)
+
+    def test_warm_requires_online_mode(self, geometry, store):
+        environments, *_ = store
+        model = CRLModel(geometry, episodes=5, seed=0).fit(environments)
+        with pytest.raises(ConfigurationError):
+            model.warm_online_agents([np.zeros(4)])
+
+    def test_warm_requires_fit(self, geometry):
+        with pytest.raises(NotFittedError):
+            self._online_model(geometry).warm_online_agents([np.zeros(4)])
+
+    def test_warmed_agents_match_lazy(self, geometry, store):
+        """Warming must consume the exact RNG stream of serial lazy training."""
+        environments, *_ = store
+        queries = [np.zeros(4), np.full(4, 8.0), np.full(4, 0.1)]
+        lazy = self._online_model(geometry).fit(environments)
+        lazy_allocations = [lazy.allocate(query).matrix for query in queries]
+
+        warmed = self._online_model(geometry).fit(environments)
+        trained = warmed.warm_online_agents(queries)
+        assert trained == len(warmed._online_agents) >= 1
+        assert set(warmed._online_agents) == set(lazy._online_agents)
+        for key, agent in warmed._online_agents.items():
+            reference = lazy._online_agents[key]
+            for ours, theirs in zip(agent.online.weights, reference.online.weights):
+                assert np.array_equal(ours, theirs)
+            for ours, theirs in zip(agent.online.biases, reference.online.biases):
+                assert np.array_equal(ours, theirs)
+
+        # Everything is cached now: allocating must not train new agents
+        # and must reproduce the lazy allocations exactly.
+        agents_before = dict(warmed._online_agents)
+        warm_allocations = [warmed.allocate(query).matrix for query in queries]
+        assert warmed._online_agents == agents_before
+        for ours, theirs in zip(warm_allocations, lazy_allocations):
+            assert np.array_equal(ours, theirs)
+
+    def test_warm_skips_present_and_duplicate_keys(self, geometry, store):
+        environments, *_ = store
+        model = self._online_model(geometry).fit(environments)
+        first = model.warm_online_agents([np.zeros(4), np.zeros(4) + 1e-9])
+        assert first >= 1
+        assert model.warm_online_agents([np.zeros(4)]) == 0
+
+    def test_warm_parallel_matches_serial(self, geometry, store):
+        """jobs=2 warming must produce the same agents as jobs=1."""
+        environments, *_ = store
+        queries = [np.zeros(4), np.full(4, 8.0)]
+        serial = self._online_model(geometry).fit(environments)
+        serial.warm_online_agents(queries, jobs=1)
+        parallel = self._online_model(geometry).fit(environments)
+        parallel.warm_online_agents(queries, jobs=2)
+        assert set(serial._online_agents) == set(parallel._online_agents)
+        for query in queries:
+            assert np.array_equal(
+                serial.allocate(query).matrix, parallel.allocate(query).matrix
+            )

@@ -1,0 +1,244 @@
+"""Byte-identity contract tests for the single-process RL kernels.
+
+The incremental environment buffer, the structure-of-arrays replay, and
+the fused forward/backward path are *data-layout* optimizations: same
+seeds must produce the same RNG stream and the same IEEE-754 arithmetic
+in the same order as the straightforward implementations they replaced.
+Three layers of evidence:
+
+- a property test replaying random valid action sequences and comparing
+  the incremental state buffer and feasibility set against a
+  from-scratch rebuild after every step;
+- a parity test driving the SoA-backed buffers and a minimal list-backed
+  reference with the same RNG, comparing samples element-for-element;
+- a golden test re-running full DQN trainings (uniform, double-Q,
+  prioritized) and comparing per-episode returns bitwise (IEEE-754 hex),
+  final greedy allocations, and a SHA-256 over the trained parameters
+  against values recorded *before* the kernel refactor.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.env import AllocationEnv, _TOL
+from repro.rl.prioritized import PrioritizedReplayBuffer
+from repro.rl.replay import ReplayBuffer, Transition, TransitionBatch
+from repro.tatim.generators import random_instance
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+# ----------------------------------------------------------------------
+# Property: incremental state/feasibility == from-scratch rebuild
+
+
+def _reference_state(env: AllocationEnv) -> np.ndarray:
+    """The old concatenating implementation, rebuilt from first principles."""
+    problem = env.problem
+    onehot = np.zeros(env.n_processors)
+    if not env.done:
+        onehot[env._current] = 1.0
+    return np.concatenate(
+        [
+            (env._assigned >= 0).astype(float),
+            problem.importance / env._importance_scale,
+            problem.times / float(env._limits.mean()),
+            problem.resources / float(problem.capacities.mean()),
+            onehot,
+            env._remaining_time / env._limits,
+            env._remaining_capacity / env._capacities,
+        ]
+    )
+
+
+def _reference_feasible(env: AllocationEnv) -> np.ndarray:
+    """Full rescan, as the pre-incremental implementation did every call."""
+    if env.done:
+        return np.array([], dtype=int)
+    current = env._current
+    fits = (
+        (env._assigned < 0)
+        & (env.problem.times <= env._remaining_time[current] + _TOL)
+        & (env.problem.resources <= env._remaining_capacity[current] + _TOL)
+    )
+    return np.append(np.flatnonzero(fits), env.close_action)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    instance_seed=st.integers(0, 2**16),
+    policy_seed=st.integers(0, 2**16),
+    dense=st.booleans(),
+)
+def test_incremental_state_matches_rebuild(instance_seed, policy_seed, dense):
+    """After every step of a random valid episode, the incremental buffer
+    and candidate set must equal a from-scratch rebuild, bit for bit."""
+    problem = random_instance(10, 3, seed=instance_seed)
+    env = AllocationEnv(problem, dense_reward=dense)
+    rng = np.random.default_rng(policy_seed)
+    state = env.reset()
+    assert np.array_equal(state, _reference_state(env))
+    assert np.array_equal(env.feasible_actions(), _reference_feasible(env))
+    while not env.done:
+        action = int(rng.choice(env.feasible_actions()))
+        state, _, _, _ = env.step(action)
+        assert np.array_equal(state, _reference_state(env))
+        assert np.array_equal(env.feasible_actions(), _reference_feasible(env))
+
+
+# ----------------------------------------------------------------------
+# Parity: SoA buffers == the list-backed reference, same RNG stream
+
+
+class _ListReplay:
+    """The pre-SoA reference: a transition list plus a ring cursor."""
+
+    def __init__(self, capacity: int, seed: int) -> None:
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def push(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        n = len(self._storage)
+        if n > batch_size:
+            indices = self._rng.choice(n, size=batch_size, replace=False)
+        else:
+            indices = self._rng.permutation(n)
+        return [self._storage[int(i)] for i in indices]
+
+
+def _random_transitions(seed: int, count: int, state_dim=6, n_actions=5):
+    rng = np.random.default_rng(seed)
+    return [
+        Transition(
+            state=rng.normal(size=state_dim),
+            action=int(rng.integers(n_actions)),
+            reward=float(rng.normal()),
+            next_state=rng.normal(size=state_dim),
+            done=bool(rng.random() < 0.1),
+            next_feasible=np.flatnonzero(rng.random(n_actions) < 0.6),
+        )
+        for _ in range(count)
+    ]
+
+
+def _assert_transitions_equal(ours: list, reference: list) -> None:
+    assert len(ours) == len(reference)
+    for a, b in zip(ours, reference):
+        assert np.array_equal(a.state, b.state)
+        assert a.action == b.action
+        assert a.reward == b.reward
+        assert np.array_equal(a.next_state, b.next_state)
+        assert a.done == b.done
+        assert np.array_equal(a.next_feasible, b.next_feasible)
+
+
+@pytest.mark.parametrize(
+    "capacity,pushes",
+    [(128, 300), (1000, 600)],  # ring wrap-around / lazy column growth
+)
+def test_soa_sample_matches_list_backed(capacity, pushes):
+    soa = ReplayBuffer(capacity, seed=42)
+    reference = _ListReplay(capacity, seed=42)
+    for transition in _random_transitions(3, pushes):
+        soa.push(transition)
+        reference.push(transition)
+    assert len(soa) == len(reference)
+    for _ in range(10):
+        _assert_transitions_equal(soa.sample(32), reference.sample(32))
+
+
+def test_sample_batch_matches_sample_rng_and_content():
+    """sample_batch must consume the RNG exactly like sample and return
+    the same rows, columnized."""
+    columns = ReplayBuffer(128, n_actions=5, seed=9)
+    listed = ReplayBuffer(128, n_actions=5, seed=9)
+    for transition in _random_transitions(4, 200):
+        columns.push(transition)
+        listed.push(transition)
+    for _ in range(5):
+        batch = columns.sample_batch(32)
+        expected = TransitionBatch.from_transitions(listed.sample(32))
+        assert np.array_equal(batch.states, expected.states)
+        assert np.array_equal(batch.actions, expected.actions)
+        assert np.array_equal(batch.rewards, expected.rewards)
+        assert np.array_equal(batch.next_states, expected.next_states)
+        assert np.array_equal(batch.dones, expected.dones)
+        assert batch.feasible_mask is not None
+        for row, feasible in zip(batch.feasible_mask, expected.next_feasible):
+            assert np.array_equal(np.flatnonzero(row), np.sort(feasible))
+
+
+def test_prioritized_sample_entry_points_agree():
+    """Both prioritized entry points must draw the same rows under the
+    same priority updates — the fast path changes layout, not sampling."""
+    via_lists = PrioritizedReplayBuffer(256, seed=7)
+    via_columns = PrioritizedReplayBuffer(256, n_actions=5, seed=7)
+    for transition in _random_transitions(5, 120):
+        via_lists.push(transition)
+        via_columns.push(transition)
+    errors_rng = np.random.default_rng(11)
+    for _ in range(6):
+        sampled = via_lists.sample(16)
+        batch = via_columns.sample_batch(16)
+        assert np.array_equal(via_lists._last_indices, via_columns._last_indices)
+        assert np.array_equal(
+            via_lists.last_sample_weights(), via_columns.last_sample_weights()
+        )
+        assert len(batch) == len(sampled)
+        _assert_transitions_equal(
+            sampled, via_columns._storage.gather_transitions(via_columns._last_indices)
+        )
+        errors = errors_rng.normal(size=16)
+        via_lists.update_priorities(errors)
+        via_columns.update_priorities(errors)
+
+
+# ----------------------------------------------------------------------
+# Golden: full DQN trainings bitwise vs pre-refactor recordings
+
+
+def _load_make_goldens():
+    spec = importlib.util.spec_from_file_location(
+        "repro_tests_make_goldens", GOLDEN_DIR / "make_goldens.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "case,kwargs",
+    [
+        ("uniform", {}),
+        ("double_q", {"double_q": True}),
+        ("prioritized", {"prioritized": True}),
+    ],
+)
+def test_dqn_training_matches_pre_refactor_golden(case, kwargs):
+    golden = json.loads((GOLDEN_DIR / "dqn_golden.json").read_text(encoding="utf-8"))
+    module = _load_make_goldens()
+    result = module.run_case(case, **kwargs)
+    assert result["returns_hex"] == golden[case]["returns_hex"]
+    assert result["assignment"] == golden[case]["assignment"]
+    assert result["online_params_sha256"] == golden[case]["online_params_sha256"]
+    assert result["final_epsilon_hex"] == golden[case]["final_epsilon_hex"]
