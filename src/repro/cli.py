@@ -8,12 +8,19 @@ Usage::
     python -m repro longtail [--days 60]
     python -m repro pipeline [--days 30]
     python -m repro bench    [--jobs 4 --full --check --threshold 1.25]
+    python -m repro serve    [--arrival-rate 500 --duration-s 2 --queue-depth 512]
+    python -m repro loadgen  [--arrival-rate 2000 --duration-s 2 --jobs 4]
 
 Each subcommand prints the corresponding figure's table; `pipeline` runs
 the full building-data DCTA system once; `bench` runs the tracked
 performance benchmarks and merges results into ``BENCH_perf.json``
 (``--check`` additionally compares against a same-machine baseline and
-exits non-zero on regression).
+exits non-zero on regression); `serve` runs the allocation service
+against a generated open-loop traffic trace and prints its KPI table;
+`loadgen` drives sustained load at a target rate and reports
+p50/p95/p99 latency + throughput (see ``docs/serving.md``). The serve
+flags mirror ``repro.serve.ServeConfig`` field names and their defaults
+are shown in ``--help``.
 
 Experiment subcommands accept ``--jobs N`` (parallel per-cluster CRL
 training) and ``--no-cache`` (disable the allocation cache); see
@@ -94,6 +101,113 @@ def _add_performance_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable the allocation cache (on by default; see docs/performance.md)",
     )
     parser.set_defaults(cache=True)
+
+
+def _serve_parent_parser() -> argparse.ArgumentParser:
+    """Shared flags for ``serve`` and ``loadgen``.
+
+    Flag names mirror :class:`repro.serve.ServeConfig` field names
+    (``--arrival-rate`` ↔ ``arrival_rate_hz``, ``--duration-s`` ↔
+    ``duration_s``, ``--queue-depth`` ↔ ``queue_depth``, ...), and the
+    parent uses :class:`argparse.ArgumentDefaultsHelpFormatter` so both
+    ``--help`` pages document the defaults.
+    """
+    from repro.serve.schemas import SAMPLER_NAMES, ServeConfig
+
+    defaults = ServeConfig()
+    parent = argparse.ArgumentParser(add_help=False)
+    traffic = parent.add_argument_group("traffic")
+    traffic.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=defaults.arrival_rate_hz,
+        dest="arrival_rate_hz",
+        help="mean open-loop arrival rate (requests/sec)",
+    )
+    traffic.add_argument(
+        "--duration-s",
+        type=float,
+        default=defaults.duration_s,
+        dest="duration_s",
+        help="length of the generated traffic trace (seconds)",
+    )
+    traffic.add_argument(
+        "--sampler",
+        choices=SAMPLER_NAMES,
+        default=defaults.sampler,
+        help="inter-arrival process",
+    )
+    traffic.add_argument(
+        "--burst-sigma",
+        type=float,
+        default=defaults.burst_sigma,
+        dest="burst_sigma",
+        help="log-rate burst modulation for gauss_poisson",
+    )
+    traffic.add_argument(
+        "--redraw-every",
+        type=int,
+        default=defaults.redraw_every,
+        dest="redraw_every",
+        help="requests between importance redraws (cache misses); 0 disables",
+    )
+    service = parent.add_argument_group("service")
+    service.add_argument(
+        "--queue-depth",
+        type=int,
+        default=defaults.queue_depth,
+        dest="queue_depth",
+        help="ingest queue bound; arrivals beyond it are shed (429-style)",
+    )
+    service.add_argument(
+        "--batch-max",
+        type=int,
+        default=defaults.batch_max,
+        dest="batch_max",
+        help="largest batch one dispatch drains",
+    )
+    service.add_argument(
+        "--solver",
+        default=defaults.solver,
+        help="TATIM solver answering requests",
+    )
+    service.add_argument(
+        "--tasks",
+        type=int,
+        default=defaults.n_tasks,
+        dest="n_tasks",
+        help="tasks in the recurring workload geometry",
+    )
+    service.add_argument(
+        "--processors",
+        type=int,
+        default=defaults.n_processors,
+        dest="n_processors",
+        help="processors in the recurring workload geometry",
+    )
+    parent.add_argument("--seed", type=int, default=defaults.seed)
+    _add_performance_arguments(parent)
+    return parent
+
+
+def _serve_config(args: argparse.Namespace):
+    from repro.serve.schemas import ServeConfig
+
+    return ServeConfig(
+        arrival_rate_hz=args.arrival_rate_hz,
+        duration_s=args.duration_s,
+        sampler=args.sampler,
+        burst_sigma=args.burst_sigma,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        jobs=args.jobs,
+        solver=args.solver,
+        cache=args.cache,
+        n_tasks=args.n_tasks,
+        n_processors=args.n_processors,
+        redraw_every=args.redraw_every,
+        seed=args.seed,
+    )
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -246,6 +360,47 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import Dispatcher, generate_trace, trace_arrival_stats
+
+    config = _serve_config(args)
+    geometry, requests = generate_trace(config)
+    stats = trace_arrival_stats(requests)
+    print(
+        f"trace: {stats['n']} requests over {config.duration_s:g}s "
+        f"({config.sampler}, mean gap {stats['gap_mean_s'] * 1e3:.2f}ms, "
+        f"gap CV {stats['gap_cv']:.2f})"
+    )
+    with Dispatcher(geometry, config) as dispatcher:
+        report = dispatcher.run(requests)
+    print(report.table())
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import Dispatcher, generate_trace
+
+    config = _serve_config(args)
+    geometry, requests = generate_trace(config)
+    with Dispatcher(geometry, config) as dispatcher:
+        if not args.no_prime:
+            # One untimed replay fills the allocation cache, so the paced
+            # run below measures warm steady-state serving capacity.
+            dispatcher.replay(requests)
+        report = dispatcher.run(requests)
+    summary = report.summary
+    print(report.table())
+    print(
+        f"sustained {summary['throughput_rps']:.0f} req/s "
+        f"(offered {config.arrival_rate_hz:g}/s, "
+        f"{summary['rejected']} rejected, "
+        f"p50 {summary['latency_p50_s'] * 1e3:.2f}ms / "
+        f"p95 {summary['latency_p95_s'] * 1e3:.2f}ms / "
+        f"p99 {summary['latency_p99_s'] * 1e3:.2f}ms)"
+    )
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportConfig, generate_report
 
@@ -349,6 +504,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_arguments(bench)
     bench.set_defaults(handler=_command_bench)
+
+    # NOTE: argparse parents share action objects between parsers, so each
+    # subcommand gets its own parent instance — loadgen's different
+    # arrival-rate default must not leak into serve's help/default.
+    serve = commands.add_parser(
+        "serve",
+        help="run the allocation service against generated open-loop traffic",
+        parents=[_serve_parent_parser()],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    _add_telemetry_arguments(serve)
+    serve.set_defaults(handler=_command_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive sustained load through the dispatcher and report KPIs",
+        parents=[_serve_parent_parser()],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    loadgen.add_argument(
+        "--no-prime",
+        action="store_true",
+        help="skip the untimed cache-priming replay (measure cold serving)",
+    )
+    # Loadgen exists to demonstrate sustained serving capacity; default to
+    # a rate that exercises the warm-cache path hard.
+    loadgen.set_defaults(arrival_rate_hz=2000.0, handler=_command_loadgen)
+    _add_telemetry_arguments(loadgen)
 
     telemetry = commands.add_parser(
         "telemetry-report", help="render saved metrics/trace files as tables"

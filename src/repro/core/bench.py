@@ -2,13 +2,18 @@
 
 Times the pipeline's hot paths — building-dataset generation, the full
 :class:`~repro.core.dcta_system.DCTASystem` build, per-cluster CRL
-training at ``jobs=1`` vs ``jobs=N``, and cold- vs warm-cache planning —
-and writes the results to ``BENCH_perf.json`` at the repo root so the
-performance trajectory is tracked commit over commit.
+training at ``jobs=1`` vs ``jobs=N``, cold- vs warm-cache planning, and
+the allocation-serving data plane (``serve_*``) — and writes the results
+to ``BENCH_perf.json`` at the repo root so the performance trajectory is
+tracked commit over commit.
 
 Schema (one entry per bench)::
 
     {"<bench_name>": {"mean_s": float, "std_s": float, "rounds": int, "commit": str}}
+
+Serve benches append informational KPI extras (``throughput_rps``,
+``latency_p95_ms``, ``rejected``, ...) to their entries; the regression
+gate ignores them.
 
 :func:`write_bench_json` merges into an existing file, so partial runs
 (e.g. the pytest ``benchmarks/perf/`` suite, which reuses this writer)
@@ -72,14 +77,23 @@ def record(
     *,
     std_s: float = 0.0,
     commit: str | None = None,
+    extra: dict | None = None,
 ) -> None:
-    """Append one bench entry in the ``BENCH_perf.json`` schema."""
-    results[name] = {
+    """Append one bench entry in the ``BENCH_perf.json`` schema.
+
+    ``extra`` merges additional keys (serving KPIs: ``throughput_rps``,
+    ``latency_p95_ms``, ``rejected``, ...) into the entry; the regression
+    gate only reads ``mean_s``/``std_s``, so extras are informational.
+    """
+    entry = {
         "mean_s": float(mean_s),
         "std_s": float(std_s),
         "rounds": int(rounds),
         "commit": commit if commit is not None else bench_commit(),
     }
+    if extra:
+        entry.update(extra)
+    results[name] = entry
 
 
 def write_bench_json(results: dict, path=DEFAULT_BENCH_PATH) -> None:
@@ -281,6 +295,7 @@ def run_bench(
             _bench_importance(results, rounds, commit, quick, jobs, notes)
             _bench_edgesim(results, rounds, commit, quick)
             _bench_plan_cache(results, rounds, commit, quick, notes, registry)
+            _bench_serve(results, rounds, commit, quick, jobs, notes)
     finally:
         shutdown_worker_pool()
     if out is not None:
@@ -595,4 +610,147 @@ def _bench_plan_cache(results, rounds, commit, quick, notes, registry) -> None:
         raise AssertionError("cached allocations diverged from uncached run")
     notes.append(
         f"cached-plan solver-invocation reduction: {reduction:.1f}x fewer rollouts"
+    )
+
+
+def _serve_extras(summary: dict) -> dict:
+    """KPI extras merged into a serve bench entry (ms for readability)."""
+    return {
+        "throughput_rps": round(float(summary.get("throughput_rps", 0.0)), 1),
+        "latency_p50_ms": round(float(summary.get("latency_p50_s", 0.0)) * 1e3, 4),
+        "latency_p95_ms": round(float(summary.get("latency_p95_s", 0.0)) * 1e3, 4),
+        "latency_p99_ms": round(float(summary.get("latency_p99_s", 0.0)) * 1e3, 4),
+        "requests": int(summary.get("requests", 0)),
+        "rejected": int(summary.get("rejected", 0)),
+        "max_queue_depth": int(summary.get("max_queue_depth", 0)),
+    }
+
+
+def _bench_serve(results, rounds, commit, quick, jobs, notes) -> None:
+    """Allocation-as-a-service benches: replay capacity, paced load, shedding.
+
+    - ``serve_replay_cold`` / ``serve_replay_warm`` — unpaced trace drains
+      (fresh vs primed :class:`~repro.tatim.cache.AllocationCache`); their
+      ``mean_s`` is the gated service-capacity number, with throughput and
+      latency percentiles recorded as informational extras.
+    - ``serve_sustained_load_warm`` — wall-clock paced open-loop run at the
+      offered rate; ``mean_s`` pins to the trace duration by construction,
+      so the KPIs in the extras (p50/p95/p99, throughput, rejections) are
+      the payload.
+    - ``serve_saturation_shed`` — a deliberately slow solver against a tiny
+      bounded queue; validates shed-don't-drown (nonzero rejections, queue
+      depth capped) under overload.
+
+    A ``jobs=1`` vs ``jobs=N`` replay identity check guards the
+    dispatcher's determinism contract before anything is recorded.
+    """
+    import dataclasses
+    import time as _time
+
+    from repro.serve import Dispatcher, ServeConfig, generate_trace
+    from repro.serve import dispatcher as dispatcher_module
+
+    config = ServeConfig(
+        arrival_rate_hz=2000.0,
+        duration_s=1.0 if quick else 3.0,
+        queue_depth=512,
+        batch_max=64,
+        jobs=jobs,
+        seed=0,
+    )
+    geometry, requests = generate_trace(config)
+
+    if jobs > 1:
+        with Dispatcher(geometry, config) as parallel_dispatcher:
+            parallel_ids = parallel_dispatcher.replay(requests).identities()
+        with Dispatcher(geometry, dataclasses.replace(config, jobs=1)) as serial_dispatcher:
+            serial_ids = serial_dispatcher.replay(requests).identities()
+        if parallel_ids != serial_ids:
+            raise AssertionError("dispatcher at jobs=N diverged from jobs=1")
+        notes.append(
+            f"dispatcher determinism: jobs=1 == jobs={jobs} over "
+            f"{len(requests)} requests"
+        )
+
+    def replay_cold():
+        with Dispatcher(geometry, config) as dispatcher:
+            return dispatcher.replay(requests)
+
+    mean_s, std_s, report = _timed(replay_cold, rounds)
+    record(
+        results, "serve_replay_cold", mean_s, rounds, std_s=std_s, commit=commit,
+        extra=_serve_extras(report.summary),
+    )
+
+    with Dispatcher(geometry, config) as dispatcher:
+        dispatcher.replay(requests)  # prime the cache, untimed
+        mean_s, std_s, report = _timed(lambda: dispatcher.replay(requests), rounds)
+        record(
+            results, "serve_replay_warm", mean_s, rounds, std_s=std_s, commit=commit,
+            extra=_serve_extras(report.summary),
+        )
+        mean_s, std_s, report = _timed(lambda: dispatcher.run(requests), rounds)
+        record(
+            results,
+            "serve_sustained_load_warm",
+            mean_s,
+            rounds,
+            std_s=std_s,
+            commit=commit,
+            extra=_serve_extras(report.summary),
+        )
+        notes.append(
+            f"sustained load: {report.throughput_rps:.0f} req/s served at "
+            f"{config.arrival_rate_hz:.0f}/s offered, "
+            f"p99 {report.summary.get('latency_p99_s', 0.0) * 1e3:.2f} ms, "
+            f"{report.rejected} rejected"
+        )
+
+    # Saturation: a solver slow enough that the offered rate is far beyond
+    # capacity, a queue too small to absorb it, and no cache to hide behind.
+    # jobs=1 keeps the registered solver visible (the registry is extended
+    # in this process only; persistent workers have their own copy).
+    slow_s = 0.005
+
+    def bench_slow_solver(problem):
+        _time.sleep(slow_s)
+        return dispatcher_module.SOLVERS["density_greedy"](problem)
+
+    saturation_config = ServeConfig(
+        arrival_rate_hz=2000.0,
+        duration_s=0.5 if quick else 1.0,
+        queue_depth=16,
+        batch_max=8,
+        jobs=1,
+        solver="bench_slow",
+        cache=False,
+        drift_sigma=1e-6,
+        seed=1,
+    )
+    dispatcher_module.SOLVERS["bench_slow"] = bench_slow_solver
+    try:
+        sat_geometry, sat_requests = generate_trace(saturation_config)
+        with Dispatcher(sat_geometry, saturation_config) as dispatcher:
+            mean_s, std_s, report = _timed(lambda: dispatcher.run(sat_requests), rounds)
+    finally:
+        del dispatcher_module.SOLVERS["bench_slow"]
+    if report.rejected == 0:
+        raise AssertionError("saturation bench shed nothing; overload not reached")
+    max_depth = int(report.summary.get("max_queue_depth", 0))
+    if max_depth > saturation_config.queue_depth:
+        raise AssertionError(
+            f"queue depth {max_depth} exceeded bound {saturation_config.queue_depth}"
+        )
+    record(
+        results,
+        "serve_saturation_shed",
+        mean_s,
+        rounds,
+        std_s=std_s,
+        commit=commit,
+        extra=_serve_extras(report.summary),
+    )
+    notes.append(
+        f"saturation: {report.rejected}/{len(sat_requests)} shed, "
+        f"max queue depth {max_depth} (bound {saturation_config.queue_depth})"
     )

@@ -1,0 +1,387 @@
+"""The allocation-as-a-service ingest loop.
+
+:class:`Dispatcher` turns the one-shot allocation pipeline into a
+long-running service: requests arrive on an open-loop schedule, wait in
+a **bounded queue**, and are drained in batches that load-balance across
+the persistent :class:`~repro.parallel.pool.WorkerPool`. The heavy
+lifting reuses the existing data plane:
+
+- the :class:`~repro.tatim.cache.AllocationCache` memoizes solves keyed
+  on ``(scope, geometry signature, quantized importance signature)`` —
+  in the drift regime of Obs. 3 consecutive requests quantize equal, so
+  a warm dispatcher answers in microseconds without touching a solver;
+- the fixed task/processor geometry is published **once** through the
+  :class:`~repro.parallel.shm.SharedArrayStore`, so worker payloads
+  carry a tiny :class:`~repro.parallel.shm.SharedBlobRef` plus one
+  importance vector instead of re-pickling the instance per request;
+- cache-miss batches fan out through
+  :class:`~repro.parallel.trainer.ParallelTrainer` (deduplicated by
+  cache key first), which returns results in submission order — with
+  deterministic solvers this makes dispatcher output a pure function of
+  the request trace: ``jobs=1`` and ``jobs=N`` produce identical
+  responses (:meth:`AllocationResponse.identity`).
+
+**Admission control / backpressure.** The ingest queue is bounded by
+``ServeConfig.queue_depth``; when an arrival finds it full, the request
+is shed immediately with a 429-style ``rejected`` response and counted
+in ``repro_serve_rejections_total{reason="queue_full"}``. Under
+sustained overload the queue depth and per-request latency therefore
+stay bounded while the rejection counter grows — shed, don't drown.
+
+Two drain modes:
+
+- :meth:`Dispatcher.replay` — serve a trace as fast as possible, no
+  pacing, nothing shed. This is the deterministic mode benches and the
+  ``jobs=1 == jobs=N`` check use.
+- :meth:`Dispatcher.run` — honor arrival times against the wall clock
+  (open-loop), applying admission control. This is what ``repro serve``
+  / ``repro loadgen`` and the saturation bench exercise.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parallel.shm import SharedBlobRef, get_shared_store, resolve_shared
+from repro.parallel.trainer import ParallelTrainer
+from repro.serve.kpis import KPITracker, kpi_table
+from repro.serve.schemas import AllocationRequest, AllocationResponse, ServeConfig
+from repro.tatim.cache import AllocationCache, array_signature
+from repro.tatim.exact import branch_and_bound
+from repro.tatim.greedy import best_fit_greedy, density_greedy, importance_greedy
+from repro.tatim.problem import TATIMProblem
+from repro.telemetry import span
+
+#: Solver names a request may carry → callables. All are deterministic,
+#: which is what the dispatcher's determinism contract rests on.
+SOLVERS: dict[str, Callable] = {
+    "density_greedy": density_greedy,
+    "importance_greedy": importance_greedy,
+    "best_fit_greedy": best_fit_greedy,
+    "branch_and_bound": branch_and_bound,
+}
+
+#: Spin instead of sleeping when the next arrival is closer than this —
+#: ``time.sleep`` granularity would otherwise dominate sub-millisecond
+#: inter-arrival gaps.
+_SPIN_THRESHOLD_S = 0.0005
+
+
+def _solve_payload(payload: tuple) -> dict[int, int]:
+    """Worker body: solve one (geometry, importance, solver) instance.
+
+    ``geometry`` may be the problem itself or a :class:`SharedBlobRef`
+    to the zero-copy published copy. Returns the plain ``{task:
+    processor}`` assignment — small, picklable, and enough for the
+    parent to rebuild the response (the objective is recomputed from the
+    request's own importance).
+    """
+    geometry, importance, solver_name = payload
+    geometry = resolve_shared(geometry)
+    problem = geometry.scaled(importance=np.asarray(importance, dtype=float))
+    allocation = SOLVERS[solver_name](problem)
+    return allocation.as_assignment()
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one dispatcher drain: responses + KPI summary."""
+
+    config: ServeConfig
+    responses: list[AllocationResponse]
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return float(self.summary.get("throughput_rps", 0.0))
+
+    @property
+    def rejected(self) -> int:
+        return int(self.summary.get("rejected", 0))
+
+    def identities(self) -> list[tuple]:
+        """Timing-free response identities, in request-id order.
+
+        Identical across ``jobs`` settings for the same trace — the
+        determinism contract's comparison key.
+        """
+        return [r.identity() for r in sorted(self.responses, key=lambda r: r.request_id)]
+
+    def table(self) -> str:
+        return kpi_table(self.summary)
+
+
+class Dispatcher:
+    """Load-balancing allocation service over a fixed TATIM geometry.
+
+    Parameters
+    ----------
+    geometry:
+        The recurring workload's task/processor instance; requests only
+        supply the importance vector (its length must match).
+    config:
+        Queueing, traffic, and solver wiring (see :class:`ServeConfig`).
+        ``config.solver`` must name an entry in the module-level
+        :data:`SOLVERS` registry (extend it to add solvers — e.g. the
+        saturation tests register a deliberately slow one).
+    """
+
+    def __init__(
+        self,
+        geometry: TATIMProblem,
+        config: ServeConfig | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.config = config if config is not None else ServeConfig()
+        self.cache: AllocationCache | None = (
+            AllocationCache() if self.config.cache else None
+        )
+        if self.config.solver not in SOLVERS:
+            raise ConfigurationError(
+                f"unknown solver {self.config.solver!r}; known: {sorted(SOLVERS)}"
+            )
+        #: Geometry digest baked into every cache key, so two dispatchers
+        #: with different geometries can never alias entries.
+        self._geometry_sig = (
+            self.cache.problem_signature(geometry) if self.cache is not None else None
+        )
+        self._shared_key: str | None = None
+        self._shared_ref: SharedBlobRef | None = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the published geometry block (idempotent)."""
+        if self._shared_key is not None:
+            get_shared_store().release(self._shared_key)
+            self._shared_key = None
+            self._shared_ref = None
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _geometry_handle(self):
+        """The geometry as workers should receive it (shared when fanning out)."""
+        if self.config.jobs <= 1:
+            return self.geometry
+        if self._shared_ref is None:
+            self._shared_key = f"serve:geometry:{id(self)}"
+            self._shared_ref = get_shared_store().share(self._shared_key, self.geometry)
+        return self._shared_ref
+
+    def _cache_key(self, request: AllocationRequest) -> tuple | None:
+        if self.cache is None:
+            return None
+        scope = f"serve/{request.solver}"
+        if request.environment is not None:
+            scope = f"{scope}/{request.environment}"
+        return (
+            scope,
+            self._geometry_sig,
+            array_signature(request.importance, decimals=self.cache.decimals),
+        )
+
+    # ------------------------------------------------------------------
+    def _serve_batch(
+        self, batch: Sequence[AllocationRequest]
+    ) -> list[tuple[dict[int, int], bool]]:
+        """Answer a batch: cache hits in-process, misses fanned out.
+
+        Misses are deduplicated by cache key before dispatch (the drift
+        regime makes whole batches quantize equal), solved through
+        :class:`ParallelTrainer` in submission order, then inserted into
+        the cache. The hit/miss partition and the per-key solve are both
+        independent of ``jobs``, so results are too.
+        """
+        answers: list[tuple[dict[int, int], bool] | None] = [None] * len(batch)
+        misses: "OrderedDict[object, list[int]]" = OrderedDict()
+        keys: list[tuple | None] = []
+        for index, request in enumerate(batch):
+            key = self._cache_key(request)
+            keys.append(key)
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    answers[index] = (cached, True)
+                    continue
+            # Dedup key: the cache key when caching, else the raw bytes of
+            # the (solver, importance) pair — identical requests solve once.
+            dedup = key if key is not None else (
+                request.solver,
+                request.importance.tobytes(),
+            )
+            misses.setdefault(dedup, []).append(index)
+        if misses:
+            geometry = self._geometry_handle()
+            payloads = [
+                (geometry, batch[indices[0]].importance, batch[indices[0]].solver)
+                for indices in misses.values()
+            ]
+            trainer = ParallelTrainer(
+                _solve_payload, jobs=self.config.jobs, label="serve"
+            )
+            results = trainer.map(payloads)
+            for indices, assignment in zip(misses.values(), results):
+                for index in indices:
+                    answers[index] = (assignment, False)
+                if keys[indices[0]] is not None:
+                    self.cache.put(keys[indices[0]], assignment)
+        return answers  # type: ignore[return-value]
+
+    def _respond(
+        self,
+        request: AllocationRequest,
+        assignment: dict[int, int],
+        cache_hit: bool,
+        *,
+        queue_delay_s: float,
+        service_s: float,
+        latency_s: float,
+    ) -> AllocationResponse:
+        tasks = list(assignment)
+        objective = float(request.importance[tasks].sum()) if tasks else 0.0
+        return AllocationResponse(
+            request_id=request.request_id,
+            status="ok",
+            assignment=assignment,
+            objective=objective,
+            solver=request.solver,
+            cache_hit=cache_hit,
+            queue_delay_s=max(queue_delay_s, 0.0),
+            service_s=max(service_s, 0.0),
+            latency_s=max(latency_s, 0.0),
+        )
+
+    def serve(self, request: AllocationRequest) -> AllocationResponse:
+        """Answer one request synchronously (no queueing)."""
+        started = time.perf_counter()
+        ((assignment, cache_hit),) = self._serve_batch([request])
+        elapsed = time.perf_counter() - started
+        return self._respond(
+            request,
+            assignment,
+            cache_hit,
+            queue_delay_s=0.0,
+            service_s=elapsed,
+            latency_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def replay(self, requests: Sequence[AllocationRequest]) -> ServeReport:
+        """Drain a trace as fast as possible — deterministic, nothing shed.
+
+        Latency here is pure service time (no pacing, so queue delay is
+        meaningless); throughput is the service capacity of the current
+        cache state, which is what the ``serve_sustained_load`` benches
+        measure.
+        """
+        kpis = KPITracker()
+        responses: list[AllocationResponse] = []
+        batch_max = self.config.batch_max
+        started = time.perf_counter()
+        with span("serve.replay", requests=len(requests)):
+            for offset in range(0, len(requests), batch_max):
+                batch = list(requests[offset : offset + batch_max])
+                batch_started = time.perf_counter()
+                answers = self._serve_batch(batch)
+                per_request_s = (time.perf_counter() - batch_started) / len(batch)
+                for request, (assignment, cache_hit) in zip(batch, answers):
+                    response = self._respond(
+                        request,
+                        assignment,
+                        cache_hit,
+                        queue_delay_s=0.0,
+                        service_s=per_request_s,
+                        latency_s=per_request_s,
+                    )
+                    responses.append(response)
+                    kpis.record_ok(
+                        latency_s=response.latency_s,
+                        queue_delay_s=0.0,
+                        service_s=response.service_s,
+                        cache_hit=cache_hit,
+                    )
+        elapsed = time.perf_counter() - started
+        kpis.finish(elapsed)
+        return ServeReport(
+            config=self.config, responses=responses, summary=kpis.summary(elapsed)
+        )
+
+    def run(self, requests: Sequence[AllocationRequest]) -> ServeReport:
+        """Open-loop paced drain with admission control.
+
+        Arrival offsets are honored against the wall clock; an arrival
+        that finds the queue at ``queue_depth`` is shed immediately with
+        a ``rejected`` response. Per-request latency is measured from the
+        *scheduled* arrival (open-loop convention: a slow server cannot
+        slow the offered load down, so falling behind shows up as queue
+        delay, not as a stretched schedule).
+        """
+        kpis = KPITracker()
+        responses: list[AllocationResponse] = []
+        pending: deque[AllocationRequest] = deque()
+        queue_depth = self.config.queue_depth
+        batch_max = self.config.batch_max
+        next_index = 0
+        n = len(requests)
+        started = time.perf_counter()
+        with span("serve.run", requests=n):
+            while next_index < n or pending:
+                now = time.perf_counter() - started
+                while next_index < n and requests[next_index].arrival_s <= now:
+                    request = requests[next_index]
+                    next_index += 1
+                    if len(pending) >= queue_depth:
+                        kpis.record_rejected(reason="queue_full")
+                        responses.append(
+                            AllocationResponse(
+                                request_id=request.request_id,
+                                status="rejected",
+                                solver=request.solver,
+                            )
+                        )
+                        continue
+                    pending.append(request)
+                kpis.observe_queue_depth(len(pending))
+                if not pending:
+                    if next_index < n:
+                        gap = requests[next_index].arrival_s - (
+                            time.perf_counter() - started
+                        )
+                        if gap > _SPIN_THRESHOLD_S:
+                            time.sleep(min(gap, 0.002))
+                    continue
+                batch = [pending.popleft() for _ in range(min(batch_max, len(pending)))]
+                batch_started = time.perf_counter() - started
+                answers = self._serve_batch(batch)
+                batch_finished = time.perf_counter() - started
+                service_s = (batch_finished - batch_started) / len(batch)
+                for request, (assignment, cache_hit) in zip(batch, answers):
+                    response = self._respond(
+                        request,
+                        assignment,
+                        cache_hit,
+                        queue_delay_s=batch_started - request.arrival_s,
+                        service_s=service_s,
+                        latency_s=batch_finished - request.arrival_s,
+                    )
+                    responses.append(response)
+                    kpis.record_ok(
+                        latency_s=response.latency_s,
+                        queue_delay_s=response.queue_delay_s,
+                        service_s=response.service_s,
+                        cache_hit=cache_hit,
+                    )
+        elapsed = time.perf_counter() - started
+        kpis.finish(elapsed)
+        return ServeReport(
+            config=self.config, responses=responses, summary=kpis.summary(elapsed)
+        )

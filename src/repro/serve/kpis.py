@@ -1,0 +1,206 @@
+"""Per-request KPIs for the serving plane: latency percentiles & throughput.
+
+:class:`KPITracker` is the dispatcher's metrics collector. Every request
+outcome feeds two sinks at once:
+
+- the **ambient telemetry registry** (histograms/counters/gauges under
+  ``repro_serve_*``), so the existing Prometheus/JSON exporters publish
+  the serving KPIs with no extra wiring;
+- an **exact in-memory latency reservoir**, because p95/p99 read off
+  fixed histogram buckets are only as sharp as the bucket edges — the
+  bench gate wants exact order statistics.
+
+Instrument catalog (see ``docs/serving.md``):
+
+- ``repro_serve_requests_total{status=ok|rejected}`` — terminal outcomes;
+- ``repro_serve_rejections_total{reason}`` — admission-control sheds
+  (the 429-style counter; ``reason="queue_full"`` today);
+- ``repro_serve_latency_seconds`` — arrival→response wall latency;
+- ``repro_serve_queue_delay_seconds`` / ``repro_serve_service_seconds``
+  — the queueing vs solving split of that latency;
+- ``repro_serve_cache_hits_total`` — requests answered from the
+  allocation cache without a solve;
+- ``repro_serve_queue_depth`` — ingest queue length (gauge, high-water
+  tracked separately);
+- ``repro_serve_throughput_rps`` — completed requests/sec over the run
+  (gauge, written by :meth:`KPITracker.finish`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry import get_registry
+
+#: Reservoir cap; beyond it new latencies only feed the histograms. At
+#: serving rates this covers multi-minute runs with exact percentiles.
+MAX_SAMPLES = 500_000
+
+#: Sub-millisecond-heavy buckets — a warm cache answers in microseconds,
+#: saturated queues in seconds; the default latency buckets start too high.
+SERVE_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class KPITracker:
+    """Collects per-request KPIs into the registry + an exact reservoir."""
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.rejected = 0
+        self.cache_hits = 0
+        self.max_queue_depth = 0
+        self._latencies: list[float] = []
+        self._queue_delays: list[float] = []
+
+    # ------------------------------------------------------------------
+    def record_ok(
+        self,
+        *,
+        latency_s: float,
+        queue_delay_s: float,
+        service_s: float,
+        cache_hit: bool,
+    ) -> None:
+        """One served request."""
+        registry = get_registry()
+        self.ok += 1
+        if cache_hit:
+            self.cache_hits += 1
+            registry.counter(
+                "repro_serve_cache_hits_total",
+                help="Requests answered from the allocation cache",
+            ).inc()
+        registry.counter(
+            "repro_serve_requests_total",
+            help="Serving-plane requests by terminal status",
+            status="ok",
+        ).inc()
+        registry.histogram(
+            "repro_serve_latency_seconds",
+            buckets=SERVE_LATENCY_BUCKETS,
+            help="Arrival-to-response latency",
+        ).observe(latency_s)
+        registry.histogram(
+            "repro_serve_queue_delay_seconds",
+            buckets=SERVE_LATENCY_BUCKETS,
+            help="Time spent queued before dispatch",
+        ).observe(queue_delay_s)
+        registry.histogram(
+            "repro_serve_service_seconds",
+            buckets=SERVE_LATENCY_BUCKETS,
+            help="Dispatch-to-response service time",
+        ).observe(service_s)
+        if len(self._latencies) < MAX_SAMPLES:
+            self._latencies.append(float(latency_s))
+            self._queue_delays.append(float(queue_delay_s))
+
+    def record_rejected(self, *, reason: str = "queue_full") -> None:
+        """One shed request (admission control)."""
+        registry = get_registry()
+        self.rejected += 1
+        registry.counter(
+            "repro_serve_requests_total",
+            help="Serving-plane requests by terminal status",
+            status="rejected",
+        ).inc()
+        registry.counter(
+            "repro_serve_rejections_total",
+            help="Requests shed by admission control (429-style)",
+            reason=reason,
+        ).inc()
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Current ingest queue length (also tracks the high-water mark)."""
+        depth = int(depth)
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+        get_registry().gauge(
+            "repro_serve_queue_depth", help="Ingest queue length"
+        ).set(depth)
+
+    def finish(self, elapsed_s: float) -> None:
+        """Publish end-of-run gauges (throughput over the drain window)."""
+        get_registry().gauge(
+            "repro_serve_throughput_rps",
+            help="Completed requests per second over the run",
+        ).set(self.throughput_rps(elapsed_s))
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return self.ok + self.rejected
+
+    def throughput_rps(self, elapsed_s: float) -> float:
+        """Served (non-rejected) requests per second of wall time."""
+        return self.ok / elapsed_s if elapsed_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Exact latency order statistic (seconds); 0.0 with no samples."""
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self._latencies), q))
+
+    def summary(self, elapsed_s: float) -> dict:
+        """The KPI dict reports/benches persist (times in seconds)."""
+        latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
+        queue_delays = (
+            np.asarray(self._queue_delays) if self._queue_delays else np.zeros(1)
+        )
+        return {
+            "requests": self.total,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+            "elapsed_s": float(elapsed_s),
+            "throughput_rps": self.throughput_rps(elapsed_s),
+            "latency_p50_s": float(np.percentile(latencies, 50)),
+            "latency_p95_s": float(np.percentile(latencies, 95)),
+            "latency_p99_s": float(np.percentile(latencies, 99)),
+            "latency_mean_s": float(latencies.mean()),
+            "latency_max_s": float(latencies.max()),
+            "queue_delay_p95_s": float(np.percentile(queue_delays, 95)),
+            "max_queue_depth": int(self.max_queue_depth),
+        }
+
+
+def kpi_table(summary: dict) -> str:
+    """Render a KPI summary as the repo's standard two-column table."""
+    from repro.utils.reporting import format_table
+
+    rows = []
+    for key in (
+        "requests",
+        "ok",
+        "rejected",
+        "cache_hits",
+        "elapsed_s",
+        "throughput_rps",
+        "latency_p50_s",
+        "latency_p95_s",
+        "latency_p99_s",
+        "latency_mean_s",
+        "latency_max_s",
+        "queue_delay_p95_s",
+        "max_queue_depth",
+    ):
+        if key in summary:
+            rows.append([key, summary[key]])
+    return format_table(["kpi", "value"], rows, title="serve KPIs")

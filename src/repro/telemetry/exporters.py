@@ -46,10 +46,12 @@ def snapshot(registry: MetricsRegistry | NullRegistry) -> dict:
 
 
 def to_json(registry: MetricsRegistry | NullRegistry, *, indent: int | None = 2) -> str:
+    """The registry snapshot rendered as a JSON document string."""
     return json.dumps(snapshot(registry), indent=indent, sort_keys=False)
 
 
 def write_metrics_json(registry: MetricsRegistry | NullRegistry, path) -> None:
+    """Write the registry's JSON snapshot to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(to_json(registry) + "\n")
 

@@ -1,0 +1,221 @@
+"""Dispatcher contract: determinism, cache accounting, and backpressure."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import Dispatcher, ServeConfig, generate_trace
+from repro.serve import dispatcher as dispatcher_module
+from repro.serve.schemas import AllocationRequest
+from repro.tatim.greedy import density_greedy
+
+
+def small_config(**overrides) -> ServeConfig:
+    defaults = dict(
+        arrival_rate_hz=1000.0,
+        duration_s=0.4,
+        queue_depth=256,
+        batch_max=32,
+        n_tasks=12,
+        n_processors=3,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestServeAndReplay:
+    def test_single_request_matches_direct_solve(self):
+        config = small_config()
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as dispatcher:
+            response = dispatcher.serve(requests[0])
+        direct = density_greedy(
+            geometry.scaled(importance=requests[0].importance)
+        ).as_assignment()
+        assert response.ok
+        assert response.assignment == direct
+        expected = float(requests[0].importance[list(direct)].sum())
+        assert response.objective == pytest.approx(expected)
+
+    def test_replay_serves_everything(self):
+        config = small_config()
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as dispatcher:
+            report = dispatcher.replay(requests)
+        assert len(report.responses) == len(requests)
+        assert all(r.ok for r in report.responses)
+        assert report.rejected == 0
+
+    def test_warm_cache_answers_without_solving(self):
+        """Second replay of the same trace is all cache hits."""
+        config = small_config()
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as dispatcher:
+            dispatcher.replay(requests)
+            report = dispatcher.replay(requests)
+        assert all(r.cache_hit for r in report.responses)
+        assert report.summary["cache_hits"] == len(requests)
+
+    def test_drift_regime_coalesces_in_cache(self, monkeypatch):
+        """Sub-quantization drift → one solver call per regime, not per request."""
+        calls = {"n": 0}
+        real = dispatcher_module.SOLVERS["density_greedy"]
+
+        def counting(problem):
+            calls["n"] += 1
+            return real(problem)
+
+        monkeypatch.setitem(dispatcher_module.SOLVERS, "density_greedy", counting)
+        config = small_config()
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as dispatcher:
+            report = dispatcher.replay(requests)
+        regimes = len(requests) // max(config.redraw_every, 1) + 1
+        # Cache hits + within-batch dedup: one real solve per quantized regime.
+        assert calls["n"] <= regimes
+        # Only requests in a regime's first batch can be non-hits.
+        assert report.summary["cache_hits"] >= len(requests) - regimes * config.batch_max
+
+    def test_cache_disabled_still_correct(self):
+        config = small_config(cache=False, duration_s=0.1)
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as cached_off:
+            off_ids = cached_off.replay(requests).identities()
+        with Dispatcher(geometry, small_config(duration_s=0.1)) as cached_on:
+            on_ids = cached_on.replay(requests).identities()
+        assert off_ids == on_ids
+
+    def test_environment_scopes_cache(self):
+        """Same importance, different environment → separate cache entries."""
+        config = small_config()
+        geometry, requests = generate_trace(config)
+        base = requests[0]
+        other = AllocationRequest(
+            request_id=base.request_id + 1,
+            arrival_s=base.arrival_s,
+            importance=base.importance,
+            solver=base.solver,
+            environment="cluster-9",
+        )
+        with Dispatcher(geometry, config) as dispatcher:
+            dispatcher.serve(base)
+            assert dispatcher.serve(base).cache_hit
+            assert not dispatcher.serve(other).cache_hit
+
+    def test_unknown_solver_rejected_at_construction(self):
+        geometry, _ = generate_trace(small_config(duration_s=0.05))
+        with pytest.raises(ConfigurationError, match="unknown solver"):
+            Dispatcher(geometry, small_config(solver="simulated_annealing"))
+
+
+class TestDeterminism:
+    @pytest.fixture(autouse=True)
+    def _force_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_FORCE_PARALLEL", "1")
+        yield
+        from repro.parallel import shutdown_worker_pool
+
+        shutdown_worker_pool()
+
+    def test_jobs1_equals_jobsN_on_fixed_trace(self):
+        """The acceptance-criteria contract: replay is a pure trace function."""
+        config = small_config(redraw_every=20)  # more regimes → more real solves
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, dataclasses.replace(config, jobs=1)) as serial:
+            serial_ids = serial.replay(requests).identities()
+        with Dispatcher(geometry, dataclasses.replace(config, jobs=3)) as parallel:
+            parallel_ids = parallel.replay(requests).identities()
+        assert serial_ids == parallel_ids
+        assert len(serial_ids) == len(requests)
+
+    def test_parallel_run_shares_geometry_once(self):
+        """jobs>1 publishes the geometry through the shared store and releases it."""
+        from repro.parallel.shm import get_shared_store
+
+        config = small_config(jobs=2, duration_s=0.1)
+        geometry, requests = generate_trace(config)
+        store = get_shared_store()
+        before = len(store)
+        with Dispatcher(geometry, config) as dispatcher:
+            dispatcher.replay(requests)
+            assert len(store) == before + 1
+        assert len(store) == before
+
+
+class TestBackpressure:
+    def test_saturation_sheds_and_bounds_queue(self, monkeypatch):
+        """Overload → nonzero rejections, queue never exceeds its bound."""
+
+        def slow_solver(problem):
+            time.sleep(0.004)
+            return density_greedy(problem)
+
+        monkeypatch.setitem(dispatcher_module.SOLVERS, "slow", slow_solver)
+        config = small_config(
+            arrival_rate_hz=1500.0,
+            duration_s=0.4,
+            queue_depth=8,
+            batch_max=4,
+            solver="slow",
+            cache=False,
+            drift_sigma=1e-6,
+            seed=2,
+        )
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as dispatcher:
+            report = dispatcher.run(requests)
+        summary = report.summary
+        assert report.rejected > 0
+        assert summary["max_queue_depth"] <= config.queue_depth
+        assert summary["ok"] + summary["rejected"] == len(requests)
+        assert len(report.responses) == len(requests)
+        shed = [r for r in report.responses if r.rejected]
+        assert len(shed) == report.rejected
+        assert all(r.assignment == {} for r in shed)
+
+    def test_underload_sheds_nothing(self):
+        """At a sustainable rate the queue absorbs everything."""
+        config = small_config(arrival_rate_hz=500.0, duration_s=0.3)
+        geometry, requests = generate_trace(config)
+        with Dispatcher(geometry, config) as dispatcher:
+            report = dispatcher.run(requests)
+        assert report.rejected == 0
+        assert report.summary["ok"] == len(requests)
+        # Open-loop wall-clock pacing: the drain takes about the trace span.
+        assert report.summary["elapsed_s"] == pytest.approx(
+            requests[-1].arrival_s, abs=0.25
+        )
+
+    def test_rejections_reach_the_registry(self, monkeypatch):
+        from repro.telemetry import MetricsRegistry, use_registry
+
+        def stuck_solver(problem):
+            time.sleep(0.02)
+            return density_greedy(problem)
+
+        monkeypatch.setitem(dispatcher_module.SOLVERS, "stuck", stuck_solver)
+        config = small_config(
+            arrival_rate_hz=2000.0,
+            duration_s=0.2,
+            queue_depth=2,
+            batch_max=1,
+            solver="stuck",
+            cache=False,
+            drift_sigma=1e-6,
+            seed=3,
+        )
+        geometry, requests = generate_trace(config)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with Dispatcher(geometry, config) as dispatcher:
+                report = dispatcher.run(requests)
+        assert report.rejected > 0
+        families = {family.name for family in registry.families()}
+        assert "repro_serve_rejections_total" in families
+        assert "repro_serve_requests_total" in families

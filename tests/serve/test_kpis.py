@@ -1,0 +1,86 @@
+"""KPI tracker: exact percentiles, summary shape, and registry export."""
+
+import numpy as np
+import pytest
+
+from repro.serve.kpis import KPITracker, kpi_table
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.telemetry.exporters import to_prometheus
+
+
+def fill(tracker: KPITracker, latencies, *, rejected: int = 0) -> None:
+    for latency in latencies:
+        tracker.record_ok(
+            latency_s=float(latency),
+            queue_delay_s=float(latency) / 2,
+            service_s=float(latency) / 2,
+            cache_hit=False,
+        )
+    for _ in range(rejected):
+        tracker.record_rejected()
+
+
+class TestPercentiles:
+    def test_exact_order_statistics(self):
+        tracker = KPITracker()
+        fill(tracker, np.arange(1, 101) / 1000.0)  # 1ms..100ms
+        assert tracker.latency_percentile(50) == pytest.approx(0.0505, abs=1e-4)
+        assert tracker.latency_percentile(99) == pytest.approx(0.09901, abs=1e-4)
+        assert tracker.latency_percentile(100) == pytest.approx(0.1)
+
+    def test_empty_tracker_is_zero(self):
+        tracker = KPITracker()
+        assert tracker.latency_percentile(99) == 0.0
+        assert tracker.throughput_rps(1.0) == 0.0
+
+    def test_summary_fields(self):
+        tracker = KPITracker()
+        fill(tracker, [0.001, 0.002, 0.003], rejected=2)
+        tracker.observe_queue_depth(4)
+        tracker.observe_queue_depth(9)
+        tracker.observe_queue_depth(1)
+        summary = tracker.summary(elapsed_s=0.5)
+        assert summary["requests"] == 5
+        assert summary["ok"] == 3
+        assert summary["rejected"] == 2
+        assert summary["throughput_rps"] == pytest.approx(6.0)
+        assert summary["max_queue_depth"] == 9
+        assert summary["latency_max_s"] == pytest.approx(0.003)
+        assert summary["latency_p50_s"] == pytest.approx(0.002)
+
+
+class TestRegistryExport:
+    def test_serve_metrics_reach_prometheus_export(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tracker = KPITracker()
+            fill(tracker, [0.004], rejected=1)
+            tracker.observe_queue_depth(3)
+            tracker.finish(elapsed_s=0.1)
+        text = to_prometheus(registry)
+        for family in (
+            "repro_serve_requests_total",
+            "repro_serve_rejections_total",
+            "repro_serve_latency_seconds",
+            "repro_serve_queue_depth",
+            "repro_serve_throughput_rps",
+        ):
+            assert family in text, family
+        assert 'status="ok"' in text
+        assert 'reason="queue_full"' in text
+
+    def test_null_registry_is_fine(self):
+        """Telemetry off (the default) must not break KPI accounting."""
+        tracker = KPITracker()
+        fill(tracker, [0.001, 0.002], rejected=1)
+        assert tracker.total == 3
+        assert tracker.summary(1.0)["ok"] == 2
+
+
+class TestKpiTable:
+    def test_renders_known_keys_only(self):
+        tracker = KPITracker()
+        fill(tracker, [0.001])
+        table = kpi_table(tracker.summary(1.0))
+        assert "throughput_rps" in table
+        assert "latency_p99_s" in table

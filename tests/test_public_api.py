@@ -16,8 +16,53 @@ PACKAGES = [
     "repro.allocation",
     "repro.edgesim",
     "repro.core",
+    "repro.parallel",
+    "repro.telemetry",
+    "repro.serve",
     "repro.utils",
 ]
+
+#: The consolidated facade's stability surface: removing or renaming any
+#: of these is a breaking change and must bump the major version.
+FACADE_SURFACE = {
+    # building substrate
+    "BuildingOperationConfig",
+    "BuildingOperationDataset",
+    # system / experiment constructors
+    "DCTASystem",
+    "DCTASystemConfig",
+    "OnlineDCTA",
+    "PTExperiment",
+    "ScenarioConfig",
+    "SyntheticScenario",
+    "build_allocators",
+    "make_strategy",
+    # allocation problem + cache
+    "Allocation",
+    "AllocationCache",
+    "TATIMProblem",
+    "random_instance",
+    "use_allocation_cache",
+    # serving plane
+    "AllocationRequest",
+    "AllocationResponse",
+    "Dispatcher",
+    "GaussianPoissonSampler",
+    "PoissonSampler",
+    "ServeConfig",
+    "ServeReport",
+    "generate_trace",
+    "make_sampler",
+    # error hierarchy
+    "ReproError",
+    "ConfigurationError",
+    "NotFittedError",
+    "DataError",
+    "InfeasibleProblemError",
+    "InfeasibleAllocationError",
+    "SimulationError",
+    "TrainingError",
+}
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)
@@ -41,6 +86,39 @@ class TestPublicSurface:
                 if not (obj.__doc__ and obj.__doc__.strip()):
                     undocumented.append(name)
         assert not undocumented, f"{package_name}: undocumented {undocumented}"
+
+
+class TestFacade:
+    """The top-level ``repro`` facade is the one import surface."""
+
+    def test_facade_surface_stable(self):
+        import repro
+
+        exported = set(repro.__all__) - {"__version__"}
+        missing = FACADE_SURFACE - exported
+        assert not missing, f"facade dropped stable names: {sorted(missing)}"
+
+    def test_facade_names_importable_from_repro(self):
+        import repro
+
+        for name in FACADE_SURFACE:
+            assert getattr(repro, name) is not None, name
+
+    def test_core_promoted_access_warns(self):
+        """Promoted constructors still resolve via repro.core, with a warning."""
+        import repro
+        import repro.core
+
+        for name in ("DCTASystem", "PTExperiment", "ScenarioConfig", "OnlineDCTA"):
+            with pytest.warns(DeprecationWarning, match=name):
+                via_core = getattr(repro.core, name)
+            assert via_core is getattr(repro, name), name
+
+    def test_core_unknown_attribute_still_raises(self):
+        import repro.core
+
+        with pytest.raises(AttributeError):
+            repro.core.definitely_not_a_symbol
 
 
 class TestVersioning:
