@@ -64,12 +64,14 @@ from repro.serve import (
     AllocationResponse,
     Dispatcher,
     GaussianPoissonSampler,
+    ObservabilityServer,
     PoissonSampler,
     ServeConfig,
     ServeReport,
     generate_trace,
     make_sampler,
 )
+from repro.telemetry import SLO, SLOEvaluator, TimeSeriesAggregator
 from repro.tatim.cache import AllocationCache, use_allocation_cache
 from repro.tatim.generators import random_instance
 from repro.tatim.problem import TATIMProblem
@@ -106,6 +108,11 @@ __all__ = [
     "ServeReport",
     "generate_trace",
     "make_sampler",
+    # observability plane
+    "ObservabilityServer",
+    "SLO",
+    "SLOEvaluator",
+    "TimeSeriesAggregator",
     # error hierarchy
     "ReproError",
     "ConfigurationError",

@@ -10,6 +10,7 @@ Usage::
     python -m repro bench    [--jobs 4 --full --check --threshold 1.25]
     python -m repro serve    [--arrival-rate 500 --duration-s 2 --queue-depth 512]
     python -m repro loadgen  [--arrival-rate 2000 --duration-s 2 --jobs 4]
+    python -m repro top      [--endpoint http://127.0.0.1:9109 | --file timeseries.jsonl]
 
 Each subcommand prints the corresponding figure's table; `pipeline` runs
 the full building-data DCTA system once; `bench` runs the tracked
@@ -35,6 +36,14 @@ Every experiment subcommand also accepts the telemetry flags::
 
 and ``telemetry-report`` renders saved metrics/trace files back into
 tables and a flame summary.
+
+``serve`` and ``loadgen`` additionally take live-observability flags:
+``--metrics-port`` starts the HTTP sidecar (``/metrics`` ``/healthz``
+``/kpis`` ``/timeseries``), ``--window-s``/``--timeseries-out`` control
+the tumbling-window telemetry ring, and ``--slo`` declares burn-rate
+objectives (``p99_ms=N``, ``rejection_pct=N``) reported after the run
+and on ``/healthz``. ``repro top`` renders the window table from a live
+endpoint or a saved timeseries file. See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -185,6 +194,41 @@ def _serve_parent_parser() -> argparse.ArgumentParser:
         dest="n_processors",
         help="processors in the recurring workload geometry",
     )
+    observability = parent.add_argument_group("observability")
+    observability.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        dest="metrics_port",
+        help="start the HTTP sidecar (/metrics /healthz /kpis /timeseries) "
+        "on this port (0 = ephemeral)",
+    )
+    observability.add_argument(
+        "--window-s",
+        type=float,
+        default=1.0,
+        dest="window_s",
+        help="tumbling telemetry window width (seconds)",
+    )
+    observability.add_argument(
+        "--timeseries-out",
+        metavar="PATH",
+        default=None,
+        dest="timeseries_out",
+        help="write the windowed telemetry ring as JSONL after the run",
+    )
+    observability.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        dest="slo",
+        help="SLO spec, repeatable: p99_ms=N (p99 latency under N ms) or "
+        "rejection_pct=N (under N%% requests shed); bare --slo uses defaults",
+        nargs="?",
+        const="",
+    )
     parent.add_argument("--seed", type=int, default=defaults.seed)
     _add_performance_arguments(parent)
     return parent
@@ -208,6 +252,110 @@ def _serve_config(args: argparse.Namespace):
         redraw_every=args.redraw_every,
         seed=args.seed,
     )
+
+
+def _parse_slo_specs(specs):
+    """Turn ``--slo`` specs into SLO objects (empty/None specs → defaults).
+
+    Grammar: ``p99_ms=N`` (99% of requests faster than N milliseconds)
+    and ``rejection_pct=N`` (fewer than N% of requests shed). Repeated
+    flags merge; a bare ``--slo`` keeps the stock serving objectives.
+    """
+    from repro.errors import ConfigurationError
+    from repro.telemetry import default_serve_slos
+
+    p99_threshold_s = 0.25
+    rejection_objective = 0.99
+    for spec in specs:
+        if not spec:
+            continue
+        key, _, value = spec.partition("=")
+        try:
+            number = float(value)
+        except ValueError:
+            raise ConfigurationError(f"--slo {spec!r}: expected key=number")
+        if key == "p99_ms":
+            if number <= 0:
+                raise ConfigurationError(f"--slo p99_ms must be > 0, got {number:g}")
+            p99_threshold_s = number / 1000.0
+        elif key == "rejection_pct":
+            if not 0.0 < number < 100.0:
+                raise ConfigurationError(
+                    f"--slo rejection_pct must be in (0, 100), got {number:g}"
+                )
+            rejection_objective = 1.0 - number / 100.0
+        else:
+            raise ConfigurationError(
+                f"--slo {spec!r}: unknown key {key!r} (want p99_ms or rejection_pct)"
+            )
+    return default_serve_slos(
+        p99_threshold_s=p99_threshold_s, rejection_objective=rejection_objective
+    )
+
+
+class _ObservabilityStack:
+    """The serve/loadgen live-observability wiring behind the CLI flags.
+
+    Owns the window aggregator, SLO evaluator, live KPI tracker, and
+    (with ``--metrics-port``) the HTTP sidecar. Built only when one of
+    the observability flags is present, so the default serving path pays
+    nothing.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.serve import KPITracker, ObservabilityServer
+        from repro.telemetry import SLOEvaluator, TimeSeriesAggregator
+
+        self.aggregator = TimeSeriesAggregator(window_s=args.window_s)
+        self.evaluator = SLOEvaluator(
+            _parse_slo_specs(args.slo or []), self.aggregator
+        )
+        self.kpis = KPITracker()
+        self.server: ObservabilityServer | None = None
+        self.timeseries_out = args.timeseries_out
+        self.show_slos = args.slo is not None
+        if args.metrics_port is not None:
+            self.server = ObservabilityServer(
+                port=args.metrics_port,
+                aggregator=self.aggregator,
+                evaluator=self.evaluator,
+                kpi_supplier=self.kpis.snapshot_summary,
+            )
+
+    @classmethod
+    def wanted(cls, args: argparse.Namespace) -> bool:
+        """True when any serve observability flag was passed."""
+        return (
+            getattr(args, "metrics_port", None) is not None
+            or getattr(args, "timeseries_out", None) is not None
+            or getattr(args, "slo", None) is not None
+        )
+
+    def start(self) -> None:
+        if self.server is not None:
+            self.server.start()
+            print(f"observability endpoint: {self.server.url}")
+
+    def finish(self) -> list[str]:
+        """Stop the sidecar, flush windows, and render closing output."""
+        from repro.telemetry import slo_table
+
+        if self.server is not None:
+            self.server.stop()
+        self.aggregator.flush()
+        statuses = self.evaluator.publish()
+        lines: list[str] = []
+        if self.timeseries_out is not None:
+            self.aggregator.write_jsonl(self.timeseries_out)
+            lines.append(
+                f"timeseries: {len(self.aggregator)} windows "
+                f"({self.aggregator.dropped} dropped) -> {self.timeseries_out}"
+            )
+        if self.show_slos:
+            lines.append(slo_table(statuses))
+            if any(s.breaching for s in statuses):
+                lines.append("SLO BREACH: error budget burning above threshold")
+        return lines
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -371,9 +519,21 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"({config.sampler}, mean gap {stats['gap_mean_s'] * 1e3:.2f}ms, "
         f"gap CV {stats['gap_cv']:.2f})"
     )
-    with Dispatcher(geometry, config) as dispatcher:
-        report = dispatcher.run(requests)
+    obs = _ObservabilityStack(args) if _ObservabilityStack.wanted(args) else None
+    if obs is not None:
+        obs.start()
+    try:
+        with Dispatcher(geometry, config) as dispatcher:
+            report = dispatcher.run(
+                requests,
+                kpis=obs.kpis if obs is not None else None,
+                aggregator=obs.aggregator if obs is not None else None,
+            )
+    finally:
+        closing = obs.finish() if obs is not None else []
     print(report.table())
+    for line in closing:
+        print(line)
     return 0
 
 
@@ -382,12 +542,22 @@ def _command_loadgen(args: argparse.Namespace) -> int:
 
     config = _serve_config(args)
     geometry, requests = generate_trace(config)
-    with Dispatcher(geometry, config) as dispatcher:
-        if not args.no_prime:
-            # One untimed replay fills the allocation cache, so the paced
-            # run below measures warm steady-state serving capacity.
-            dispatcher.replay(requests)
-        report = dispatcher.run(requests)
+    obs = _ObservabilityStack(args) if _ObservabilityStack.wanted(args) else None
+    if obs is not None:
+        obs.start()
+    try:
+        with Dispatcher(geometry, config) as dispatcher:
+            if not args.no_prime:
+                # One untimed replay fills the allocation cache, so the paced
+                # run below measures warm steady-state serving capacity.
+                dispatcher.replay(requests)
+            report = dispatcher.run(
+                requests,
+                kpis=obs.kpis if obs is not None else None,
+                aggregator=obs.aggregator if obs is not None else None,
+            )
+    finally:
+        closing = obs.finish() if obs is not None else []
     summary = report.summary
     print(report.table())
     print(
@@ -398,6 +568,64 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         f"p95 {summary['latency_p95_s'] * 1e3:.2f}ms / "
         f"p99 {summary['latency_p99_s'] * 1e3:.2f}ms)"
     )
+    for line in closing:
+        print(line)
+    return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.telemetry import (
+        parse_timeseries_jsonl,
+        read_timeseries_jsonl,
+        timeseries_table,
+    )
+
+    if (args.endpoint is None) == (args.file is None):
+        print("top: pass exactly one of --endpoint or --file", file=sys.stderr)
+        return 2
+
+    def render_once() -> None:
+        if args.endpoint is not None:
+            import json as _json
+            import urllib.error
+            import urllib.request
+
+            base = args.endpoint.rstrip("/")
+            with urllib.request.urlopen(
+                f"{base}/timeseries?last={args.last}", timeout=5
+            ) as response:
+                meta, windows = parse_timeseries_jsonl(response.read().decode("utf-8"))
+            try:
+                with urllib.request.urlopen(f"{base}/healthz", timeout=5) as response:
+                    health = _json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:  # 503 while breaching
+                health = _json.loads(exc.read().decode("utf-8"))
+            breaching = ",".join(health.get("breaching", [])) or "-"
+            print(
+                f"health: {health.get('status', '?')} (breaching: {breaching}) "
+                f"windows={meta.get('windows', len(windows))} "
+                f"window_s={meta.get('window_s', '?')}"
+            )
+        else:
+            meta, windows = read_timeseries_jsonl(args.file)
+        print(timeseries_table(windows, last=args.last))
+
+    if args.watch is None:
+        render_once()
+        return 0
+    iteration = 0
+    try:
+        while True:
+            render_once()
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                break
+            _time.sleep(max(args.watch, 0.05))
+            print()
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -533,6 +761,38 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.set_defaults(arrival_rate_hz=2000.0, handler=_command_loadgen)
     _add_telemetry_arguments(loadgen)
 
+    top = commands.add_parser(
+        "top",
+        help="render live telemetry windows from a serve endpoint or timeseries file",
+    )
+    top.add_argument(
+        "--endpoint",
+        metavar="URL",
+        default=None,
+        help="base URL of a running observability sidecar (e.g. http://127.0.0.1:9109)",
+    )
+    top.add_argument(
+        "--file",
+        metavar="PATH",
+        default=None,
+        help="timeseries.jsonl written by --timeseries-out",
+    )
+    top.add_argument("--last", type=int, default=12, help="windows to show")
+    top.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-render every N seconds (endpoint mode; ctrl-c to stop)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop --watch after N renders (0 = until interrupted)",
+    )
+    top.set_defaults(handler=_command_top)
+
     telemetry = commands.add_parser(
         "telemetry-report", help="render saved metrics/trace files as tables"
     )
@@ -552,7 +812,15 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     if log_level is not None:
         configure_logging(log_level)
 
-    collect_metrics = metrics_out is not None or metrics_prom is not None
+    collect_metrics = (
+        metrics_out is not None
+        or metrics_prom is not None
+        # The live observability plane needs a real registry too: the
+        # aggregator snapshots it and the sidecar scrapes it.
+        or getattr(args, "metrics_port", None) is not None
+        or getattr(args, "timeseries_out", None) is not None
+        or getattr(args, "slo", None) is not None
+    )
     registry = MetricsRegistry() if collect_metrics else None
     trace = RunTrace(label=args.command) if trace_out is not None else None
     with contextlib.ExitStack() as stack:

@@ -21,12 +21,18 @@ This package is that serving layer:
   p50/p95/p99 + throughput/rejection KPIs through the telemetry
   registry (``repro_serve_*``), exported by the standard Prometheus/
   JSON exporters.
+- :mod:`repro.serve.http` — the scrape/health boundary: a stdlib HTTP
+  sidecar (:class:`ObservabilityServer`) exposing ``/metrics``,
+  ``/healthz`` (SLO burn-rate verdicts), ``/kpis`` and ``/timeseries``
+  for a live dispatcher.
 
-CLI: ``repro serve`` (paced run with KPI table) and ``repro loadgen``
-(sustained-load measurement). See ``docs/serving.md``.
+CLI: ``repro serve`` (paced run with KPI table), ``repro loadgen``
+(sustained-load measurement), and ``repro top`` (live window table).
+See ``docs/serving.md``.
 """
 
 from repro.serve.dispatcher import SOLVERS, Dispatcher, ServeReport
+from repro.serve.http import ObservabilityServer
 from repro.serve.kpis import KPITracker, kpi_table
 from repro.serve.samplers import (
     GaussianPoissonSampler,
@@ -50,6 +56,7 @@ __all__ = [
     "Dispatcher",
     "GaussianPoissonSampler",
     "KPITracker",
+    "ObservabilityServer",
     "PoissonSampler",
     "ServeConfig",
     "ServeReport",

@@ -40,6 +40,7 @@ Two drain modes:
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
@@ -56,7 +57,7 @@ from repro.tatim.cache import AllocationCache, array_signature
 from repro.tatim.exact import branch_and_bound
 from repro.tatim.greedy import best_fit_greedy, density_greedy, importance_greedy
 from repro.tatim.problem import TATIMProblem
-from repro.telemetry import span
+from repro.telemetry import current_run_trace, span
 
 #: Solver names a request may carry → callables. All are deterministic,
 #: which is what the dispatcher's determinism contract rests on.
@@ -83,10 +84,11 @@ def _solve_payload(payload: tuple) -> dict[int, int]:
     request's own importance).
     """
     geometry, importance, solver_name = payload
-    geometry = resolve_shared(geometry)
-    problem = geometry.scaled(importance=np.asarray(importance, dtype=float))
-    allocation = SOLVERS[solver_name](problem)
-    return allocation.as_assignment()
+    with span("serve.solve", solver=solver_name):
+        geometry = resolve_shared(geometry)
+        problem = geometry.scaled(importance=np.asarray(importance, dtype=float))
+        allocation = SOLVERS[solver_name](problem)
+        return allocation.as_assignment()
 
 
 @dataclass
@@ -130,7 +132,17 @@ class Dispatcher:
         ``config.solver`` must name an entry in the module-level
         :data:`SOLVERS` registry (extend it to add solvers — e.g. the
         saturation tests register a deliberately slow one).
+
+    Every request is minted a ``trace_id`` (unless it already carries
+    one) that is echoed in the response, stamped on the KPI exemplars,
+    and propagated into worker processes so worker-side solve spans
+    re-parent under the originating request's span on telemetry merge —
+    one request, one trace, across processes.
     """
+
+    #: Distinguishes trace ids minted by different dispatcher instances
+    #: living in one process (e.g. test suites).
+    _instances = itertools.count()
 
     def __init__(
         self,
@@ -153,6 +165,8 @@ class Dispatcher:
         )
         self._shared_key: str | None = None
         self._shared_ref: SharedBlobRef | None = None
+        self._trace_prefix = f"d{next(self._instances)}"
+        self._trace_counter = itertools.count()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -189,9 +203,24 @@ class Dispatcher:
             array_signature(request.importance, decimals=self.cache.decimals),
         )
 
+    def _mint_trace_ids(self, batch: Sequence[AllocationRequest]) -> list[str]:
+        """One trace id per request: caller-supplied when present, else minted.
+
+        Minted ids are unique per dispatcher instance and cheap (a
+        counter, no UUID entropy on the hot path).
+        """
+        return [
+            request.trace_id
+            if request.trace_id is not None
+            else f"{self._trace_prefix}-{next(self._trace_counter)}"
+            for request in batch
+        ]
+
     # ------------------------------------------------------------------
     def _serve_batch(
-        self, batch: Sequence[AllocationRequest]
+        self,
+        batch: Sequence[AllocationRequest],
+        trace_ids: Sequence[str] | None = None,
     ) -> list[tuple[dict[int, int], bool]]:
         """Answer a batch: cache hits in-process, misses fanned out.
 
@@ -200,6 +229,11 @@ class Dispatcher:
         :class:`ParallelTrainer` in submission order, then inserted into
         the cache. The hit/miss partition and the per-key solve are both
         independent of ``jobs``, so results are too.
+
+        When a run trace is active, each miss group opens a
+        ``serve.request`` anchor span tagged with the group's trace id;
+        the trainer propagates that id into the worker so the remote
+        solve span re-parents under the anchor on merge.
         """
         answers: list[tuple[dict[int, int], bool] | None] = [None] * len(batch)
         misses: "OrderedDict[object, list[int]]" = OrderedDict()
@@ -225,10 +259,41 @@ class Dispatcher:
                 (geometry, batch[indices[0]].importance, batch[indices[0]].solver)
                 for indices in misses.values()
             ]
+            miss_trace_ids: list[str | None] = [
+                trace_ids[indices[0]] if trace_ids is not None else None
+                for indices in misses.values()
+            ]
+            trace = current_run_trace()
+            anchors: list[int | None] = []
+            if trace is not None:
+                for indices, trace_id in zip(misses.values(), miss_trace_ids):
+                    if trace_id is None:
+                        anchors.append(None)
+                        continue
+                    lead = batch[indices[0]]
+                    mark = trace.now()
+                    anchors.append(
+                        trace.add_span(
+                            "serve.request",
+                            mark,
+                            mark,
+                            attrs={
+                                "trace_id": trace_id,
+                                "request_id": lead.request_id,
+                                "solver": lead.solver,
+                                "coalesced": len(indices),
+                            },
+                            parent=trace.current_index(),
+                        )
+                    )
             trainer = ParallelTrainer(
                 _solve_payload, jobs=self.config.jobs, label="serve"
             )
-            results = trainer.map(payloads)
+            results = trainer.map(payloads, trace_ids=miss_trace_ids)
+            if trace is not None:
+                for anchor in anchors:
+                    if anchor is not None:
+                        trace.touch(anchor)
             for indices, assignment in zip(misses.values(), results):
                 for index in indices:
                     answers[index] = (assignment, False)
@@ -245,6 +310,7 @@ class Dispatcher:
         queue_delay_s: float,
         service_s: float,
         latency_s: float,
+        trace_id: str | None = None,
     ) -> AllocationResponse:
         tasks = list(assignment)
         objective = float(request.importance[tasks].sum()) if tasks else 0.0
@@ -258,12 +324,14 @@ class Dispatcher:
             queue_delay_s=max(queue_delay_s, 0.0),
             service_s=max(service_s, 0.0),
             latency_s=max(latency_s, 0.0),
+            trace_id=trace_id,
         )
 
     def serve(self, request: AllocationRequest) -> AllocationResponse:
         """Answer one request synchronously (no queueing)."""
         started = time.perf_counter()
-        ((assignment, cache_hit),) = self._serve_batch([request])
+        trace_ids = self._mint_trace_ids([request])
+        ((assignment, cache_hit),) = self._serve_batch([request], trace_ids)
         elapsed = time.perf_counter() - started
         return self._respond(
             request,
@@ -272,28 +340,41 @@ class Dispatcher:
             queue_delay_s=0.0,
             service_s=elapsed,
             latency_s=elapsed,
+            trace_id=trace_ids[0],
         )
 
     # ------------------------------------------------------------------
-    def replay(self, requests: Sequence[AllocationRequest]) -> ServeReport:
+    def replay(
+        self,
+        requests: Sequence[AllocationRequest],
+        *,
+        kpis: KPITracker | None = None,
+        aggregator=None,
+    ) -> ServeReport:
         """Drain a trace as fast as possible — deterministic, nothing shed.
 
         Latency here is pure service time (no pacing, so queue delay is
         meaningless); throughput is the service capacity of the current
         cache state, which is what the ``serve_sustained_load`` benches
-        measure.
+        measure. A caller-supplied ``kpis`` tracker lets a live
+        ``/kpis`` endpoint watch the drain; ``aggregator`` (a
+        :class:`~repro.telemetry.TimeSeriesAggregator`) is ticked once
+        per batch so windows close on schedule without per-event cost.
         """
-        kpis = KPITracker()
+        kpis = kpis if kpis is not None else KPITracker()
         responses: list[AllocationResponse] = []
         batch_max = self.config.batch_max
         started = time.perf_counter()
         with span("serve.replay", requests=len(requests)):
             for offset in range(0, len(requests), batch_max):
                 batch = list(requests[offset : offset + batch_max])
+                trace_ids = self._mint_trace_ids(batch)
                 batch_started = time.perf_counter()
-                answers = self._serve_batch(batch)
+                answers = self._serve_batch(batch, trace_ids)
                 per_request_s = (time.perf_counter() - batch_started) / len(batch)
-                for request, (assignment, cache_hit) in zip(batch, answers):
+                for request, (assignment, cache_hit), trace_id in zip(
+                    batch, answers, trace_ids
+                ):
                     response = self._respond(
                         request,
                         assignment,
@@ -301,6 +382,7 @@ class Dispatcher:
                         queue_delay_s=0.0,
                         service_s=per_request_s,
                         latency_s=per_request_s,
+                        trace_id=trace_id,
                     )
                     responses.append(response)
                     kpis.record_ok(
@@ -308,14 +390,23 @@ class Dispatcher:
                         queue_delay_s=0.0,
                         service_s=response.service_s,
                         cache_hit=cache_hit,
+                        trace_id=trace_id,
                     )
+                if aggregator is not None:
+                    aggregator.maybe_tick()
         elapsed = time.perf_counter() - started
         kpis.finish(elapsed)
         return ServeReport(
             config=self.config, responses=responses, summary=kpis.summary(elapsed)
         )
 
-    def run(self, requests: Sequence[AllocationRequest]) -> ServeReport:
+    def run(
+        self,
+        requests: Sequence[AllocationRequest],
+        *,
+        kpis: KPITracker | None = None,
+        aggregator=None,
+    ) -> ServeReport:
         """Open-loop paced drain with admission control.
 
         Arrival offsets are honored against the wall clock; an arrival
@@ -323,9 +414,11 @@ class Dispatcher:
         a ``rejected`` response. Per-request latency is measured from the
         *scheduled* arrival (open-loop convention: a slow server cannot
         slow the offered load down, so falling behind shows up as queue
-        delay, not as a stretched schedule).
+        delay, not as a stretched schedule). ``kpis`` / ``aggregator``
+        follow the same live-observability contract as :meth:`replay`
+        (the aggregator is ticked once per loop iteration).
         """
-        kpis = KPITracker()
+        kpis = kpis if kpis is not None else KPITracker()
         responses: list[AllocationResponse] = []
         pending: deque[AllocationRequest] = deque()
         queue_depth = self.config.queue_depth
@@ -335,6 +428,8 @@ class Dispatcher:
         started = time.perf_counter()
         with span("serve.run", requests=n):
             while next_index < n or pending:
+                if aggregator is not None:
+                    aggregator.maybe_tick()
                 now = time.perf_counter() - started
                 while next_index < n and requests[next_index].arrival_s <= now:
                     request = requests[next_index]
@@ -360,11 +455,14 @@ class Dispatcher:
                             time.sleep(min(gap, 0.002))
                     continue
                 batch = [pending.popleft() for _ in range(min(batch_max, len(pending)))]
+                trace_ids = self._mint_trace_ids(batch)
                 batch_started = time.perf_counter() - started
-                answers = self._serve_batch(batch)
+                answers = self._serve_batch(batch, trace_ids)
                 batch_finished = time.perf_counter() - started
                 service_s = (batch_finished - batch_started) / len(batch)
-                for request, (assignment, cache_hit) in zip(batch, answers):
+                for request, (assignment, cache_hit), trace_id in zip(
+                    batch, answers, trace_ids
+                ):
                     response = self._respond(
                         request,
                         assignment,
@@ -372,6 +470,7 @@ class Dispatcher:
                         queue_delay_s=batch_started - request.arrival_s,
                         service_s=service_s,
                         latency_s=batch_finished - request.arrival_s,
+                        trace_id=trace_id,
                     )
                     responses.append(response)
                     kpis.record_ok(
@@ -379,6 +478,7 @@ class Dispatcher:
                         queue_delay_s=response.queue_delay_s,
                         service_s=response.service_s,
                         cache_hit=cache_hit,
+                        trace_id=trace_id,
                     )
         elapsed = time.perf_counter() - started
         kpis.finish(elapsed)

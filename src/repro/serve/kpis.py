@@ -23,14 +23,22 @@ Instrument catalog (see ``docs/serving.md``):
 - ``repro_serve_queue_depth`` — ingest queue length (gauge, high-water
   tracked separately);
 - ``repro_serve_throughput_rps`` — completed requests/sec over the run
-  (gauge, written by :meth:`KPITracker.finish`).
+  (gauge, written by :meth:`KPITracker.finish`);
+- ``repro_serve_latency_reservoir_saturated`` — 1 once the exact
+  reservoir hits :data:`MAX_SAMPLES`; past that point the reservoir
+  percentiles describe only the **first** ``MAX_SAMPLES`` served
+  requests (the registry histograms keep observing everything, so
+  bucket-resolution percentiles stay run-wide).
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
+
 import numpy as np
 
-from repro.telemetry import get_registry
+from repro.telemetry import get_logger, get_registry, kv
 
 #: Reservoir cap; beyond it new latencies only feed the histograms. At
 #: serving rates this covers multi-minute runs with exact percentiles.
@@ -70,6 +78,11 @@ class KPITracker:
         self.max_queue_depth = 0
         self._latencies: list[float] = []
         self._queue_delays: list[float] = []
+        self._started = time.perf_counter()
+        self._saturated = False
+        self._exemplars: deque[tuple[float, str]] = deque(maxlen=64)
+        self._max_latency_s = 0.0
+        self._max_latency_trace_id: str | None = None
 
     # ------------------------------------------------------------------
     def record_ok(
@@ -79,6 +92,7 @@ class KPITracker:
         queue_delay_s: float,
         service_s: float,
         cache_hit: bool,
+        trace_id: str | None = None,
     ) -> None:
         """One served request."""
         registry = get_registry()
@@ -112,6 +126,25 @@ class KPITracker:
         if len(self._latencies) < MAX_SAMPLES:
             self._latencies.append(float(latency_s))
             self._queue_delays.append(float(queue_delay_s))
+        elif not self._saturated:
+            self._saturated = True
+            registry.gauge(
+                "repro_serve_latency_reservoir_saturated",
+                help="1 once the exact latency reservoir capped; reservoir "
+                "percentiles then cover only the first MAX_SAMPLES requests",
+            ).set(1)
+            get_logger("serve.kpis").warning(
+                kv(
+                    event="latency_reservoir_saturated",
+                    cap=MAX_SAMPLES,
+                    note="exact percentiles now describe a truncated sample",
+                )
+            )
+        if trace_id is not None:
+            self._exemplars.append((float(latency_s), trace_id))
+            if float(latency_s) >= self._max_latency_s:
+                self._max_latency_s = float(latency_s)
+                self._max_latency_trace_id = trace_id
 
     def record_rejected(self, *, reason: str = "queue_full") -> None:
         """One shed request (admission control)."""
@@ -138,10 +171,16 @@ class KPITracker:
 
     def finish(self, elapsed_s: float) -> None:
         """Publish end-of-run gauges (throughput over the drain window)."""
-        get_registry().gauge(
+        registry = get_registry()
+        registry.gauge(
             "repro_serve_throughput_rps",
             help="Completed requests per second over the run",
         ).set(self.throughput_rps(elapsed_s))
+        registry.gauge(
+            "repro_serve_latency_reservoir_saturated",
+            help="1 once the exact latency reservoir capped; reservoir "
+            "percentiles then cover only the first MAX_SAMPLES requests",
+        ).set(int(self._saturated))
 
     # ------------------------------------------------------------------
     @property
@@ -178,7 +217,30 @@ class KPITracker:
             "latency_max_s": float(latencies.max()),
             "queue_delay_p95_s": float(np.percentile(queue_delays, 95)),
             "max_queue_depth": int(self.max_queue_depth),
+            "reservoir_saturated": bool(self._saturated),
+            "latency_max_trace_id": self._max_latency_trace_id,
         }
+
+    def snapshot_summary(self) -> dict:
+        """Mid-run KPI summary for the live ``/kpis`` endpoint.
+
+        Uses wall time since construction as the elapsed window — the
+        run is still in flight, so the final drain-window elapsed is not
+        known yet.
+        """
+        return self.summary(time.perf_counter() - self._started)
+
+    def exemplars(self) -> list[dict]:
+        """Recent ``(latency_s, trace_id)`` exemplars, newest last.
+
+        A bounded ring of the latest served requests that carried a
+        trace id — enough to jump from a latency spike on ``/kpis`` to
+        the matching spans in the run trace.
+        """
+        return [
+            {"latency_s": latency, "trace_id": trace_id}
+            for latency, trace_id in self._exemplars
+        ]
 
 
 def kpi_table(summary: dict) -> str:
@@ -200,7 +262,9 @@ def kpi_table(summary: dict) -> str:
         "latency_max_s",
         "queue_delay_p95_s",
         "max_queue_depth",
+        "reservoir_saturated",
+        "latency_max_trace_id",
     ):
-        if key in summary:
+        if key in summary and summary[key] is not None:
             rows.append([key, summary[key]])
     return format_table(["kpi", "value"], rows, title="serve KPIs")

@@ -85,6 +85,10 @@ class AllocationRequest:
     environment:
         Optional cache-scope hint (e.g. the CRL cluster id); requests in
         different environments never share cache entries.
+    trace_id:
+        Optional caller-supplied trace id. The dispatcher mints one when
+        absent and echoes it in the response; worker-side spans carry it
+        so the whole request reads as one trace across processes.
     """
 
     request_id: int
@@ -92,6 +96,7 @@ class AllocationRequest:
     importance: np.ndarray
     solver: str = "density_greedy"
     environment: str | None = None
+    trace_id: str | None = None
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -115,6 +120,7 @@ class AllocationRequest:
             "importance": [float(v) for v in self.importance],
             "solver": self.solver,
             "environment": self.environment,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -137,7 +143,8 @@ class AllocationResponse:
     admission-control shed (queue saturated) and carries an empty
     assignment. Latency fields are wall-clock measurements and therefore
     *not* part of the deterministic identity — compare responses across
-    runs with :meth:`identity`.
+    runs with :meth:`identity`. ``trace_id`` is likewise an
+    observability-only echo (per-run unique), excluded from identity.
     """
 
     request_id: int
@@ -151,6 +158,7 @@ class AllocationResponse:
     queue_delay_s: float = 0.0
     service_s: float = 0.0
     latency_s: float = 0.0
+    trace_id: str | None = None
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -198,6 +206,7 @@ class AllocationResponse:
             "queue_delay_s": float(self.queue_delay_s),
             "service_s": float(self.service_s),
             "latency_s": float(self.latency_s),
+            "trace_id": self.trace_id,
         }
 
     @classmethod

@@ -10,11 +10,18 @@ only) and zero-cost when off. Three coordinated pieces:
   one. Names follow ``repro_<subsystem>_<name>_<unit>``.
 - **Spans** — :func:`span` context managers nest into a per-run
   :class:`RunTrace` on a monotonic clock; traces serialize to JSONL and
-  render a text flame summary. :func:`record_edgesim_trace` bridges the
+  render a text flame summary. :func:`use_trace_id` stamps spans with a
+  request-scoped trace id so worker-side spans re-parent under the
+  originating request on merge. :func:`record_edgesim_trace` bridges the
   edge DES's reconstructed event timeline into the same sink.
 - **Exporters / logs** — Prometheus text exposition and JSON snapshots
   of the registry, plus a stdlib ``logging`` wrapper with a compact
   key=value formatter for structured run logs.
+- **Time series / SLOs** — :class:`TimeSeriesAggregator` folds registry
+  deltas into a bounded ring of tumbling windows (O(windows) memory for
+  arbitrarily long runs); :class:`SLOEvaluator` grades declarative
+  :class:`SLO` objectives against that ring with multi-window burn
+  rates, feeding ``/healthz`` and the ``repro_slo_*`` gauges.
 
 See ``docs/observability.md`` for the instrument catalog and CLI usage.
 """
@@ -39,9 +46,27 @@ from repro.telemetry.spans import (
     RunTrace,
     SpanRecord,
     current_run_trace,
+    current_trace_id,
     set_run_trace,
+    set_trace_id,
     span,
     use_run_trace,
+    use_trace_id,
+)
+from repro.telemetry.timeseries import (
+    TimeSeriesAggregator,
+    WindowSnapshot,
+    estimate_quantile,
+    parse_timeseries_jsonl,
+    read_timeseries_jsonl,
+    timeseries_table,
+)
+from repro.telemetry.slo import (
+    SLO,
+    SLOEvaluator,
+    SLOStatus,
+    default_serve_slos,
+    slo_table,
 )
 from repro.telemetry.exporters import (
     metrics_table,
@@ -51,7 +76,7 @@ from repro.telemetry.exporters import (
     to_prometheus,
     write_metrics_json,
 )
-from repro.telemetry.bridge import record_edgesim_trace
+from repro.telemetry.bridge import edgesim_timeseries, record_edgesim_trace
 from repro.telemetry.log import (
     KeyValueFormatter,
     configure_logging,
@@ -75,15 +100,30 @@ __all__ = [
     "RunTrace",
     "SpanRecord",
     "current_run_trace",
+    "current_trace_id",
     "set_run_trace",
+    "set_trace_id",
     "span",
     "use_run_trace",
+    "use_trace_id",
+    "TimeSeriesAggregator",
+    "WindowSnapshot",
+    "estimate_quantile",
+    "parse_timeseries_jsonl",
+    "read_timeseries_jsonl",
+    "timeseries_table",
+    "SLO",
+    "SLOEvaluator",
+    "SLOStatus",
+    "default_serve_slos",
+    "slo_table",
     "metrics_table",
     "snapshot",
     "snapshot_table",
     "to_json",
     "to_prometheus",
     "write_metrics_json",
+    "edgesim_timeseries",
     "record_edgesim_trace",
     "KeyValueFormatter",
     "configure_logging",

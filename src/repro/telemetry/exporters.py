@@ -71,11 +71,21 @@ def _value_text(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    text format requires escaping inside quoted label values; order
+    matters (backslash first, or the other escapes double up).
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _label_text(key: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
     return "{" + body + "}"
 
 

@@ -1,0 +1,303 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SLO` states an objective over the serving plane's windowed
+telemetry — "99% of requests complete under 250ms", "99% of requests
+are admitted" — and :class:`SLOEvaluator` grades it against the
+:class:`~repro.telemetry.timeseries.TimeSeriesAggregator` ring using the
+standard **multi-window burn-rate** rule: the error-budget burn rate is
+computed over a short window set (reacts fast) and a long one (filters
+blips), and the SLO is *breaching* only when **both** exceed the burn
+threshold. Burn rate 1.0 means the budget is being spent exactly at the
+sustainable pace; an SLO with a 1% budget seeing 2% bad requests burns
+at 2.0.
+
+Two SLO kinds, both computed from window rows (never raw events, so
+evaluation is O(windows)):
+
+- ``latency`` — a request is *good* when its latency is ≤
+  ``threshold_s``; the good fraction is read off the window's histogram
+  bucket deltas (resolution = the bucket grid).
+- ``error_rate`` — a request is *bad* when its counter row matches
+  ``bad_label`` (default: ``status="rejected"`` admission-control
+  sheds).
+
+:meth:`SLOEvaluator.publish` exports the verdicts as ``repro_slo_*``
+gauges so ``/metrics`` scrapes carry them, and
+:meth:`SLOEvaluator.healthz` shapes the ``/healthz`` payload (HTTP 503
+while any SLO is breaching). See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import MetricsRegistry, NullRegistry, get_registry
+from repro.telemetry.timeseries import TimeSeriesAggregator, WindowSnapshot
+
+#: SLO kinds understood by the evaluator.
+SLO_KINDS = ("latency", "error_rate")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over windowed telemetry.
+
+    Attributes
+    ----------
+    name:
+        Label value on the exported ``repro_slo_*`` gauges.
+    kind:
+        ``"latency"`` (good = faster than ``threshold_s``) or
+        ``"error_rate"`` (bad = counter rows matching ``bad_label``).
+    objective:
+        Target good fraction in (0, 1), e.g. ``0.99``; the error budget
+        is ``1 - objective``.
+    threshold_s:
+        Latency cutoff for ``kind="latency"``.
+    metric:
+        Source family: a histogram for ``latency``, a counter for
+        ``error_rate``.
+    bad_label:
+        ``(label, value)`` marking bad counter rows for ``error_rate``.
+    short_windows / long_windows:
+        Window counts for the fast and slow burn-rate views.
+    burn_threshold:
+        Breach when *both* burn rates exceed this.
+    """
+
+    name: str
+    kind: str
+    objective: float = 0.99
+    threshold_s: float = 0.25
+    metric: str = "repro_serve_latency_seconds"
+    bad_label: tuple[str, str] = ("status", "rejected")
+    short_windows: int = 5
+    long_windows: int = 30
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ConfigurationError(f"SLO kind must be one of {SLO_KINDS}, got {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ConfigurationError(f"objective must be in (0, 1), got {self.objective}")
+        if self.kind == "latency" and self.threshold_s <= 0:
+            raise ConfigurationError(f"threshold_s must be > 0, got {self.threshold_s}")
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ConfigurationError(
+                f"need 1 <= short_windows <= long_windows, got "
+                f"{self.short_windows}/{self.long_windows}"
+            )
+        if self.burn_threshold <= 0:
+            raise ConfigurationError(f"burn_threshold must be > 0, got {self.burn_threshold}")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    # ------------------------------------------------------------------
+    def _window_good_bad(self, window: WindowSnapshot) -> tuple[float, float]:
+        """(good, bad) event counts this SLO sees in one window."""
+        good = bad = 0.0
+        for row in window.rows:
+            if row["name"] != self.metric:
+                continue
+            if self.kind == "latency":
+                if row["kind"] != "histogram":
+                    continue
+                total = float(row["count_delta"])
+                fast = total * _fraction_le(row, self.threshold_s)
+                good += fast
+                bad += total - fast
+            else:
+                if row["kind"] != "counter":
+                    continue
+                label, value = self.bad_label
+                if str(row.get("labels", {}).get(label)) == value:
+                    bad += row["delta"]
+                else:
+                    good += row["delta"]
+        return good, bad
+
+    def burn_rate(self, windows: list[WindowSnapshot]) -> float:
+        """Error-budget burn rate over a window set (0.0 with no traffic)."""
+        good = bad = 0.0
+        for window in windows:
+            window_good, window_bad = self._window_good_bad(window)
+            good += window_good
+            bad += window_bad
+        total = good + bad
+        if total <= 0:
+            return 0.0
+        return (bad / total) / self.error_budget
+
+
+def _fraction_le(row: dict, threshold_s: float) -> float:
+    """Fraction of a histogram row's window observations ≤ threshold.
+
+    Reads the row's cumulative ``le`` delta map with linear
+    interpolation inside the bucket holding the threshold (the inverse
+    of ``histogram_quantile``). Observations past the last edge (the
+    +Inf overflow) only ever count as bad, so the estimate is
+    conservative.
+    """
+    total = float(row.get("count_delta", 0))
+    le = row.get("le")
+    if not le or total <= 0:
+        return 0.0
+    pairs = sorted((float(edge), float(cum)) for edge, cum in le.items())
+    prev_edge, prev_cum = 0.0, 0.0
+    for edge, cum in pairs:
+        if threshold_s < edge:
+            width = edge - prev_edge
+            inside = (threshold_s - prev_edge) / width if width > 0 else 1.0
+            below = prev_cum + (cum - prev_cum) * max(0.0, min(1.0, inside))
+            return below / total
+        prev_edge, prev_cum = edge, cum
+    return prev_cum / total
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One SLO's verdict over the current ring."""
+
+    slo: SLO
+    short_burn_rate: float
+    long_burn_rate: float
+    windows_evaluated: int
+
+    @property
+    def breaching(self) -> bool:
+        """Multi-window rule: page only when fast AND slow views agree."""
+        return (
+            self.short_burn_rate > self.slo.burn_threshold
+            and self.long_burn_rate > self.slo.burn_threshold
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "objective": self.slo.objective,
+            "burn_threshold": self.slo.burn_threshold,
+            "short_burn_rate": round(self.short_burn_rate, 6),
+            "long_burn_rate": round(self.long_burn_rate, 6),
+            "windows_evaluated": self.windows_evaluated,
+            "breaching": self.breaching,
+        }
+
+
+class SLOEvaluator:
+    """Grades a set of SLOs against an aggregator's window ring."""
+
+    def __init__(self, slos: list[SLO], aggregator: TimeSeriesAggregator) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO names: {names}")
+        self.slos = list(slos)
+        self.aggregator = aggregator
+
+    def evaluate(self) -> list[SLOStatus]:
+        windows = list(self.aggregator.windows)
+        statuses = []
+        for slo in self.slos:
+            statuses.append(
+                SLOStatus(
+                    slo=slo,
+                    short_burn_rate=slo.burn_rate(windows[-slo.short_windows :]),
+                    long_burn_rate=slo.burn_rate(windows[-slo.long_windows :]),
+                    windows_evaluated=min(len(windows), slo.long_windows),
+                )
+            )
+        return statuses
+
+    def publish(
+        self, registry: MetricsRegistry | NullRegistry | None = None
+    ) -> list[SLOStatus]:
+        """Evaluate and export ``repro_slo_*`` gauges; returns statuses."""
+        registry = registry if registry is not None else get_registry()
+        statuses = self.evaluate()
+        for status in statuses:
+            name = status.slo.name
+            registry.gauge(
+                "repro_slo_burn_rate",
+                help="Error-budget burn rate (1.0 = budget spent exactly on pace)",
+                slo=name,
+                window="short",
+            ).set(status.short_burn_rate)
+            registry.gauge(
+                "repro_slo_burn_rate",
+                help="Error-budget burn rate (1.0 = budget spent exactly on pace)",
+                slo=name,
+                window="long",
+            ).set(status.long_burn_rate)
+            registry.gauge(
+                "repro_slo_breaching",
+                help="1 while short AND long burn rates exceed the threshold",
+                slo=name,
+            ).set(1.0 if status.breaching else 0.0)
+            registry.gauge(
+                "repro_slo_objective",
+                help="Declared target good fraction",
+                slo=name,
+            ).set(status.slo.objective)
+        return statuses
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` payload: overall status + per-SLO verdicts."""
+        statuses = self.evaluate()
+        breaching = [s for s in statuses if s.breaching]
+        return {
+            "status": "degraded" if breaching else "ok",
+            "breaching": [s.slo.name for s in breaching],
+            "windows": len(self.aggregator.windows),
+            "window_s": self.aggregator.window_s,
+            "slos": [s.to_dict() for s in statuses],
+        }
+
+
+def default_serve_slos(
+    *, p99_threshold_s: float = 0.25, rejection_objective: float = 0.99
+) -> list[SLO]:
+    """The serving plane's stock SLOs: p99 latency + admission rate."""
+    return [
+        SLO(
+            name="latency_p99",
+            kind="latency",
+            objective=0.99,
+            threshold_s=p99_threshold_s,
+            metric="repro_serve_latency_seconds",
+        ),
+        SLO(
+            name="rejection_rate",
+            kind="error_rate",
+            objective=rejection_objective,
+            metric="repro_serve_requests_total",
+            bad_label=("status", "rejected"),
+        ),
+    ]
+
+
+def slo_table(statuses: list[SLOStatus]) -> str:
+    """Render SLO verdicts as the repo's standard table."""
+    from repro.utils.reporting import format_table
+
+    rows = [
+        [
+            s.slo.name,
+            s.slo.kind,
+            f"{s.slo.objective:.4g}",
+            f"{s.short_burn_rate:.3f}",
+            f"{s.long_burn_rate:.3f}",
+            f"{s.slo.burn_threshold:g}",
+            "BREACH" if s.breaching else "ok",
+        ]
+        for s in statuses
+    ]
+    if not rows:
+        return "(no SLOs configured)"
+    return format_table(
+        ["slo", "kind", "objective", "burn(short)", "burn(long)", "threshold", "state"],
+        rows,
+        title="SLO burn rates",
+    )

@@ -77,6 +77,66 @@ class TestRegistryExport:
         assert tracker.summary(1.0)["ok"] == 2
 
 
+class TestReservoirSaturation:
+    def test_saturation_gauge_and_one_time_warning(self, monkeypatch, caplog):
+        import logging
+
+        from repro.serve import kpis as kpis_module
+
+        monkeypatch.setattr(kpis_module, "MAX_SAMPLES", 5)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tracker = KPITracker()
+            with caplog.at_level(logging.WARNING, logger="repro.serve.kpis"):
+                fill(tracker, [0.001] * 8)
+            gauge = registry.gauge("repro_serve_latency_reservoir_saturated")
+            assert gauge.value == 1.0
+            tracker.finish(elapsed_s=0.1)
+            assert gauge.value == 1.0
+        # Only the first overflowing sample logs; the rest stay silent.
+        warnings = [
+            r for r in caplog.records if "latency_reservoir_saturated" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        summary = tracker.summary(1.0)
+        assert summary["reservoir_saturated"] is True
+        # Reservoir percentiles now describe the first MAX_SAMPLES only.
+        assert len(tracker._latencies) == 5
+
+    def test_unsaturated_run_publishes_zero(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tracker = KPITracker()
+            fill(tracker, [0.001, 0.002])
+            tracker.finish(elapsed_s=0.1)
+        assert registry.gauge("repro_serve_latency_reservoir_saturated").value == 0.0
+        assert tracker.summary(1.0)["reservoir_saturated"] is False
+
+
+class TestTraceExemplars:
+    def test_max_latency_exemplar_tracked(self):
+        tracker = KPITracker()
+        tracker.record_ok(
+            latency_s=0.002, queue_delay_s=0.0, service_s=0.002,
+            cache_hit=False, trace_id="fast",
+        )
+        tracker.record_ok(
+            latency_s=0.9, queue_delay_s=0.0, service_s=0.9,
+            cache_hit=False, trace_id="slow",
+        )
+        summary = tracker.summary(1.0)
+        assert summary["latency_max_trace_id"] == "slow"
+        exemplars = tracker.exemplars()
+        assert [e["trace_id"] for e in exemplars] == ["fast", "slow"]
+
+    def test_snapshot_summary_midrun(self):
+        tracker = KPITracker()
+        fill(tracker, [0.001, 0.002])
+        snapshot = tracker.snapshot_summary()
+        assert snapshot["ok"] == 2
+        assert snapshot["elapsed_s"] > 0.0
+
+
 class TestKpiTable:
     def test_renders_known_keys_only(self):
         tracker = KPITracker()
@@ -84,3 +144,10 @@ class TestKpiTable:
         table = kpi_table(tracker.summary(1.0))
         assert "throughput_rps" in table
         assert "latency_p99_s" in table
+
+    def test_none_valued_keys_skipped(self):
+        tracker = KPITracker()
+        fill(tracker, [0.001])  # no trace ids recorded
+        table = kpi_table(tracker.summary(1.0))
+        assert "latency_max_trace_id" not in table
+        assert "reservoir_saturated" in table

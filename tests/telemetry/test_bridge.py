@@ -5,7 +5,13 @@ from repro.edgesim.node import make_node
 from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
 from repro.edgesim.trace import TracingSimulator
 from repro.edgesim.workload import SimTask
-from repro.telemetry import RunTrace, record_edgesim_trace, set_run_trace, use_run_trace
+from repro.telemetry import (
+    RunTrace,
+    edgesim_timeseries,
+    record_edgesim_trace,
+    set_run_trace,
+    use_run_trace,
+)
 
 
 @pytest.fixture
@@ -66,3 +72,52 @@ class TestBridge:
         result, trace = simulator.run(tasks, plan)
         assert result.tasks_executed == 2
         assert trace.events  # the edgesim trace itself is unaffected
+
+
+class TestEdgesimTimeseries:
+    def test_events_bucketed_by_simulated_clock(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        _, trace = simulator.run(tasks, plan)
+        aggregator = edgesim_timeseries(trace, window_s=60.0)
+        assert len(aggregator.windows) >= 1
+        # Windows live on the simulated clock, so the ring covers exactly
+        # the span of the DES trace, not wall time.
+        horizon = max(event.end for event in trace.events)
+        assert aggregator.windows[-1].end_s >= horizon
+        counted = sum(
+            row["delta"]
+            for window in aggregator.windows
+            for row in window.rows
+            if row["name"] == "repro_edgesim_events_total"
+        )
+        assert counted == len(trace.events)
+        kinds = {
+            row["labels"]["kind"]
+            for window in aggregator.windows
+            for row in window.rows
+            if row["name"] == "repro_edgesim_events_total"
+        }
+        assert kinds == {event.kind for event in trace.events}
+
+    def test_event_durations_feed_histogram_rows(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        _, trace = simulator.run(tasks, plan)
+        aggregator = edgesim_timeseries(trace, window_s=60.0)
+        histogram_rows = [
+            row
+            for window in aggregator.windows
+            for row in window.rows
+            if row["name"] == "repro_edgesim_event_seconds"
+        ]
+        assert histogram_rows
+        total = sum(row["count_delta"] for row in histogram_rows)
+        assert total == len(trace.events)
+        observed = sum(row["sum_delta"] for row in histogram_rows)
+        expected = sum(event.end - event.start for event in trace.events)
+        assert observed == pytest.approx(expected, rel=1e-6)
+
+    def test_ring_stays_bounded_for_long_traces(self, traced_epoch):
+        simulator, tasks, plan = traced_epoch
+        _, trace = simulator.run(tasks, plan)
+        aggregator = edgesim_timeseries(trace, window_s=0.0001, max_windows=8)
+        assert len(aggregator.windows) <= 8

@@ -93,6 +93,29 @@ class TestPrometheusText:
     def test_empty_registry_exports_empty(self):
         assert to_prometheus(MetricsRegistry()) == ""
 
+    def test_hostile_label_values_are_escaped(self):
+        """Backslash, quote, and newline must survive exposition parsing."""
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_hostile_total",
+            path='C:\\temp\\"logs"\nline2',
+            plain="benign",
+        ).inc()
+        text = to_prometheus(registry)
+        # Escaping order matters: literal backslashes double first, then
+        # quotes and newlines pick up single escape backslashes.
+        assert 'path="C:\\\\temp\\\\\\"logs\\"\\nline2"' in text
+        assert 'plain="benign"' in text
+        # The exposition itself stays one line per sample.
+        sample_lines = [l for l in text.splitlines() if l.startswith("repro_hostile")]
+        assert len(sample_lines) == 1
+
+    def test_benign_label_values_unchanged(self):
+        """Escaping must not disturb the golden-file output."""
+        text = to_prometheus(build_reference_registry())
+        assert 'solver="density_greedy"' in text
+        assert "\\" not in text
+
 
 class TestTables:
     def test_metrics_table_lists_every_child(self):

@@ -1,0 +1,175 @@
+"""SLO burn-rate evaluation over the window ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    SLO,
+    MetricsRegistry,
+    SLOEvaluator,
+    TimeSeriesAggregator,
+    default_serve_slos,
+    slo_table,
+)
+
+BUCKETS = (0.01, 0.1, 1.0)
+
+
+def build_ring(latencies_per_window, rejected_per_window=None):
+    """An aggregator whose windows saw the given latency batches."""
+    registry = MetricsRegistry()
+    clock = [0.0]
+    agg = TimeSeriesAggregator(registry, window_s=1.0, clock=lambda: clock[0])
+    rejected_per_window = rejected_per_window or [0] * len(latencies_per_window)
+    for step, (latencies, rejected) in enumerate(
+        zip(latencies_per_window, rejected_per_window)
+    ):
+        for latency in latencies:
+            registry.counter("repro_serve_requests_total", status="ok").inc()
+            registry.histogram(
+                "repro_serve_latency_seconds", buckets=BUCKETS
+            ).observe(latency)
+        for _ in range(rejected):
+            registry.counter("repro_serve_requests_total", status="rejected").inc()
+        clock[0] = float(step + 1)
+        agg.maybe_tick()
+    return agg
+
+
+class TestSLOValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", kind="nope")
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", kind="latency", objective=1.5)
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", kind="latency", threshold_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", kind="latency", short_windows=10, long_windows=5)
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", kind="latency", burn_threshold=0.0)
+
+    def test_duplicate_names_rejected(self):
+        agg = build_ring([])
+        slo = SLO(name="same", kind="latency")
+        with pytest.raises(ConfigurationError):
+            SLOEvaluator([slo, slo], agg)
+
+
+class TestBurnRates:
+    def test_healthy_traffic_burns_nothing(self):
+        agg = build_ring([[0.005] * 20] * 6)
+        (status,) = SLOEvaluator(
+            [SLO(name="lat", kind="latency", threshold_s=0.25)], agg
+        ).evaluate()
+        assert status.short_burn_rate == 0.0
+        assert not status.breaching
+
+    def test_all_slow_burns_at_inverse_budget(self):
+        # Every request over threshold: bad fraction 1.0, budget 1% → burn 100.
+        agg = build_ring([[0.5] * 20] * 6)
+        (status,) = SLOEvaluator(
+            [SLO(name="lat", kind="latency", objective=0.99, threshold_s=0.05)], agg
+        ).evaluate()
+        assert status.short_burn_rate == pytest.approx(100.0)
+        assert status.breaching
+
+    def test_latency_threshold_interpolates_within_bucket(self):
+        # All 10 observations in the (0.01, 0.1] bucket; a threshold at the
+        # bucket midpoint counts half of them good.
+        agg = build_ring([[0.05] * 10])
+        (status,) = SLOEvaluator(
+            [
+                SLO(
+                    name="lat",
+                    kind="latency",
+                    objective=0.5,
+                    threshold_s=0.055,
+                    short_windows=1,
+                    long_windows=1,
+                )
+            ],
+            agg,
+        ).evaluate()
+        # good fraction = (0.055-0.01)/(0.1-0.01) = 0.5 → burn = 0.5/0.5 = 1
+        assert status.short_burn_rate == pytest.approx(1.0)
+
+    def test_rejection_slo_counts_bad_label(self):
+        agg = build_ring([[0.001] * 96] * 3, rejected_per_window=[4] * 3)
+        (status,) = SLOEvaluator(
+            [
+                SLO(
+                    name="rej",
+                    kind="error_rate",
+                    objective=0.99,
+                    metric="repro_serve_requests_total",
+                    bad_label=("status", "rejected"),
+                )
+            ],
+            agg,
+        ).evaluate()
+        assert status.short_burn_rate == pytest.approx(4.0)
+        assert status.breaching
+
+    def test_short_blip_does_not_page(self):
+        """The multi-window rule: one bad old window, healthy recent ones."""
+        windows = [[0.5] * 20] + [[0.001] * 20] * 29
+        agg = build_ring(windows)
+        (status,) = SLOEvaluator(
+            [
+                SLO(
+                    name="lat",
+                    kind="latency",
+                    threshold_s=0.05,
+                    short_windows=5,
+                    long_windows=30,
+                )
+            ],
+            agg,
+        ).evaluate()
+        assert status.short_burn_rate == 0.0  # blip fell out of the short view
+        assert status.long_burn_rate > status.slo.burn_threshold
+        assert not status.breaching
+
+    def test_no_traffic_is_healthy(self):
+        agg = build_ring([[]] * 3)
+        statuses = SLOEvaluator(default_serve_slos(), agg).evaluate()
+        assert all(s.short_burn_rate == 0.0 for s in statuses)
+        assert not any(s.breaching for s in statuses)
+
+
+class TestPublishAndHealth:
+    def test_publish_writes_slo_gauges(self):
+        agg = build_ring([[0.5] * 20] * 6)
+        registry = MetricsRegistry()
+        evaluator = SLOEvaluator(
+            [SLO(name="lat", kind="latency", threshold_s=0.05)], agg
+        )
+        evaluator.publish(registry)
+        names = registry.names()
+        assert {
+            "repro_slo_burn_rate",
+            "repro_slo_breaching",
+            "repro_slo_objective",
+        } <= names
+        breaching = registry.gauge("repro_slo_breaching", slo="lat")
+        assert breaching.value == 1.0
+
+    def test_healthz_payload(self):
+        agg = build_ring([[0.5] * 20] * 6)
+        evaluator = SLOEvaluator(
+            [SLO(name="lat", kind="latency", threshold_s=0.05)], agg
+        )
+        payload = evaluator.healthz()
+        assert payload["status"] == "degraded"
+        assert payload["breaching"] == ["lat"]
+        assert payload["slos"][0]["breaching"] is True
+
+    def test_slo_table_renders(self):
+        agg = build_ring([[0.001] * 5] * 2)
+        statuses = SLOEvaluator(default_serve_slos(), agg).evaluate()
+        table = slo_table(statuses)
+        assert "latency_p99" in table and "rejection_rate" in table
+        assert slo_table([]) == "(no SLOs configured)"

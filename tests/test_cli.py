@@ -43,6 +43,43 @@ class TestParser:
         args = build_parser().parse_args(["telemetry-report", "--metrics", "m.json"])
         assert args.metrics == "m.json"
 
+    def test_serve_observability_flags(self):
+        for command in ("serve", "loadgen"):
+            args = build_parser().parse_args(
+                [
+                    command,
+                    "--metrics-port",
+                    "0",
+                    "--window-s",
+                    "0.5",
+                    "--timeseries-out",
+                    "ts.jsonl",
+                    "--slo",
+                    "p99_ms=250",
+                    "--slo",
+                    "rejection_pct=2",
+                ]
+            )
+            assert args.metrics_port == 0
+            assert args.window_s == 0.5
+            assert args.timeseries_out == "ts.jsonl"
+            assert args.slo == ["p99_ms=250", "rejection_pct=2"]
+
+    def test_bare_slo_flag_means_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--slo"])
+        assert args.slo == [""]
+        assert build_parser().parse_args(["loadgen"]).slo is None
+
+    def test_top_registered(self):
+        args = build_parser().parse_args(
+            ["top", "--file", "ts.jsonl", "--last", "6", "--watch", "0.5"]
+        )
+        assert args.file == "ts.jsonl"
+        assert args.endpoint is None
+        assert args.last == 6
+        assert args.watch == 0.5
+        assert args.iterations == 0
+
 
 class TestExecution:
     def test_longtail_runs(self, capsys):
@@ -139,3 +176,79 @@ class TestTelemetryOutputs:
         assert code == 0
         assert not telemetry_enabled()
         assert current_run_trace() is None
+
+
+class TestSloSpecs:
+    def test_empty_specs_yield_defaults(self):
+        from repro.cli import _parse_slo_specs
+
+        slos = _parse_slo_specs([])
+        assert [s.name for s in slos] == ["latency_p99", "rejection_rate"]
+
+    def test_p99_ms_sets_latency_threshold(self):
+        from repro.cli import _parse_slo_specs
+
+        slos = _parse_slo_specs(["p99_ms=100"])
+        latency = next(s for s in slos if s.kind == "latency")
+        assert latency.threshold_s == pytest.approx(0.1)
+
+    def test_rejection_pct_sets_objective(self):
+        from repro.cli import _parse_slo_specs
+
+        slos = _parse_slo_specs(["rejection_pct=2"])
+        rejection = next(s for s in slos if s.kind == "error_rate")
+        assert rejection.objective == pytest.approx(0.98)
+
+    def test_unknown_or_malformed_specs_rejected(self):
+        from repro.cli import _parse_slo_specs
+        from repro.errors import ConfigurationError
+
+        for bad in ("p42_ms=1", "p99_ms", "p99_ms=fast", "rejection_pct=-3"):
+            with pytest.raises(ConfigurationError):
+                _parse_slo_specs([bad])
+
+
+class TestObservabilityCli:
+    """loadgen --timeseries-out/--slo and the top renderer, end to end."""
+
+    def loadgen_args(self, tmp_path):
+        return [
+            "loadgen",
+            "--arrival-rate",
+            "400",
+            "--duration-s",
+            "0.05",
+            "--tasks",
+            "8",
+            "--processors",
+            "2",
+            "--window-s",
+            "0.05",
+            "--timeseries-out",
+            str(tmp_path / "ts.jsonl"),
+            "--slo",
+            "p99_ms=250",
+        ]
+
+    def test_loadgen_writes_timeseries_and_slo_verdicts(self, tmp_path, capsys):
+        code = main(self.loadgen_args(tmp_path))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency_p99" in out  # SLO table rendered after the run
+        lines = [json.loads(l) for l in (tmp_path / "ts.jsonl").read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert lines[0]["windows"] >= 1
+        assert any(l["kind"] == "window" for l in lines[1:])
+
+    def test_top_renders_timeseries_file(self, tmp_path, capsys):
+        main(self.loadgen_args(tmp_path))
+        capsys.readouterr()
+        code = main(["top", "--file", str(tmp_path / "ts.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window" in out
+        assert "serve_requests/s" in out
+
+    def test_top_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["top"]) == 2
+        assert main(["top", "--endpoint", "http://x", "--file", "f"]) == 2
