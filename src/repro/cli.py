@@ -475,6 +475,7 @@ def _command_telemetry_report(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.core.bench import (
+        baseline_warnings,
         bench_table,
         check_regressions,
         load_bench_json,
@@ -489,6 +490,8 @@ def _command_bench(args: argparse.Namespace) -> int:
         if not baseline:
             print(f"bench --check: no usable baseline at {args.baseline}", file=sys.stderr)
             return 2
+        for warning in baseline_warnings(baseline):
+            print(f"bench --check: WARNING: {warning}", file=sys.stderr)
     results, notes = run_bench(
         jobs=args.jobs, quick=not args.full, rounds=args.rounds, out=args.out
     )

@@ -28,7 +28,9 @@ failures, so perf work is gated rather than just tracked.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import platform
 import subprocess
 import time
 from pathlib import Path
@@ -84,12 +86,19 @@ def record(
     ``extra`` merges additional keys (serving KPIs: ``throughput_rps``,
     ``latency_p95_ms``, ``rejected``, ...) into the entry; the regression
     gate only reads ``mean_s``/``std_s``, so extras are informational.
+
+    Every entry is stamped with the interpreter and numpy versions it was
+    measured under: numpy upgrades routinely move kernel-bound means by
+    more than the gate's threshold, so :func:`baseline_warnings` can flag
+    a stale-runtime baseline instead of letting the gate misfire.
     """
     entry = {
         "mean_s": float(mean_s),
         "std_s": float(std_s),
         "rounds": int(rounds),
         "commit": commit if commit is not None else bench_commit(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
     }
     if extra:
         entry.update(extra)
@@ -243,6 +252,48 @@ def check_regressions(
     return failures, table
 
 
+def baseline_warnings(baseline: dict) -> list[str]:
+    """Consistency warnings for a baseline ``BENCH_perf.json``.
+
+    The regression gate assumes every baseline entry describes the same
+    code state and runtime; this audits that assumption without failing
+    the gate:
+
+    - **mixed commits** — entries recorded at different commits compare
+      the current run against several historical code states at once
+      (typical after partial pytest-suite merges); regenerate with one
+      full ``repro bench`` run;
+    - **runtime drift** — entries stamped with a different interpreter or
+      numpy version than the current process (kernel-bound means shift
+      across numpy releases). Entries predating the version stamps are
+      skipped.
+    """
+    warnings: list[str] = []
+    if not baseline:
+        return warnings
+    commits = sorted({entry.get("commit", "unknown") for entry in baseline.values()})
+    if len(commits) > 1:
+        warnings.append(
+            f"baseline mixes entries from {len(commits)} commits "
+            f"({', '.join(commits)}); ratios compare against inconsistent "
+            "code states — regenerate with one full `repro bench` run"
+        )
+    pythons = sorted({e["python"] for e in baseline.values() if "python" in e})
+    current_python = platform.python_version()
+    if pythons and (len(pythons) > 1 or pythons[0] != current_python):
+        warnings.append(
+            f"baseline recorded under python {', '.join(pythons)} but current "
+            f"run is {current_python}; absolute times are not comparable"
+        )
+    numpys = sorted({e["numpy"] for e in baseline.values() if "numpy" in e})
+    if numpys and (len(numpys) > 1 or numpys[0] != np.__version__):
+        warnings.append(
+            f"baseline recorded under numpy {', '.join(numpys)} but current "
+            f"run is {np.__version__}; kernel-bound means may shift"
+        )
+    return warnings
+
+
 def load_bench_json(path=DEFAULT_BENCH_PATH) -> dict:
     """Read a ``BENCH_perf.json`` baseline (empty dict when absent)."""
     path = Path(path)
@@ -291,7 +342,10 @@ def run_bench(
             _bench_dataset(results, rounds, commit, quick)
             _bench_system_build(results, rounds, commit, quick)
             _bench_crl_train(results, rounds, commit, quick, jobs, notes)
+            _bench_stacked_train(results, rounds, commit, quick, notes)
             _bench_dqn(results, rounds, commit, quick)
+            _bench_rollout_batch(results, rounds, commit, quick, notes)
+            _bench_mlp_fit(results, rounds, commit, quick, notes)
             _bench_importance(results, rounds, commit, quick, jobs, notes)
             _bench_edgesim(results, rounds, commit, quick)
             _bench_plan_cache(results, rounds, commit, quick, notes, registry)
@@ -375,6 +429,168 @@ def _bench_crl_train(results, rounds, commit, quick, jobs, notes) -> None:
         record(
             results, "crl_train_4cluster_jobs1", serial_s, rounds, std_s=serial_std, commit=commit
         )
+
+
+def _crl_params_sha(model) -> str:
+    """Digest of every cluster agent's trained state (identity checks)."""
+    digest = hashlib.sha256()
+    for key in sorted(model._cluster_agents):
+        agent = model._cluster_agents[key]
+        digest.update(np.ascontiguousarray(agent.online._flat_params).tobytes())
+        digest.update(np.ascontiguousarray(agent.target._flat_params).tobytes())
+        digest.update(np.float64(agent.epsilon).tobytes())
+        digest.update(np.int64(agent._steps).tobytes())
+    return digest.hexdigest()
+
+
+def _bench_stacked_train(results, rounds, commit, quick, notes) -> None:
+    """Lockstep-stacked vs serial per-agent CRL training (same model).
+
+    Times :meth:`CRLModel.fit` with the cross-agent stacked kernels
+    forced on vs off (interleaved rounds), then asserts the two trained
+    models are byte-identical — parameters, target nets, ε and step
+    counters — before recording. The stacked path is what ``jobs=1``
+    builds use by default, so ``crl_train_stacked`` tracks the number
+    the `crl_train_4cluster_jobs1` entry rides on.
+    """
+    from repro.allocation.base import tatim_from_workload
+    from repro.rl.crl import CRLModel
+    from repro.rl.dqn import DQNConfig
+
+    scenario = _train_scenario(quick)
+    nodes, _ = scaled_testbed(6)
+    geometry = tatim_from_workload(scenario.tasks, nodes)
+    store = scenario.environment_store()
+    episodes = 30 if quick else 80
+
+    def fit(stacked: bool):
+        model = CRLModel(
+            geometry,
+            n_clusters=4,
+            episodes=episodes,
+            dqn_config=DQNConfig(hidden_sizes=(64, 32)),
+            jobs=1,
+            seed=0,
+            stacked=stacked,
+        )
+        return model.fit(store)
+
+    timings = _timed_interleaved(
+        {"stacked": lambda: fit(True), "unstacked": lambda: fit(False)}, rounds
+    )
+    stacked_s, stacked_std, stacked_model = timings["stacked"]
+    serial_s, serial_std, serial_model = timings["unstacked"]
+    if _crl_params_sha(stacked_model) != _crl_params_sha(serial_model):
+        raise AssertionError("stacked CRL training diverged from serial training")
+    record(results, "crl_train_stacked", stacked_s, rounds, std_s=stacked_std, commit=commit)
+    record(
+        results, "crl_train_unstacked", serial_s, rounds, std_s=serial_std, commit=commit
+    )
+    notes.append(
+        f"stacked CRL training: {serial_s / max(stacked_s, 1e-9):.2f}x over serial "
+        "(trained agents byte-identical)"
+    )
+
+
+def _bench_rollout_batch(results, rounds, commit, quick, notes) -> None:
+    """Batched lockstep greedy rollouts vs one :meth:`solve` per instance.
+
+    32 instances share the agent's geometry with per-instance importance
+    vectors (the dispatcher's miss-group shape). Assignments from the
+    batched pass are asserted identical to the serial loop's before the
+    entries are recorded.
+    """
+    from repro.rl.dqn import DQNAgent, DQNConfig
+    from repro.rl.env import AllocationEnv, BatchedAllocationEnv
+    from repro.tatim.generators import random_instance
+
+    base = random_instance(24 if quick else 50, 3, seed=11)
+    env = AllocationEnv(base)
+    agent = DQNAgent(
+        env.state_dim,
+        env.n_actions,
+        DQNConfig(hidden_sizes=(128, 64), batch_size=32, warmup_transitions=64),
+        seed=5,
+    )
+    for _ in range(4):
+        agent.train_episode(env)
+    importance_rng = np.random.default_rng(23)
+    problems = [
+        base.scaled(importance=importance_rng.uniform(0.1, 1.0, base.n_tasks))
+        for _ in range(32)
+    ]
+
+    def serial():
+        return [agent.solve(AllocationEnv(problem)) for problem in problems]
+
+    def batched():
+        return agent.solve_greedy_batch(BatchedAllocationEnv(problems))
+
+    timings = _timed_interleaved({"serial": serial, "batched": batched}, rounds)
+    serial_s, serial_std, serial_allocs = timings["serial"]
+    batch_s, batch_std, batch_allocs = timings["batched"]
+    if [a.as_assignment() for a in serial_allocs] != [
+        a.as_assignment() for a in batch_allocs
+    ]:
+        raise AssertionError("batched greedy rollouts diverged from serial solves")
+    record(results, "rollout_serial_x32", serial_s, rounds, std_s=serial_std, commit=commit)
+    record(results, "rollout_batch_x32", batch_s, rounds, std_s=batch_std, commit=commit)
+    notes.append(
+        f"batched rollouts: {serial_s / max(batch_s, 1e-9):.2f}x over serial "
+        "solves (allocations identical)"
+    )
+
+
+def _bench_mlp_fit(results, rounds, commit, quick, notes) -> None:
+    """Fused-cache MLPRegressor training vs the naive per-batch loop.
+
+    The naive variant replays exactly what ``fit`` did before the fused
+    epoch driver — one ``train_batch`` (allocate, forward, backward) per
+    mini-batch slice — on an identically seeded network, then the two
+    parameter vectors are asserted bit-equal.
+    """
+    from repro.ml.mlp_regressor import MLPRegressor
+    from repro.ml.neural import MLP, Adam
+    from repro.ml.preprocessing import StandardScaler
+    from repro.utils.rng import as_rng
+
+    data_rng = np.random.default_rng(9)
+    X = data_rng.normal(size=(256 if quick else 512, 12))
+    y = np.sin(X @ data_rng.normal(size=12)) + 0.1 * data_rng.normal(size=X.shape[0])
+    epochs, batch_size, seed = 40 if quick else 120, 32, 3
+
+    def fused():
+        model = MLPRegressor(
+            hidden_sizes=(32, 16), epochs=epochs, batch_size=batch_size, seed=seed
+        )
+        model.fit(X, y)
+        return model.network_._flat_params.copy()
+
+    def naive():
+        scaler = StandardScaler().fit(X)
+        scaled_x = scaler.transform(X)
+        scaled_y = ((y - float(y.mean())) / (float(y.std()) or 1.0)).reshape(-1, 1)
+        network = MLP((X.shape[1], 32, 16, 1), optimizer=Adam(1e-3), seed=seed)
+        rng = as_rng(seed)
+        n = scaled_x.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                index = order[start : start + batch_size]
+                network.train_batch(scaled_x[index], scaled_y[index])
+        return network._flat_params.copy()
+
+    timings = _timed_interleaved({"fused": fused, "naive": naive}, rounds)
+    fused_s, fused_std, fused_params = timings["fused"]
+    naive_s, naive_std, naive_params = timings["naive"]
+    if not np.array_equal(fused_params, naive_params):
+        raise AssertionError("fused MLP training diverged from the naive loop")
+    record(results, "mlp_fit_fused", fused_s, rounds, std_s=fused_std, commit=commit)
+    record(results, "mlp_fit_naive", naive_s, rounds, std_s=naive_std, commit=commit)
+    notes.append(
+        f"fused MLP fit: {naive_s / max(fused_s, 1e-9):.2f}x over naive loop "
+        "(parameters bit-identical)"
+    )
 
 
 def dqn_bench_workloads(quick: bool = True) -> dict:

@@ -1,6 +1,6 @@
 """Reinforcement learning for TATIM: the allocation MDP, DQN, and CRL."""
 
-from repro.rl.env import AllocationEnv
+from repro.rl.env import AllocationEnv, BatchedAllocationEnv
 from repro.rl.replay import ReplayBuffer, Transition
 from repro.rl.prioritized import PrioritizedReplayBuffer
 from repro.rl.schedules import (
@@ -14,9 +14,12 @@ from repro.rl.qlearning import QLearningAgent
 from repro.rl.reinforce import ReinforceAgent
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.crl import CRLModel, EnvironmentStore
+from repro.rl.stacked import LockstepTrainer
 
 __all__ = [
     "AllocationEnv",
+    "BatchedAllocationEnv",
+    "LockstepTrainer",
     "ReplayBuffer",
     "Transition",
     "PrioritizedReplayBuffer",

@@ -31,6 +31,7 @@ from repro.parallel import ParallelTrainer, get_shared_store, resolve_shared
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.rl.env import AllocationEnv
 from repro.rl.replay import Transition
+from repro.rl.stacked import LockstepTrainer
 from repro.tatim.cache import get_allocation_cache
 from repro.tatim.greedy import density_greedy
 from repro.tatim.problem import TATIMProblem
@@ -154,6 +155,41 @@ def train_allocation_agent(task: AgentTrainTask) -> DQNAgent:
     return agent
 
 
+def train_allocation_agents_stacked(tasks: list[AgentTrainTask]) -> list[DQNAgent]:
+    """Train many per-environment DQNs in one lockstep pass (see rl/stacked).
+
+    The stacked counterpart of mapping :func:`train_allocation_agent`
+    over ``tasks`` serially: agent construction, demonstration seeding
+    and every RNG stream are per-task exactly as in the serial path, and
+    the lockstep trainer's fused kernels are bitwise identical to the
+    per-agent ones — so the returned agents are **byte-identical** to
+    serially (or pool-) trained ones, just faster on one core.
+    """
+    with span("rl.crl.train_agents_stacked", agents=len(tasks)):
+        agents: list[DQNAgent] = []
+        problems: list[TATIMProblem] = []
+        for task in tasks:
+            geometry = resolve_shared(task.geometry)
+            problem = geometry.scaled(importance=task.importance)
+            env = AllocationEnv(problem)
+            agent = DQNAgent(env.state_dim, env.n_actions, task.dqn_config, seed=task.seed)
+            if task.seed_demonstrations:
+                push_demonstration(agent, env, problem)
+            agents.append(agent)
+            problems.append(problem)
+        LockstepTrainer(
+            agents, problems, episodes=[task.episodes for task in tasks]
+        ).train()
+    registry = get_registry()
+    for task in tasks:
+        registry.counter(
+            "repro_rl_crl_agents_trained_total",
+            help="Per-environment DQN agents trained by CRL",
+            mode=task.mode,
+        ).inc()
+    return agents
+
+
 def push_demonstration(agent: DQNAgent, env: AllocationEnv, problem: TATIMProblem) -> None:
     """Replay the density-greedy allocation into the agent's buffer.
 
@@ -219,6 +255,13 @@ class CRLModel:
         process pool; seeds are derived up front in a fixed order, so any
         ``jobs`` value produces byte-identical agents. ``1`` trains
         serially in-process.
+    stacked:
+        Route multi-agent training through the in-process lockstep
+        trainer (:class:`~repro.rl.stacked.LockstepTrainer`), which fuses
+        the per-step forward/backward of all agents into stacked kernels.
+        Default ``None`` auto-enables it when ``jobs == 1`` (the stacked
+        path is an in-process alternative to process fan-out). The
+        trained agents are byte-identical either way.
     """
 
     def __init__(
@@ -232,6 +275,7 @@ class CRLModel:
         dqn_config: DQNConfig | None = None,
         seed_demonstrations: bool = True,
         jobs: int = 1,
+        stacked: bool | None = None,
         seed=None,
     ) -> None:
         if mode not in ("offline", "online"):
@@ -247,12 +291,48 @@ class CRLModel:
         self.episodes = int(episodes)
         self.seed_demonstrations = bool(seed_demonstrations)
         self.jobs = int(jobs)
+        self.stacked = stacked
         self.dqn_config = dqn_config if dqn_config is not None else DQNConfig()
         self._rng = as_rng(seed)
         self.store: EnvironmentStore | None = None
         self._kmeans: KMeans | None = None
         self._cluster_agents: dict[int, DQNAgent] = {}
         self._online_agents: dict[tuple[int, ...], DQNAgent] = {}
+        # Pre-register this model's metric families so /metrics scrapes
+        # show them at zero before the first event instead of omitting
+        # them (the inc/observe call sites re-fetch the same children).
+        registry = get_registry()
+        registry.counter(
+            "repro_rl_crl_agents_trained_total",
+            help="Per-environment DQN agents trained by CRL",
+            mode=self.mode,
+        )
+        registry.counter(
+            "repro_rl_crl_rollouts_total",
+            help="DQN greedy rollouts actually executed (cache misses)",
+            mode=self.mode,
+        )
+        registry.counter(
+            "repro_rl_crl_allocations_total",
+            help="CRL allocation queries answered",
+            mode=self.mode,
+        )
+        registry.counter(
+            "repro_rl_crl_knn_lookups_total",
+            help="kNN environment-definition lookups (Algorithm 1's e = kNN(E, Z))",
+        )
+        registry.histogram(
+            "repro_rl_crl_knn_lookup_seconds",
+            help="kNN environment-definition latency",
+        )
+
+    def _use_stacked(self, jobs: int, n_tasks: int) -> bool:
+        """Whether a multi-agent training round should run lockstep-stacked."""
+        if n_tasks < 2:
+            return False
+        if self.stacked is not None:
+            return bool(self.stacked)
+        return jobs == 1
 
     # ------------------------------------------------------------------
     def _train_task(self, importance: np.ndarray, seed: int) -> AgentTrainTask:
@@ -335,13 +415,17 @@ class CRLModel:
                 )
                 for importance in missing.values()
             ]
-            trainer = ParallelTrainer(
-                train_allocation_agent,
-                jobs=jobs,
-                label="crl.online_warm",
-                estimated_cost_s=EST_TRAIN_S_PER_EPISODE * self.episodes * len(tasks),
-            )
-            for key, agent in zip(missing, trainer.map(tasks)):
+            if self._use_stacked(jobs, len(tasks)):
+                trained = train_allocation_agents_stacked(tasks)
+            else:
+                trainer = ParallelTrainer(
+                    train_allocation_agent,
+                    jobs=jobs,
+                    label="crl.online_warm",
+                    estimated_cost_s=EST_TRAIN_S_PER_EPISODE * self.episodes * len(tasks),
+                )
+                trained = trainer.map(tasks)
+            for key, agent in zip(missing, trained):
                 self._online_agents[key] = agent
         return len(tasks)
 
@@ -389,13 +473,17 @@ class CRLModel:
                     )
                     for cluster, seed in zip(clusters, seeds)
                 ]
-                trainer = ParallelTrainer(
-                    train_allocation_agent,
-                    jobs=self.jobs,
-                    label="crl.fit",
-                    estimated_cost_s=estimated_s,
-                )
-                for cluster, agent in zip(clusters, trainer.map(tasks)):
+                if self._use_stacked(self.jobs, len(tasks)):
+                    trained = train_allocation_agents_stacked(tasks)
+                else:
+                    trainer = ParallelTrainer(
+                        train_allocation_agent,
+                        jobs=self.jobs,
+                        label="crl.fit",
+                        estimated_cost_s=estimated_s,
+                    )
+                    trained = trainer.map(tasks)
+                for cluster, agent in zip(clusters, trained):
                     self._cluster_agents[cluster] = agent
         return self
 
@@ -496,6 +584,92 @@ class CRLModel:
         ).inc()
         return allocation
 
+    def allocate_batch(self, sensing_rows) -> list[Allocation]:
+        """Answer many allocation queries with batched greedy rollouts.
+
+        Queries are grouped by the environment they map to (in
+        first-occurrence order, so online-mode lazy training consumes
+        the model RNG exactly as the serial loop would) and each group's
+        rollouts run through :meth:`DQNAgent.solve_greedy_batch` — one
+        batched kernel instead of one rollout loop per query. With an
+        ambient :class:`~repro.tatim.cache.AllocationCache`, hits skip
+        the rollout and duplicate keys within the batch solve once, just
+        as repeat queries would against a warming cache. The returned
+        allocations are byte-identical to
+        ``[self.allocate(z) for z in sensing_rows]``.
+        """
+        self._require_fitted()
+        rows = [np.asarray(row, dtype=float) for row in sensing_rows]
+        if not rows:
+            return []
+        registry = get_registry()
+        results: list[Allocation | None] = [None] * len(rows)
+        cache = get_allocation_cache()
+        if cache is not None:
+            cache.watch(self.store)
+        with span("rl.crl.allocate_batch", mode=self.mode, queries=len(rows)):
+            # Group cache misses per environment, deduping by cache key
+            # (first occurrence solves; later duplicates reuse it, which
+            # is what the serial loop's warming cache would do).
+            groups: dict = {}
+            for i, sensing in enumerate(rows):
+                importance = self.estimate_importance(sensing)
+                environment_key = self._environment_key(sensing)
+                key = None
+                if cache is not None:
+                    key = (
+                        "crl.allocate",
+                        self.mode,
+                        self.store.version,
+                        environment_key,
+                        cache.array_signature(importance),
+                        cache.problem_signature(self.geometry),
+                    )
+                    allocation = cache.get(key)
+                    if allocation is not None:
+                        results[i] = allocation
+                        continue
+                group = groups.setdefault(environment_key, {})
+                dedup_key = key if key is not None else ("query", i)
+                entry = group.get(dedup_key)
+                if entry is None:
+                    group[dedup_key] = (importance, [i])
+                else:
+                    entry[1].append(i)
+            rollout_counter = registry.counter(
+                "repro_rl_crl_rollouts_total",
+                help="DQN greedy rollouts actually executed (cache misses)",
+                mode=self.mode,
+            )
+            for environment_key, group in groups.items():
+                entries = list(group.items())
+                first_importance = entries[0][1][0]
+                agent = self._agent_for_key(environment_key, first_importance)
+                envs = [
+                    AllocationEnv(self.geometry.scaled(importance=importance))
+                    for _, (importance, _) in entries
+                ]
+                if len(envs) > 1:
+                    allocations = agent.solve_greedy_batch(envs)
+                else:
+                    allocations = [agent.solve(envs[0])]
+                for (dedup_key, (_, indices)), allocation in zip(entries, allocations):
+                    rollout_counter.inc()
+                    if cache is not None and not (
+                        isinstance(dedup_key, tuple) and dedup_key[0] == "query"
+                    ):
+                        cache.put(dedup_key, allocation)
+                    for i in indices:
+                        results[i] = allocation
+        allocation_counter = registry.counter(
+            "repro_rl_crl_allocations_total",
+            help="CRL allocation queries answered",
+            mode=self.mode,
+        )
+        for _ in rows:
+            allocation_counter.inc()
+        return results
+
     def selection_scores(self, sensing: np.ndarray) -> np.ndarray:
         """Per-task scores in [0, 1] for cooperative combination (Eq. 6).
 
@@ -508,3 +682,22 @@ class CRLModel:
         scale = float(importance.max()) or 1.0
         selected = allocation.matrix.sum(axis=1).astype(float)
         return selected * importance / scale
+
+    def selection_scores_batch(self, sensing_rows) -> np.ndarray:
+        """Stacked :meth:`selection_scores` for many queries at once.
+
+        One :meth:`allocate_batch` call answers every query's rollout;
+        the per-row score arithmetic is unchanged, so row ``i`` equals
+        ``selection_scores(sensing_rows[i])`` bit for bit.
+        """
+        rows = [np.asarray(row, dtype=float) for row in sensing_rows]
+        if not rows:
+            return np.zeros((0, self.geometry.n_tasks))
+        allocations = self.allocate_batch(rows)
+        scores = np.empty((len(rows), self.geometry.n_tasks))
+        for i, (sensing, allocation) in enumerate(zip(rows, allocations)):
+            importance = self.estimate_importance(sensing)
+            scale = float(importance.max()) or 1.0
+            selected = allocation.matrix.sum(axis=1).astype(float)
+            scores[i] = selected * importance / scale
+        return scores

@@ -229,3 +229,269 @@ class AllocationEnv:
         return Allocation.from_assignment(
             assignment, self.n_tasks, self.n_processors
         ).validate(self.problem)
+
+
+class BatchedAllocationEnv:
+    """A batch of allocation episodes stepped with one numpy pass each.
+
+    All problems must share ``(n_tasks, n_processors)`` — the geometry
+    invariant CRL's per-cluster agents already rely on. Every episode's
+    observation is a row of one stacked ``(episodes, state_dim)`` buffer,
+    feasibility is one boolean ``(episodes, n_actions)`` mask matrix, and
+    :meth:`step` applies one action per live episode through vectorized
+    gather/scatter writes.
+
+    Bitwise contract: every per-row write applies the same arithmetic as
+    the serial :class:`AllocationEnv` incremental update (scalar
+    normalizations become row-broadcast divisions, the per-task
+    feasibility comparisons become one matrix comparison — elementwise ops
+    either way), so row ``i`` of every observable is always byte-equal to
+    a serial ``AllocationEnv(problems[i])`` driven through the same
+    action sequence. The property tests in
+    ``tests/rl/test_kernel_identity.py`` pin this.
+    """
+
+    def __init__(self, problems, *, dense_reward: bool = False) -> None:
+        problems = list(problems)
+        if not problems:
+            raise ConfigurationError("BatchedAllocationEnv needs at least one problem")
+        first = problems[0]
+        for problem in problems[1:]:
+            if (
+                problem.n_tasks != first.n_tasks
+                or problem.n_processors != first.n_processors
+            ):
+                raise ConfigurationError(
+                    "batched episodes must share the (n_tasks, n_processors) geometry"
+                )
+        self.problems = problems
+        self.dense_reward = bool(dense_reward)
+        self.n_tasks = first.n_tasks
+        self.n_processors = first.n_processors
+        n, m = self.n_tasks, self.n_processors
+        count = len(problems)
+        self._times = np.stack([p.times.astype(float) for p in problems])
+        self._resources = np.stack([p.resources.astype(float) for p in problems])
+        self._importance = np.stack([p.importance.astype(float) for p in problems])
+        self._limits = np.stack(
+            [p.processor_time_limits().astype(float) for p in problems]
+        )
+        self._capacities = np.stack([p.capacities.astype(float) for p in problems])
+        importance_scale = np.array(
+            [float(p.importance.max()) or 1.0 for p in problems]
+        )
+        self._off_onehot = 4 * n
+        self._off_time = 4 * n + m
+        self._off_capacity = 4 * n + 2 * m
+        self._state = np.empty((count, 4 * n + 3 * m), dtype=float)
+        # Geometry slices are fixed per episode; the row-broadcast divides
+        # match the serial scalar normalizations elementwise.
+        self._state[:, n : 2 * n] = self._importance / importance_scale[:, None]
+        self._state[:, 2 * n : 3 * n] = self._times / self._limits.mean(axis=1)[:, None]
+        self._state[:, 3 * n : 4 * n] = (
+            self._resources / self._capacities.mean(axis=1)[:, None]
+        )
+        self._assigned = np.empty((count, n), dtype=int)
+        self._remaining_time = np.empty((count, m), dtype=float)
+        self._remaining_capacity = np.empty((count, m), dtype=float)
+        self._current = np.empty(count, dtype=int)
+        self._done = np.empty(count, dtype=bool)
+        self._mask = np.empty((count, n + 1), dtype=bool)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    @property
+    def n_actions(self) -> int:
+        return self.n_tasks + 1
+
+    @property
+    def close_action(self) -> int:
+        return self.n_tasks
+
+    @property
+    def state_dim(self) -> int:
+        return 4 * self.n_tasks + 3 * self.n_processors
+
+    @property
+    def done_mask(self) -> np.ndarray:
+        """Per-episode termination flags (treat as read-only)."""
+        return self._done
+
+    @property
+    def feasible_mask(self) -> np.ndarray:
+        """Boolean (episodes, n_actions) legality matrix (treat as read-only).
+
+        Row ``i`` marks exactly the actions
+        ``AllocationEnv.feasible_actions`` would return for episode ``i``
+        (the close action is the last column); done rows are all-False.
+        """
+        return self._mask
+
+    @property
+    def states(self) -> np.ndarray:
+        """The stacked (episodes, state_dim) observation buffer.
+
+        A live view for zero-copy batched forwards — treat as read-only
+        and copy rows (:meth:`state_row`) before storing them.
+        """
+        return self._state
+
+    def state_row(self, row: int) -> np.ndarray:
+        """Episode ``row``'s observation as an immutable-safe copy."""
+        return self._state[row].copy()
+
+    def state_rows(self, rows) -> np.ndarray:
+        """Copies of the given episodes' observations, stacked."""
+        return self._state[np.asarray(rows, dtype=int)]
+
+    def feasible_row(self, row: int) -> np.ndarray:
+        """Feasible action indices for episode ``row`` (close index last) —
+        the same integers, in the same order, as the serial
+        ``feasible_actions()``."""
+        return np.flatnonzero(self._mask[row])
+
+    # ------------------------------------------------------------------
+    def reset(self, rows=None) -> None:
+        """Reset all (or the given) episodes to their initial state."""
+        rows = np.arange(len(self.problems)) if rows is None else np.asarray(rows, dtype=int)
+        if rows.size == 0:
+            return
+        n = self.n_tasks
+        self._assigned[rows] = -1
+        self._remaining_time[rows] = self._limits[rows]
+        self._remaining_capacity[rows] = self._capacities[rows]
+        self._current[rows] = 0
+        self._done[rows] = False
+        buf = self._state
+        buf[rows, :n] = 0.0
+        buf[rows, self._off_onehot : self._off_time] = 0.0
+        buf[rows, self._off_onehot] = 1.0
+        buf[rows, self._off_time : self._off_capacity] = (
+            self._remaining_time[rows] / self._limits[rows]
+        )
+        buf[rows, self._off_capacity :] = (
+            self._remaining_capacity[rows] / self._capacities[rows]
+        )
+        self._refresh_mask(rows)
+
+    def _refresh_mask(self, rows: np.ndarray) -> None:
+        """Recompute feasibility for the given rows in one matrix pass.
+
+        The serial env narrows candidates incrementally; recomputing the
+        full comparison gives the identical set because the budget values
+        are bitwise equal and the comparisons are elementwise.
+        """
+        active = ~self._done[rows]
+        current = np.where(active, self._current[rows], 0)
+        remaining_time = self._remaining_time[rows, current]
+        remaining_capacity = self._remaining_capacity[rows, current]
+        fits = (
+            (self._assigned[rows] < 0)
+            & (self._times[rows] <= remaining_time[:, None] + _TOL)
+            & (self._resources[rows] <= remaining_capacity[:, None] + _TOL)
+        )
+        fits &= active[:, None]
+        self._mask[rows, : self.n_tasks] = fits
+        self._mask[rows, self.n_tasks] = active
+
+    def step(self, actions, rows=None, *, check: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """Apply one action per row; returns (rewards, dones) for those rows.
+
+        ``rows`` defaults to every live episode. Raises on any infeasible
+        action, like the serial env; callers that construct actions from
+        the current legality mask (the lockstep trainer, batched greedy
+        rollouts) pass ``check=False`` to skip the validation passes.
+        """
+        rows = (
+            np.flatnonzero(~self._done) if rows is None else np.asarray(rows, dtype=int)
+        )
+        actions = np.asarray(actions, dtype=int)
+        if actions.shape != rows.shape:
+            raise ConfigurationError(
+                f"got {actions.size} actions for {rows.size} episode rows"
+            )
+        if rows.size == 0:
+            return np.zeros(0), np.zeros(0, dtype=bool)
+        if check:
+            if np.any(self._done[rows]):
+                raise SimulationError("episode already terminated; call reset()")
+            if np.any((actions < 0) | (actions >= self.n_actions)):
+                raise ConfigurationError(
+                    f"actions outside [0, {self.n_actions}) in batched step"
+                )
+            legal = self._mask[rows, actions]
+            if not np.all(legal):
+                bad = int(rows[~legal][0])
+                raise SimulationError(
+                    f"infeasible action {int(actions[~legal][0])} for episode row {bad}"
+                )
+        buf = self._state
+        rewards = np.zeros(rows.size)
+        closing = actions == self.close_action
+        assign_rows = rows[~closing]
+        if assign_rows.size:
+            tasks = actions[~closing]
+            current = self._current[assign_rows]
+            self._assigned[assign_rows, tasks] = current
+            self._remaining_time[assign_rows, current] = (
+                self._remaining_time[assign_rows, current]
+                - self._times[assign_rows, tasks]
+            )
+            self._remaining_capacity[assign_rows, current] = (
+                self._remaining_capacity[assign_rows, current]
+                - self._resources[assign_rows, tasks]
+            )
+            buf[assign_rows, tasks] = 1.0
+            buf[assign_rows, self._off_time + current] = (
+                self._remaining_time[assign_rows, current]
+                / self._limits[assign_rows, current]
+            )
+            buf[assign_rows, self._off_capacity + current] = (
+                self._remaining_capacity[assign_rows, current]
+                / self._capacities[assign_rows, current]
+            )
+            if self.dense_reward:
+                rewards[~closing] = self._importance[assign_rows, tasks]
+        close_rows = rows[closing]
+        if close_rows.size:
+            current = self._current[close_rows]
+            buf[close_rows, self._off_onehot + current] = 0.0
+            current = current + 1
+            self._current[close_rows] = current
+            finished = current >= self.n_processors
+            finished_rows = close_rows[finished]
+            if finished_rows.size:
+                self._done[finished_rows] = True
+                if not self.dense_reward:
+                    # Terminal reward per finished row: the same
+                    # gather-then-sum as the serial total_importance().
+                    closing_positions = np.flatnonzero(closing)
+                    for position, row in zip(
+                        closing_positions[finished], finished_rows
+                    ):
+                        rewards[position] = self.total_importance(int(row))
+            open_rows = close_rows[~finished]
+            if open_rows.size:
+                buf[open_rows, self._off_onehot + self._current[open_rows]] = 1.0
+        self._refresh_mask(rows)
+        return rewards, self._done[rows].copy()
+
+    # ------------------------------------------------------------------
+    def total_importance(self, row: int) -> float:
+        """Σ I_j over episode ``row``'s assigned tasks (the terminal reward)."""
+        selected = self._assigned[row] >= 0
+        return float(self._importance[row][selected].sum())
+
+    def allocation(self, row: int) -> Allocation:
+        """Episode ``row``'s allocation so far as a validated matrix."""
+        assignment = {
+            int(task): int(processor)
+            for task, processor in enumerate(self._assigned[row])
+            if processor >= 0
+        }
+        return Allocation.from_assignment(
+            assignment, self.n_tasks, self.n_processors
+        ).validate(self.problems[row])

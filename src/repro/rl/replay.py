@@ -173,6 +173,59 @@ class _SoAStorage:
             else None,
         )
 
+    def push_columns(
+        self, state, action, reward, next_state, done, feasible_mask_row
+    ) -> int:
+        """Column-direct push for mask-aware storage (the lockstep path).
+
+        Writes the transition fields straight into the ring columns and
+        copies the caller's boolean legality row instead of scattering
+        index arrays — sampled batches are byte-identical to a
+        :meth:`push` of the equivalent :class:`Transition`. The ragged
+        ``next_feasible`` side store is left unset for rows written this
+        way, so mix with :meth:`gather_transitions` only via the mask.
+        """
+        state = np.asarray(state, dtype=float)
+        if self._states is None:
+            self._allocate(state.size, min(self.capacity, _INITIAL_ROWS))
+        if self._feasible_mask is None:
+            raise DataError("push_columns requires n_actions-aware storage")
+        if self._size < self.capacity:
+            index = self._size
+            if index >= self._rows:
+                self._grow()
+            self._size += 1
+        else:
+            index = self._cursor
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._states[index] = state
+        self._next_states[index] = next_state
+        self._actions[index] = action
+        self._rewards[index] = reward
+        self._dones[index] = done
+        self._feasible[index] = None
+        self._feasible_mask[index] = feasible_mask_row
+        return index
+
+    def gather_batch_into(self, indices: np.ndarray, out) -> None:
+        """Gather the indexed rows into preallocated column buffers.
+
+        ``out`` is a ``(states, actions, rewards, next_states, dones,
+        feasible_mask)`` tuple of arrays shaped like one batch; each
+        ``np.take`` lands the same values fancy indexing would, without
+        allocating. Only available when the boolean legality matrix is
+        maintained (``n_actions`` given).
+        """
+        if self._feasible_mask is None:
+            raise DataError("gather_batch_into requires n_actions-aware storage")
+        states, actions, rewards, next_states, dones, feasible_mask = out
+        self._states.take(indices, axis=0, out=states)
+        self._actions.take(indices, axis=0, out=actions)
+        self._rewards.take(indices, axis=0, out=rewards)
+        self._next_states.take(indices, axis=0, out=next_states)
+        self._dones.take(indices, axis=0, out=dones)
+        self._feasible_mask.take(indices, axis=0, out=feasible_mask)
+
     def gather_transitions(self, indices: np.ndarray) -> list[Transition]:
         """Immutable per-row snapshots (the compatibility surface)."""
         return [
@@ -216,6 +269,14 @@ class ReplayBuffer:
     def push(self, transition: Transition) -> None:
         self._storage.push(transition)
 
+    def push_columns(
+        self, state, action, reward, next_state, done, feasible_mask_row
+    ) -> None:
+        """Column-direct push (see :meth:`_SoAStorage.push_columns`)."""
+        self._storage.push_columns(
+            state, action, reward, next_state, done, feasible_mask_row
+        )
+
     def _sample_indices(self, batch_size: int) -> np.ndarray:
         """Uniform draw *without replacement* (clamped to the buffer size).
 
@@ -244,6 +305,16 @@ class ReplayBuffer:
         byte-identical whichever entry point the trainer uses.
         """
         return self._storage.gather_batch(self._sample_indices(batch_size))
+
+    def sample_batch_into(self, batch_size: int, out) -> None:
+        """Draw a uniform batch straight into preallocated column buffers.
+
+        RNG consumption and gathered values match :meth:`sample_batch`
+        exactly; the cross-agent fused trainer uses this to fill slices
+        of its stacked ``(agents, batch, ·)`` arrays without per-agent
+        allocations or a later ``np.stack`` copy.
+        """
+        self._storage.gather_batch_into(self._sample_indices(batch_size), out)
 
     def clear(self) -> None:
         self._storage.clear()

@@ -31,7 +31,7 @@ CLI: ``repro serve`` (paced run with KPI table), ``repro loadgen``
 See ``docs/serving.md``.
 """
 
-from repro.serve.dispatcher import SOLVERS, Dispatcher, ServeReport
+from repro.serve.dispatcher import SOLVERS, Dispatcher, RolloutSolver, ServeReport
 from repro.serve.http import ObservabilityServer
 from repro.serve.kpis import KPITracker, kpi_table
 from repro.serve.samplers import (
@@ -58,6 +58,7 @@ __all__ = [
     "KPITracker",
     "ObservabilityServer",
     "PoissonSampler",
+    "RolloutSolver",
     "ServeConfig",
     "ServeReport",
     "generate_trace",

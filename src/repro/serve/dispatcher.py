@@ -51,6 +51,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.parallel.shm import SharedBlobRef, get_shared_store, resolve_shared
 from repro.parallel.trainer import ParallelTrainer
+from repro.rl.env import AllocationEnv, BatchedAllocationEnv
 from repro.serve.kpis import KPITracker, kpi_table
 from repro.serve.schemas import AllocationRequest, AllocationResponse, ServeConfig
 from repro.tatim.cache import AllocationCache, array_signature
@@ -72,6 +73,34 @@ SOLVERS: dict[str, Callable] = {
 #: ``time.sleep`` granularity would otherwise dominate sub-millisecond
 #: inter-arrival gaps.
 _SPIN_THRESHOLD_S = 0.0005
+
+
+class RolloutSolver:
+    """:data:`SOLVERS`-compatible adapter over a DQN agent's greedy rollout.
+
+    Registering an instance (``SOLVERS["crl_rollout"] =
+    RolloutSolver(agent)``) lets requests name the learned policy like
+    any greedy. Beyond the one-problem callable contract it exposes
+    :meth:`solve_batch`, which the dispatcher uses to collapse a miss
+    batch's rollouts into one lockstep pass over a
+    :class:`~repro.rl.env.BatchedAllocationEnv` — allocations identical
+    to per-request :meth:`__call__`, with one batched forward per step
+    instead of one forward per episode per step.
+
+    Rollout solvers always run in the dispatcher process: the agent's
+    networks would be re-pickled per batch under worker fan-out, and the
+    rollout is deterministic anyway, so the jobs-invariance contract is
+    unaffected.
+    """
+
+    def __init__(self, agent) -> None:
+        self.agent = agent
+
+    def __call__(self, problem):
+        return self.agent.solve(AllocationEnv(problem))
+
+    def solve_batch(self, problems) -> list:
+        return self.agent.solve_greedy_batch(BatchedAllocationEnv(list(problems)))
 
 
 def _solve_payload(payload: tuple) -> dict[int, int]:
@@ -253,6 +282,38 @@ class Dispatcher:
                 request.importance.tobytes(),
             )
             misses.setdefault(dedup, []).append(index)
+        if misses:
+            # Miss groups whose solver can roll out in lockstep
+            # (:class:`RolloutSolver`) are answered in-process with one
+            # batched pass; the rest keep the worker fan-out below.
+            rollout_groups: "OrderedDict[str, list[list[int]]]" = OrderedDict()
+            remote: "OrderedDict[object, list[int]]" = OrderedDict()
+            for dedup, indices in misses.items():
+                solver = SOLVERS.get(batch[indices[0]].solver)
+                if solver is not None and hasattr(solver, "solve_batch"):
+                    rollout_groups.setdefault(batch[indices[0]].solver, []).append(
+                        indices
+                    )
+                else:
+                    remote[dedup] = indices
+            for name, groups in rollout_groups.items():
+                with span("serve.rollout_batch", solver=name, episodes=len(groups)):
+                    problems = [
+                        self.geometry.scaled(
+                            importance=np.asarray(
+                                batch[indices[0]].importance, dtype=float
+                            )
+                        )
+                        for indices in groups
+                    ]
+                    allocations = SOLVERS[name].solve_batch(problems)
+                for indices, allocation in zip(groups, allocations):
+                    assignment = allocation.as_assignment()
+                    for index in indices:
+                        answers[index] = (assignment, False)
+                    if keys[indices[0]] is not None:
+                        self.cache.put(keys[indices[0]], assignment)
+            misses = remote
         if misses:
             geometry = self._geometry_handle()
             payloads = [

@@ -265,3 +265,33 @@ class TestOnlineWarming:
             assert np.array_equal(
                 serial.allocate(query).matrix, parallel.allocate(query).matrix
             )
+
+
+class TestMetricsPreRegistration:
+    def test_families_present_at_construction(self, geometry):
+        """A fresh CRLModel pre-registers its metric families so scrapes
+        show them at zero before the first training/allocation event."""
+        from repro.telemetry import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            CRLModel(
+                geometry,
+                n_clusters=2,
+                episodes=5,
+                dqn_config=DQNConfig(hidden_sizes=(16,)),
+                seed=0,
+            )
+        families = {family.name: family for family in registry.families()}
+        for name in (
+            "repro_rl_crl_agents_trained_total",
+            "repro_rl_crl_rollouts_total",
+            "repro_rl_crl_allocations_total",
+            "repro_rl_crl_knn_lookups_total",
+            "repro_rl_crl_knn_lookup_seconds",
+        ):
+            assert name in families
+        child = families["repro_rl_crl_rollouts_total"].children[
+            (("mode", "offline"),)
+        ]
+        assert child.value == 0.0

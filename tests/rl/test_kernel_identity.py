@@ -28,9 +28,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rl.env import AllocationEnv, _TOL
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.env import AllocationEnv, BatchedAllocationEnv, _TOL
 from repro.rl.prioritized import PrioritizedReplayBuffer
 from repro.rl.replay import ReplayBuffer, Transition, TransitionBatch
+from repro.rl.stacked import LockstepTrainer
 from repro.tatim.generators import random_instance
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -242,3 +244,204 @@ def test_dqn_training_matches_pre_refactor_golden(case, kwargs):
     assert result["assignment"] == golden[case]["assignment"]
     assert result["online_params_sha256"] == golden[case]["online_params_sha256"]
     assert result["final_epsilon_hex"] == golden[case]["final_epsilon_hex"]
+
+
+def test_lockstep_training_matches_golden():
+    """The stacked tier: cross-agent lockstep training and batched greedy
+    rollouts pinned bitwise against the recorded (serial-verified) run."""
+    golden = json.loads((GOLDEN_DIR / "dqn_golden.json").read_text(encoding="utf-8"))
+    result = _load_make_goldens().run_stacked_case()
+    assert result == golden["stacked"]
+
+
+# ----------------------------------------------------------------------
+# Property: batched multi-episode env == per-episode serial envs
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    instance_seed=st.integers(0, 2**16),
+    policy_seed=st.integers(0, 2**16),
+    n_envs=st.integers(2, 5),
+)
+def test_batched_env_matches_serial_envs(instance_seed, policy_seed, n_envs):
+    """Stepping N episodes through one BatchedAllocationEnv must equal
+    stepping N independent AllocationEnvs with the same actions — states,
+    feasibility, rewards, dones and final allocations, bit for bit."""
+    rng = np.random.default_rng(policy_seed)
+    base = random_instance(8, 3, seed=instance_seed)
+    problems = [
+        base.scaled(importance=rng.uniform(0.1, 1.0, base.n_tasks))
+        for _ in range(n_envs)
+    ]
+    serial = [AllocationEnv(problem) for problem in problems]
+    for env in serial:
+        env.reset()
+    batch = BatchedAllocationEnv(problems)
+    while True:
+        rows = np.flatnonzero(~batch.done_mask)
+        assert np.array_equal(rows, np.flatnonzero([not e.done for e in serial]))
+        if rows.size == 0:
+            break
+        for a in rows:
+            assert np.array_equal(batch.states[a], serial[a].state_vector())
+            assert np.array_equal(batch.feasible_row(a), serial[a].feasible_actions())
+        actions = np.array(
+            [int(rng.choice(batch.feasible_row(a))) for a in rows], dtype=int
+        )
+        rewards, dones = batch.step(actions, rows=rows)
+        for j, a in enumerate(rows):
+            _, reward, done, _ = serial[a].step(int(actions[j]))
+            assert float(rewards[j]) == reward
+            assert bool(dones[j]) == done
+    for a, env in enumerate(serial):
+        assert batch.allocation(a).as_assignment() == env.allocation().as_assignment()
+
+
+# ----------------------------------------------------------------------
+# Property: batched greedy rollouts == sequential solve
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    instance_seed=st.integers(0, 2**16),
+    agent_seed=st.integers(0, 2**16),
+    n_envs=st.integers(1, 6),
+)
+def test_solve_greedy_batch_matches_sequential_solve(instance_seed, agent_seed, n_envs):
+    base = random_instance(8, 3, seed=instance_seed)
+    env = AllocationEnv(base)
+    agent = DQNAgent(
+        env.state_dim,
+        env.n_actions,
+        DQNConfig(hidden_sizes=(16,), batch_size=8, warmup_transitions=16),
+        seed=agent_seed,
+    )
+    for _ in range(2):  # nontrivial Q-values; rollouts themselves are RNG-free
+        agent.train_episode(env)
+    rng = np.random.default_rng(instance_seed + 1)
+    problems = [
+        base.scaled(importance=rng.uniform(0.1, 1.0, base.n_tasks))
+        for _ in range(n_envs)
+    ]
+    serial = [agent.solve(AllocationEnv(problem)) for problem in problems]
+    batched = agent.solve_greedy_batch([AllocationEnv(problem) for problem in problems])
+    assert len(batched) == len(serial)
+    for a, b in zip(serial, batched):
+        assert np.array_equal(a.matrix, b.matrix)
+        assert a.as_assignment() == b.as_assignment()
+
+
+# ----------------------------------------------------------------------
+# Property: lockstep multi-agent training == per-agent serial training
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_agents=st.integers(2, 4),
+    heterogeneous=st.booleans(),
+)
+def test_lockstep_training_matches_serial(seed, n_agents, heterogeneous):
+    """Interleaving independent agents' steps (with the fused cross-agent
+    kernels when configs allow, the per-agent fallback when they don't)
+    must not change any agent's arithmetic: returns, parameters, target
+    nets, ε and step counters all match serial training bitwise."""
+    module = _load_make_goldens()
+    problems = [random_instance(8, 3, seed=seed + i) for i in range(n_agents)]
+
+    def make_agents():
+        agents = []
+        for i, problem in enumerate(problems):
+            env = AllocationEnv(problem)
+            config = DQNConfig(
+                hidden_sizes=(16,),
+                batch_size=8,
+                warmup_transitions=16,
+                target_sync_every=25,
+                # Heterogeneous configs defeat the fused step, exercising
+                # the per-agent fallback inside the same lockstep loop.
+                double_q=heterogeneous and i % 2 == 0,
+            )
+            agents.append(
+                DQNAgent(env.state_dim, env.n_actions, config, seed=seed + 50 + i)
+            )
+        return agents
+
+    serial_agents = make_agents()
+    serial_returns = [
+        agent.train(AllocationEnv(problem), 5)
+        for agent, problem in zip(serial_agents, problems)
+    ]
+    lockstep_agents = make_agents()
+    lockstep_returns = LockstepTrainer(lockstep_agents, problems, episodes=5).train()
+    for expected, actual in zip(serial_returns, lockstep_returns):
+        assert [float(r).hex() for r in expected] == [float(r).hex() for r in actual]
+    for expected, actual in zip(serial_agents, lockstep_agents):
+        assert module.parameters_sha256(actual.online) == module.parameters_sha256(
+            expected.online
+        )
+        assert module.parameters_sha256(actual.target) == module.parameters_sha256(
+            expected.target
+        )
+        assert float(actual.epsilon).hex() == float(expected.epsilon).hex()
+        assert actual._steps == expected._steps
+        assert actual._episodes == expected._episodes
+
+
+# ----------------------------------------------------------------------
+# Parity: column-direct pushes and in-place batch gathers
+
+
+def test_push_columns_matches_transition_push():
+    """push_columns (the lockstep trainer's write path) must land sampled
+    batches byte-identical to pushing the equivalent Transition."""
+    n_actions = 5
+    via_transitions = ReplayBuffer(64, n_actions=n_actions, seed=13)
+    via_columns = ReplayBuffer(64, n_actions=n_actions, seed=13)
+    for t in _random_transitions(6, 150, n_actions=n_actions):
+        via_transitions.push(t)
+        mask = np.zeros(n_actions, dtype=bool)
+        mask[t.next_feasible] = True
+        via_columns.push_columns(
+            t.state, t.action, t.reward, t.next_state, t.done, mask
+        )
+    assert len(via_columns) == len(via_transitions)
+    for _ in range(8):
+        expected = via_transitions.sample_batch(32)
+        actual = via_columns.sample_batch(32)
+        assert np.array_equal(actual.states, expected.states)
+        assert np.array_equal(actual.actions, expected.actions)
+        assert np.array_equal(actual.rewards, expected.rewards)
+        assert np.array_equal(actual.next_states, expected.next_states)
+        assert np.array_equal(actual.dones, expected.dones)
+        assert np.array_equal(actual.feasible_mask, expected.feasible_mask)
+
+
+def test_sample_batch_into_matches_sample_batch():
+    """The preallocated-buffer gather must consume the RNG and land the
+    rows exactly like sample_batch."""
+    state_dim, n_actions = 6, 5
+    reference = ReplayBuffer(128, n_actions=n_actions, seed=21)
+    into = ReplayBuffer(128, n_actions=n_actions, seed=21)
+    for t in _random_transitions(8, 200, state_dim=state_dim, n_actions=n_actions):
+        reference.push(t)
+        into.push(t)
+    out = (
+        np.empty((32, state_dim)),
+        np.empty(32, dtype=int),
+        np.empty(32),
+        np.empty((32, state_dim)),
+        np.empty(32, dtype=bool),
+        np.empty((32, n_actions), dtype=bool),
+    )
+    for _ in range(6):
+        expected = reference.sample_batch(32)
+        into.sample_batch_into(32, out)
+        states, actions, rewards, next_states, dones, feasible = out
+        assert np.array_equal(states, expected.states)
+        assert np.array_equal(actions, expected.actions)
+        assert np.array_equal(rewards, expected.rewards)
+        assert np.array_equal(next_states, expected.next_states)
+        assert np.array_equal(dones, expected.dones)
+        assert np.array_equal(feasible, expected.feasible_mask)

@@ -114,6 +114,73 @@ class TestServeAndReplay:
             Dispatcher(geometry, small_config(solver="simulated_annealing"))
 
 
+class TestRolloutSolver:
+    """The batched in-process miss path: solvers exposing ``solve_batch``
+    answer a whole miss group with one lockstep rollout."""
+
+    @pytest.fixture()
+    def trained(self):
+        from repro.rl.dqn import DQNAgent, DQNConfig
+        from repro.rl.env import AllocationEnv
+
+        config = small_config(solver="rollout", redraw_every=20)
+        geometry, requests = generate_trace(config)
+        env = AllocationEnv(geometry)
+        agent = DQNAgent(
+            env.state_dim,
+            env.n_actions,
+            DQNConfig(hidden_sizes=(16,), batch_size=8, warmup_transitions=16),
+            seed=5,
+        )
+        for _ in range(2):  # nontrivial Q-values; rollouts are RNG-free
+            agent.train_episode(AllocationEnv(geometry))
+        return agent, config, geometry, requests
+
+    def test_single_request_matches_direct_rollout(self, monkeypatch, trained):
+        from repro.rl.env import AllocationEnv
+        from repro.serve.dispatcher import RolloutSolver
+
+        agent, config, geometry, requests = trained
+        monkeypatch.setitem(dispatcher_module.SOLVERS, "rollout", RolloutSolver(agent))
+        with Dispatcher(geometry, config) as dispatcher:
+            response = dispatcher.serve(requests[0])
+        direct = agent.solve(
+            AllocationEnv(geometry.scaled(importance=requests[0].importance))
+        ).as_assignment()
+        assert response.ok
+        assert response.assignment == direct
+
+    def test_batched_miss_groups_match_serial_worker_path(self, monkeypatch, trained):
+        """Replay through solve_batch == replay through the plain
+        per-problem callable (which takes the worker fan-out path)."""
+        from repro.rl.env import AllocationEnv
+        from repro.serve.dispatcher import RolloutSolver
+
+        agent, config, geometry, requests = trained
+        monkeypatch.setitem(dispatcher_module.SOLVERS, "rollout", RolloutSolver(agent))
+        with Dispatcher(geometry, config) as dispatcher:
+            batched = dispatcher.replay(requests)
+        monkeypatch.setitem(
+            dispatcher_module.SOLVERS,
+            "rollout",
+            lambda problem: agent.solve(AllocationEnv(problem)),
+        )
+        with Dispatcher(geometry, config) as dispatcher:
+            serial = dispatcher.replay(requests)
+        assert all(r.ok for r in batched.responses)
+        assert batched.identities() == serial.identities()
+
+    def test_warm_cache_replays_batched_answers(self, monkeypatch, trained):
+        from repro.serve.dispatcher import RolloutSolver
+
+        agent, config, geometry, requests = trained
+        monkeypatch.setitem(dispatcher_module.SOLVERS, "rollout", RolloutSolver(agent))
+        with Dispatcher(geometry, config) as dispatcher:
+            dispatcher.replay(requests)
+            report = dispatcher.replay(requests)
+        assert all(r.cache_hit for r in report.responses)
+
+
 class TestDeterminism:
     @pytest.fixture(autouse=True)
     def _force_parallel(self, monkeypatch):
