@@ -540,6 +540,79 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_edgesim(args: argparse.Namespace) -> int:
+    if args.fleet:
+        from repro.edgesim.fleet import FleetConfig, FleetSimulator
+
+        config = FleetConfig(
+            n_nodes=args.nodes,
+            n_regions=args.regions,
+            duration_s=args.duration_s,
+            arrival_rate_hz=args.arrival_rate,
+            churn_rate_hz=args.churn_rate,
+            window_s=args.window_s,
+            seed=args.seed,
+        )
+        simulator = FleetSimulator.build(config)
+        import time as _time
+
+        wall0 = _time.perf_counter()
+        result = simulator.run_fleet()
+        wall = _time.perf_counter() - wall0
+        rate = result.events / wall if wall > 0 else float("inf")
+        print(
+            f"fleet: {result.n_nodes} nodes / {result.n_regions} regions, "
+            f"{result.duration_s:g}s simulated in {wall:.2f}s wall "
+            f"({rate:,.0f} events/s)"
+        )
+        print(
+            f"  arrivals {result.arrivals}  completed {result.completed}  "
+            f"dropped {result.dropped}  redispatched {result.redispatched}"
+        )
+        print(
+            f"  failures {result.failures}  recoveries {result.recoveries}  "
+            f"peak in-flight {result.peak_in_flight}"
+        )
+        print(
+            f"  latency mean {result.latency_mean_s:.3f}s  "
+            f"p50 {result.latency_p50_s:.3f}s  p95 {result.latency_p95_s:.3f}s  "
+            f"p99 {result.latency_p99_s:.3f}s"
+        )
+        if args.fleet_timeseries_out is not None:
+            result.timeseries.write_jsonl(args.fleet_timeseries_out)
+            print(f"  timeseries: {len(result.windows)} windows -> {args.fleet_timeseries_out}")
+        return 0
+
+    # Default: one testbed epoch through the vectorized kernel, checked
+    # against the reference per-event simulator.
+    from repro.edgesim import (
+        EdgeSimulator,
+        ExecutionPlan,
+        FleetSimulator,
+        WorkloadGenerator,
+        paper_testbed,
+    )
+
+    nodes, network = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=args.tasks, seed=args.seed).draw()
+    ordered = sorted(tasks, key=lambda t: t.true_importance, reverse=True)
+    plan = ExecutionPlan(
+        assignments=tuple(
+            (task.task_id, i % len(nodes)) for i, task in enumerate(ordered)
+        ),
+        label="cli-smoke",
+    )
+    fast = FleetSimulator(nodes, network).run(tasks, plan)
+    reference = EdgeSimulator(nodes, network).run(tasks, plan)
+    match = "exact match" if fast == reference else "MISMATCH vs reference"
+    print(
+        f"epoch: {len(tasks)} tasks on {len(nodes)} nodes -> "
+        f"PT {fast.processing_time:.2f}s, {fast.tasks_executed} completed, "
+        f"gate {'crossed' if fast.gate_crossed else 'missed'} ({match})"
+    )
+    return 0 if fast == reference else 1
+
+
 def _command_loadgen(args: argparse.Namespace) -> int:
     from repro.serve import Dispatcher, generate_trace
 
@@ -747,6 +820,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_arguments(serve)
     serve.set_defaults(handler=_command_serve)
+
+    edgesim = commands.add_parser(
+        "edgesim",
+        help="run the edge DES: testbed epoch smoke or --fleet scale run",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    edgesim.add_argument(
+        "--fleet",
+        action="store_true",
+        help="open-loop fleet run (vectorized engine) instead of the testbed epoch",
+    )
+    edgesim.add_argument("--tasks", type=int, default=50, help="epoch tasks (non-fleet)")
+    edgesim.add_argument("--nodes", type=int, default=1000, help="fleet size")
+    edgesim.add_argument("--regions", type=int, default=8, help="fleet regions")
+    edgesim.add_argument("--duration-s", type=float, default=60.0, dest="duration_s")
+    edgesim.add_argument(
+        "--arrival-rate", type=float, default=30.0, help="fleet arrivals per second"
+    )
+    edgesim.add_argument(
+        "--churn-rate", type=float, default=0.0, help="node failures per second"
+    )
+    edgesim.add_argument(
+        "--window-s", type=float, default=10.0, dest="window_s",
+        help="streaming metrics window width (simulated seconds)",
+    )
+    edgesim.add_argument(
+        "--timeseries-out",
+        metavar="PATH",
+        default=None,
+        dest="fleet_timeseries_out",
+        help="write the fleet run's window ring as JSONL",
+    )
+    edgesim.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arguments(edgesim)
+    edgesim.set_defaults(handler=_command_edgesim)
 
     loadgen = commands.add_parser(
         "loadgen",

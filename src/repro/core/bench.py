@@ -348,6 +348,7 @@ def run_bench(
             _bench_mlp_fit(results, rounds, commit, quick, notes)
             _bench_importance(results, rounds, commit, quick, jobs, notes)
             _bench_edgesim(results, rounds, commit, quick)
+            _bench_fleet(results, rounds, commit, quick, notes)
             _bench_plan_cache(results, rounds, commit, quick, notes, registry)
             _bench_serve(results, rounds, commit, quick, jobs, notes)
     finally:
@@ -750,6 +751,99 @@ def _bench_edgesim(results, rounds, commit, quick) -> None:
         lambda: simulator.run(workload, plan, failures=failures), rounds
     )
     record(results, "edgesim_epoch_run_failures", mean_s, rounds, std_s=std_s, commit=commit)
+
+
+def _bench_fleet(results, rounds, commit, quick, notes) -> None:
+    """Vectorized fleet engine: epoch-kernel speedup plus 10k/100k scale runs.
+
+    The kernel entry interleaves ``FleetSimulator.run`` against the
+    reference ``EdgeSimulator.run`` on the same testbed workload and
+    asserts the results are identical before recording. The scale entries
+    run the open-loop fleet at 10k and 100k nodes (regions and arrival
+    rate scaled together so the access radio sits at the same ~60%
+    utilization as the defaults) and record events/sec and process
+    peak-RSS as informational extras.
+    """
+    import resource
+
+    from repro.edgesim.fleet import FleetConfig, FleetSimulator
+    from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
+    from repro.edgesim.workload import WorkloadGenerator
+
+    nodes, network = scaled_testbed(6)
+    workload = WorkloadGenerator(n_tasks=24 if quick else 50, seed=11).draw()
+    ordered = sorted(workload, key=lambda t: t.true_importance, reverse=True)
+    plan = ExecutionPlan(
+        assignments=tuple(
+            (task.task_id, i % len(nodes)) for i, task in enumerate(ordered)
+        ),
+        label="bench-fleet",
+    )
+    fast = FleetSimulator(nodes, network)
+    reference = EdgeSimulator(nodes, network)
+    timings = _timed_interleaved(
+        {
+            "fleet": lambda: fast.run(workload, plan),
+            "reference": lambda: reference.run(workload, plan),
+        },
+        rounds,
+    )
+    fleet_s, fleet_std, fleet_result = timings["fleet"]
+    ref_s, _, ref_result = timings["reference"]
+    if fleet_result != ref_result:
+        raise AssertionError("fleet epoch kernel diverged from EdgeSimulator")
+    speedup = ref_s / max(fleet_s, 1e-9)
+    record(
+        results,
+        "edgesim_fleet_epoch_kernel",
+        fleet_s,
+        rounds,
+        std_s=fleet_std,
+        commit=commit,
+        extra={"speedup_vs_reference": round(speedup, 3)},
+    )
+    notes.append(
+        f"fleet epoch kernel: {speedup:.2f}x over EdgeSimulator (results identical)"
+    )
+
+    # Scale tier: regions sized so each hosts ~125 nodes; arrival rate
+    # keeps the per-region radio at the same utilization as the defaults
+    # (30 arrivals/s over 8 regions).
+    for label, n_nodes in (("edgesim_fleet_10k", 10_000), ("edgesim_fleet_100k", 100_000)):
+        n_regions = n_nodes // 125
+        config = FleetConfig(
+            n_nodes=n_nodes,
+            n_regions=n_regions,
+            duration_s=5.0 if quick else 20.0,
+            arrival_rate_hz=30.0 * (n_regions / 8),
+            churn_rate_hz=2.0,
+            seed=0,
+        )
+        simulator = FleetSimulator.build(config)
+        # One round per scale point: the run is seconds long and the
+        # extras (events/sec, RSS) matter more than timing variance.
+        scale_rounds = 1
+        mean_s, std_s, fleet_run = _timed(simulator.run_fleet, scale_rounds)
+        peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        record(
+            results,
+            label,
+            mean_s,
+            scale_rounds,
+            std_s=std_s,
+            commit=commit,
+            extra={
+                "nodes": n_nodes,
+                "events": fleet_run.events,
+                "events_per_sec": round(fleet_run.events / max(mean_s, 1e-9), 1),
+                "completed": fleet_run.completed,
+                "peak_rss_mb": round(peak_rss_mb, 1),
+            },
+        )
+        notes.append(
+            f"{label}: {fleet_run.events / max(mean_s, 1e-9):,.0f} events/s "
+            f"({fleet_run.completed} tasks, peak RSS {peak_rss_mb:.0f} MB)"
+        )
 
 
 def _bench_plan_cache(results, rounds, commit, quick, notes, registry) -> None:

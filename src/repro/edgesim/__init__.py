@@ -10,15 +10,23 @@ results return to the controller, which declares the decision once the
 completed tasks' cumulative *true* importance crosses a credibility
 threshold — the mechanism by which importance-aware allocators finish
 earlier than importance-blind ones.
+
+Two engines share that timing model. :class:`EdgeSimulator` is the
+reference per-event loop; :class:`FleetSimulator` is the vectorized
+structure-of-arrays engine that reproduces the reference exactly on the
+testbed epoch workload (``run``) and additionally scales to open-loop
+fleets of 10k-100k nodes with hierarchical regional topologies, node
+churn, and O(nodes + windows) streaming metrics (``run_fleet``).
 """
 
 from repro.edgesim.node import EdgeNode, NODE_PRESETS, make_node
-from repro.edgesim.network import StarNetwork, SwitchedNetwork
-from repro.edgesim.events import Event, EventQueue
-from repro.edgesim.workload import SimTask, WorkloadGenerator
+from repro.edgesim.network import RegionalNetwork, StarNetwork, SwitchedNetwork
+from repro.edgesim.events import CalendarQueue, Event, EventQueue
+from repro.edgesim.workload import FleetWorkload, SimTask, WorkloadGenerator
 from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan, SimResult
+from repro.edgesim.fleet import FleetConfig, FleetResult, FleetSimulator
 from repro.edgesim.energy import EnergyReport, energy_of_run, estimate_energy
-from repro.edgesim.trace import Trace, TraceEvent, TracingSimulator
+from repro.edgesim.trace import JsonlTraceSink, Trace, TraceEvent, TracingSimulator
 from repro.edgesim.testbed import paper_testbed, scaled_testbed
 
 __all__ = [
@@ -27,19 +35,26 @@ __all__ = [
     "make_node",
     "StarNetwork",
     "SwitchedNetwork",
+    "RegionalNetwork",
     "Event",
     "EventQueue",
+    "CalendarQueue",
     "SimTask",
     "WorkloadGenerator",
+    "FleetWorkload",
     "EdgeSimulator",
     "ExecutionPlan",
     "SimResult",
+    "FleetSimulator",
+    "FleetConfig",
+    "FleetResult",
     "EnergyReport",
     "estimate_energy",
     "energy_of_run",
     "Trace",
     "TraceEvent",
     "TracingSimulator",
+    "JsonlTraceSink",
     "paper_testbed",
     "scaled_testbed",
 ]

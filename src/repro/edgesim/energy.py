@@ -67,7 +67,9 @@ def estimate_energy(
     nodes:
         The testbed devices (all assumed powered for the whole epoch).
     tasks_by_node:
-        node_id -> list of *executed* input sizes (Mb) on that node.
+        node_id -> list of *executed* input sizes on that node, in
+        megabits (the package-wide size unit; see
+        :mod:`repro.edgesim.network`).
     result:
         The epoch's :class:`SimResult` (provides the wall-clock horizon).
     transfer_seconds:

@@ -1,0 +1,872 @@
+"""Fleet-scale edge simulation: SoA node state + batched calendar kernel.
+
+Two engines share this module:
+
+1. **Epoch identity kernel** (:meth:`FleetSimulator.run`) — a drop-in
+   replacement for :class:`~repro.edgesim.simulator.EdgeSimulator` on the
+   paper's testbed. Per-task transfer and execution times are precomputed
+   as vectorized numpy columns (bitwise-identical to the scalar
+   arithmetic, since ``latency + size / bw`` and ``(mb * 1e6) * s_per_bit``
+   are the same IEEE-754 operations elementwise), events drain as lean
+   ``(time, seq, kind, position)`` tuples in exactly ``EdgeSimulator``'s
+   (time, insertion-sequence) order, and the run
+   returns the moment the quality gate crosses — events still in flight
+   after the gate provably cannot change the :class:`SimResult`, so the
+   early exit is free speedup with *exact* result identity (asserted by
+   the identity test tier and the ``edgesim_fleet_epoch_kernel`` bench).
+
+2. **Open-loop fleet engine** (:meth:`FleetSimulator.run_fleet`) — the
+   ROADMAP's fleet-scale mode: 10k–1M nodes in hierarchical
+   :class:`~repro.edgesim.network.RegionalNetwork` topologies, open-loop
+   arrivals from :mod:`repro.serve.samplers`, node churn with the
+   re-dispatch semantics of the epoch simulator (lost work is re-shipped
+   to a surviving node), and streaming metrics through
+   :class:`~repro.telemetry.timeseries.TimeSeriesAggregator`. Node state
+   lives in preallocated numpy columns; homogeneous event cohorts
+   (arrivals, transfer completions, execution completions) are popped
+   from the calendar as batches and applied with vectorized kernels, so
+   throughput is dominated by numpy, not the interpreter, and memory is
+   O(nodes + in-flight tasks + windows) — never O(events). Cohorts never
+   span calendar buckets, so the only relaxation versus strict per-event
+   interleaving is bounded by ``bucket_s`` and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.edgesim.events import CalendarQueue
+from repro.edgesim.network import RegionalNetwork
+from repro.edgesim.node import NODE_PRESETS, EdgeNode
+from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan, SimResult
+from repro.edgesim.workload import FleetWorkload, SimTask
+from repro.errors import ConfigurationError, DataError
+from repro.serve.samplers import make_sampler
+from repro.telemetry import get_registry, span
+from repro.telemetry.bridge import sim_time_aggregator
+from repro.telemetry.instruments import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.telemetry.timeseries import TimeSeriesAggregator, estimate_quantile
+from repro.utils.rng import as_rng, derive_seeds
+
+# Epoch-kernel event kinds (mirror EdgeSimulator's string kinds).
+_K_INPUT = 0
+_K_EXEC = 1
+_K_RESULT = 2
+
+# Fleet-engine event kinds.
+_F_ARRIVAL = 0
+_F_XFER_DONE = 1
+_F_EXEC_DONE = 2
+_F_FAIL = 3
+_F_RECOVER = 4
+_F_REFILL = 5
+
+
+def _fifo_ends(ready: np.ndarray, durations: np.ndarray, busy0: float) -> np.ndarray:
+    """Completion times of a FIFO resource serving jobs in array order.
+
+    Solves ``end_i = max(ready_i, end_{i-1}) + d_i`` (with ``end_0``
+    seeded by ``busy0``) without a Python loop: with ``s = cumsum(d)``,
+    ``end_i = s_i + max_{j<=i} max(busy0, ready_j - s_{j-1})``.
+    """
+    s = np.cumsum(durations)
+    return s + np.maximum.accumulate(np.maximum(ready - (s - durations), busy0))
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of one open-loop fleet run.
+
+    Attributes
+    ----------
+    n_nodes:
+        Fleet size; nodes cycle through ``node_presets`` and are
+        partitioned round-robin into ``n_regions`` regions.
+    duration_s:
+        Arrival horizon (simulated seconds); in-flight work drains after.
+    arrival_rate_hz:
+        Fleet-wide open-loop arrival rate (tasks/second).
+    sampler / burst_sigma:
+        Inter-arrival family from :mod:`repro.serve.samplers`.
+    mean_input_mbit / result_mbit:
+        Workload sizes in megabits (see :mod:`repro.edgesim.network`).
+    churn_rate_hz:
+        Fleet-wide node-failure rate; each failed node recovers after
+        ``recovery_s``. Work lost to a failure is re-dispatched to a
+        surviving node in the same region (the epoch simulator's
+        reassignment semantics); with a whole region down, its tasks drop.
+    window_s / max_windows:
+        Tumbling-window geometry of the streaming metrics ring.
+    chunk:
+        Arrivals generated per refill batch — the O(chunk) arrival buffer.
+    bucket_s:
+        Calendar-queue bucket width; also the bound on cohort batching
+        skew.
+    """
+
+    n_nodes: int = 1000
+    n_regions: int = 8
+    duration_s: float = 60.0
+    # Defaults sit at ~60% access-radio utilization (the binding resource:
+    # ~0.165 s of radio per mean task, 8 radios) so the open-loop system
+    # is stable and in-flight work stays bounded.
+    arrival_rate_hz: float = 30.0
+    sampler: str = "poisson"
+    burst_sigma: float = 0.4
+    mean_input_mbit: float = 8.0
+    result_mbit: float = 0.1
+    churn_rate_hz: float = 0.0
+    recovery_s: float = 5.0
+    window_s: float = 10.0
+    max_windows: int = 240
+    chunk: int = 8192
+    bucket_s: float = 1.0
+    seed: int = 0
+    node_presets: tuple[str, ...] = ("rpi-a+", "rpi-b", "rpi-b+")
+    network: RegionalNetwork | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.n_regions < 1 or self.n_regions > self.n_nodes:
+            raise ConfigurationError(
+                f"n_regions must be in [1, n_nodes], got {self.n_regions}"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.arrival_rate_hz <= 0:
+            raise ConfigurationError(
+                f"arrival_rate_hz must be > 0, got {self.arrival_rate_hz}"
+            )
+        if self.churn_rate_hz < 0:
+            raise ConfigurationError(
+                f"churn_rate_hz must be >= 0, got {self.churn_rate_hz}"
+            )
+        if self.recovery_s <= 0:
+            raise ConfigurationError(f"recovery_s must be > 0, got {self.recovery_s}")
+        if self.chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {self.chunk}")
+        if not self.node_presets:
+            raise ConfigurationError("node_presets must not be empty")
+        for preset in self.node_presets:
+            if preset not in NODE_PRESETS:
+                raise ConfigurationError(f"unknown node preset {preset!r}")
+        if self.network is not None and self.network.n_regions != self.n_regions:
+            raise ConfigurationError(
+                f"network has {self.network.n_regions} regions, config says {self.n_regions}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one open-loop fleet run.
+
+    ``timeseries`` is the streaming aggregator (flushed): its bounded
+    window ring is the run's full metric trajectory; latency percentiles
+    are bucket-interpolated estimates from a run-wide histogram, so no
+    per-task record survives the run.
+    """
+
+    n_nodes: int
+    n_regions: int
+    duration_s: float
+    arrivals: int
+    completed: int
+    dropped: int
+    redispatched: int
+    failures: int
+    recoveries: int
+    events: int
+    peak_in_flight: int
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    timeseries: TimeSeriesAggregator = field(repr=False)
+
+    @property
+    def windows(self) -> list:
+        return list(self.timeseries.windows)
+
+
+class _SlotPool:
+    """Preallocated columnar store for in-flight tasks, with a free list.
+
+    Columns are indexed by *slot id*; slots are recycled on completion so
+    capacity tracks peak in-flight tasks, not total arrivals. Growth
+    doubles the columns (amortized O(1) per task).
+    """
+
+    __slots__ = (
+        "capacity", "arrival_t", "size_mbit", "node", "incarnation",
+        "_free", "_top", "peak_in_use",
+    )
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = int(capacity)
+        self.arrival_t = np.zeros(self.capacity, dtype=np.float64)
+        self.size_mbit = np.zeros(self.capacity, dtype=np.float64)
+        self.node = np.full(self.capacity, -1, dtype=np.int64)
+        self.incarnation = np.zeros(self.capacity, dtype=np.int64)
+        self._free = np.arange(self.capacity - 1, -1, -1, dtype=np.int64)
+        self._top = self.capacity
+        self.peak_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._top
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        self.arrival_t = np.concatenate([self.arrival_t, np.zeros(old)])
+        self.size_mbit = np.concatenate([self.size_mbit, np.zeros(old)])
+        self.node = np.concatenate([self.node, np.full(old, -1, dtype=np.int64)])
+        self.incarnation = np.concatenate(
+            [self.incarnation, np.zeros(old, dtype=np.int64)]
+        )
+        free = np.empty(new, dtype=np.int64)
+        free[:old] = np.arange(new - 1, old - 1, -1, dtype=np.int64)
+        free[old : old + self._top] = self._free[: self._top]
+        self._free = free
+        self._top += old
+        self.capacity = new
+
+    def alloc(self, k: int) -> np.ndarray:
+        while self._top < k:
+            self._grow()
+        ids = self._free[self._top - k : self._top].copy()
+        self._top -= k
+        if self.in_use > self.peak_in_use:
+            self.peak_in_use = self.in_use
+        return ids
+
+    def free(self, ids: np.ndarray) -> None:
+        k = len(ids)
+        self._free[self._top : self._top + k] = ids
+        self._top += k
+
+
+class FleetSimulator:
+    """SoA discrete-event engine: epoch-identical and fleet-scale modes.
+
+    Construct from node objects for the drop-in epoch engine
+    (``FleetSimulator(nodes, network)`` — same signature and semantics as
+    :class:`EdgeSimulator`), or from a :class:`FleetConfig` via
+    :meth:`build` for the open-loop fleet engine, which never materializes
+    per-node objects.
+    """
+
+    #: Fixed decision-aggregation overhead once the gate is crossed.
+    AGGREGATION_TIME = EdgeSimulator.AGGREGATION_TIME
+
+    def __init__(
+        self,
+        nodes: Sequence[EdgeNode],
+        network,
+        *,
+        quality_threshold: float = 0.8,
+        bucket_s: float = 1.0,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("simulator needs at least one node")
+        if not 0.0 < quality_threshold <= 1.0:
+            raise ConfigurationError(
+                f"quality_threshold must be in (0, 1], got {quality_threshold}"
+            )
+        self.nodes = {node.node_id: node for node in nodes}
+        if len(self.nodes) != len(nodes):
+            raise ConfigurationError("node ids must be unique")
+        self.network = network
+        self.quality_threshold = float(quality_threshold)
+        self._bucket_s = float(bucket_s)
+        self._config: FleetConfig | None = None
+        self._reference_sim: EdgeSimulator | None = None
+
+    # ------------------------------------------------------------------
+    # Fleet construction: columns only, no EdgeNode objects.
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, config: FleetConfig) -> "FleetSimulator":
+        """A fleet-mode simulator whose node state is numpy columns."""
+        sim = cls.__new__(cls)
+        sim.nodes = {}
+        sim.network = config.network or RegionalNetwork(n_regions=config.n_regions)
+        sim.quality_threshold = 0.8
+        sim._bucket_s = float(config.bucket_s)
+        sim._config = config
+        sim._reference_sim = None
+        n = config.n_nodes
+        rates = np.asarray(
+            [NODE_PRESETS[p][0] for p in config.node_presets], dtype=np.float64
+        )
+        sim._c_s_per_bit = rates[np.arange(n) % len(rates)]
+        sim._c_region = np.arange(n, dtype=np.int64) % config.n_regions
+        sim._c_alive = np.ones(n, dtype=bool)
+        sim._c_incarnation = np.zeros(n, dtype=np.int64)
+        sim._c_busy_until = np.zeros(n, dtype=np.float64)
+        sim._region_nodes = [
+            np.flatnonzero(sim._c_region == r) for r in range(config.n_regions)
+        ]
+        sim._region_rr = [0] * config.n_regions
+        return sim
+
+    # ------------------------------------------------------------------
+    # Epoch mode: exact EdgeSimulator semantics.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[SimTask],
+        plan: ExecutionPlan,
+        *,
+        failures: dict[int, float] | None = None,
+        dependencies=None,
+    ) -> SimResult:
+        """Simulate one epoch; exact :meth:`EdgeSimulator.run` semantics.
+
+        The churn-free, dependency-free case (the Figs. 9–11 benchmark
+        configuration) runs on the batched kernel with precomputed timing
+        columns and gate-crossing early exit; runs with ``failures`` or
+        ``dependencies`` delegate to the reference event loop so the
+        corner semantics stay single-sourced. Both paths emit the same
+        telemetry envelope as ``EdgeSimulator.run``.
+        """
+        with span("edgesim.run", plan=plan.label, tasks=len(tasks)):
+            if failures or dependencies is not None:
+                result = self._reference()._run(
+                    tasks, plan, failures=failures, dependencies=dependencies
+                )
+            else:
+                result = self._run_epoch(tasks, plan)
+        registry = get_registry()
+        registry.counter(
+            "repro_edgesim_runs_total", help="Simulated decision epochs", plan=plan.label
+        ).inc()
+        registry.counter(
+            "repro_edgesim_tasks_executed_total",
+            help="Tasks whose results reached the controller before the decision",
+            plan=plan.label,
+        ).inc(result.tasks_executed)
+        if result.gate_crossed:
+            registry.histogram(
+                "repro_edgesim_pt_seconds",
+                help="Processing Time PT = t_s - t_c (simulated seconds)",
+                plan=plan.label,
+            ).observe(result.processing_time)
+        else:
+            registry.counter(
+                "repro_edgesim_gate_misses_total",
+                help="Epochs whose quality gate never closed (PT = inf)",
+                plan=plan.label,
+            ).inc()
+        return result
+
+    def _reference(self) -> EdgeSimulator:
+        if not self.nodes:
+            raise ConfigurationError(
+                "epoch runs need a node-constructed FleetSimulator; this one was "
+                "built from a FleetConfig"
+            )
+        if self._reference_sim is None:
+            self._reference_sim = EdgeSimulator(
+                list(self.nodes.values()),
+                self.network,
+                quality_threshold=self.quality_threshold,
+            )
+        return self._reference_sim
+
+    def _run_epoch(self, tasks: Sequence[SimTask], plan: ExecutionPlan) -> SimResult:
+        """The fast epoch kernel (no churn, no dependencies).
+
+        A faithful transcription of ``EdgeSimulator._run`` over plan
+        positions instead of task objects: per-position transfer and
+        execution durations are precomputed in one vectorized pass, events
+        are plain ``(time, seq, kind, position)`` tuples on a heap (the
+        identical (time, insertion-sequence) total order, without the
+        per-event dataclass and payload overhead), and the loop returns at
+        the gate crossing — every event still in flight at that point only
+        toggles link/node bookkeeping and can no longer reach the result
+        dict, so ``SimResult`` is bit-for-bit the reference one. Epoch
+        streams are tiny and strictly interleaved, so scalar pops in exact
+        order are the right kernel here; cohort batching lives in
+        :meth:`run_fleet`, where open-loop streams make cohorts wide.
+        """
+        if not self.nodes:
+            raise ConfigurationError(
+                "epoch runs need a node-constructed FleetSimulator; this one was "
+                "built from a FleetConfig"
+            )
+        task_by_id = {task.task_id: task for task in tasks}
+        for task_id, node_id in plan.assignments:
+            if task_id not in task_by_id:
+                raise DataError(f"plan references unknown task {task_id}")
+            if node_id not in self.nodes:
+                raise DataError(f"plan references unknown node {node_id}")
+
+        total_importance = float(sum(t.true_importance for t in task_by_id.values()))
+        gate_target = self.quality_threshold * total_importance
+
+        n = len(plan.assignments)
+        tid = [t for t, _ in plan.assignments]
+        nid = [node for _, node in plan.assignments]
+        importance = [task_by_id[t].true_importance for t in tid]
+        input_mbit = np.asarray([task_by_id[t].input_mb for t in tid], dtype=np.float64)
+        result_mbit = np.asarray([task_by_id[t].result_mb for t in tid], dtype=np.float64)
+        s_per_bit = np.asarray(
+            [self.nodes[node].compute_s_per_bit for node in nid], dtype=np.float64
+        )
+        latency = self.network.latency_s
+        bandwidth = self.network.bandwidth_mbps
+        # Elementwise `lat + size / bw` and `(mb * 1e6) * s_per_bit` are the
+        # same IEEE-754 double ops as the scalar transfer_time /
+        # execution_time calls — identity depends on this.
+        input_tt = (latency + input_mbit / bandwidth).tolist()
+        result_tt = (latency + result_mbit / bandwidth).tolist()
+        exec_tt = ((input_mbit * 1e6) * s_per_bit).tolist()
+
+        heap: list[tuple[float, int, int, int]] = []
+        sequence = 0
+        now = plan.allocation_time
+        pending_inputs: list[int] = list(range(n))
+        pending_results: list[int] = []
+        shared_medium = bool(getattr(self.network, "shared_medium", True))
+        link_busy: dict[object, bool] = {}
+        node_queues: dict[int, list[int]] = {node_id: [] for node_id in self.nodes}
+        node_busy: dict[int, bool] = {node_id: False for node_id in self.nodes}
+        achieved = 0.0
+        completed: dict[int, float] = {}
+        decision_time: float | None = None
+        cancelled = False
+
+        def link_of(node_id: int, kind: int):
+            if shared_medium:
+                return "shared"
+            return (node_id, kind)
+
+        def start_next_transfer() -> None:
+            nonlocal sequence
+            for queue_list, kind in ((pending_results, _K_RESULT), (pending_inputs, _K_INPUT)):
+                if kind == _K_INPUT and cancelled:
+                    continue
+                index = 0
+                while index < len(queue_list):
+                    position = queue_list[index]
+                    link = link_of(nid[position], kind)
+                    if link_busy.get(link, False):
+                        index += 1
+                        continue
+                    queue_list.pop(index)
+                    link_busy[link] = True
+                    duration = result_tt[position] if kind == _K_RESULT else input_tt[position]
+                    heapq.heappush(heap, (now + duration, sequence, kind, position))
+                    sequence += 1
+
+        def start_next_execution(node_id: int) -> None:
+            nonlocal sequence
+            if node_busy[node_id] or cancelled or not node_queues[node_id]:
+                return
+            position = node_queues[node_id].pop(0)
+            node_busy[node_id] = True
+            heapq.heappush(heap, (now + exec_tt[position], sequence, _K_EXEC, position))
+            sequence += 1
+
+        start_next_transfer()
+        while heap:
+            event_time, _seq, kind, position = heapq.heappop(heap)
+            if event_time > now:
+                now = event_time
+            node_id = nid[position]
+            if kind == _K_INPUT:
+                link_busy[link_of(node_id, _K_INPUT)] = False
+                node_queues[node_id].append(position)
+                start_next_execution(node_id)
+                start_next_transfer()
+            elif kind == _K_EXEC:
+                node_busy[node_id] = False
+                pending_results.append(position)
+                start_next_transfer()
+                start_next_execution(node_id)
+            else:  # _K_RESULT
+                link_busy[link_of(node_id, _K_RESULT)] = False
+                if decision_time is None:
+                    completed[tid[position]] = now
+                    achieved += importance[position]
+                    if achieved >= gate_target - 1e-12:
+                        decision_time = now + self.AGGREGATION_TIME
+                        # Gate crossed: pending inputs are cancelled and
+                        # every event still in flight can only toggle
+                        # link/node state — the result is final.
+                        break
+                start_next_transfer()
+
+        if decision_time is not None:
+            processing_time = decision_time
+            gate_crossed = True
+        else:
+            processing_time = float("inf")
+            gate_crossed = False
+        return SimResult(
+            processing_time=processing_time,
+            tasks_executed=len(completed),
+            importance_achieved=float(achieved),
+            gate_crossed=gate_crossed,
+            completion_times=completed,
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet mode: open-loop arrivals, churn, streaming metrics.
+    # ------------------------------------------------------------------
+    def _pick_nodes(self, region: int, k: int) -> np.ndarray:
+        """Round-robin ``k`` alive nodes of ``region`` (-1 = region down)."""
+        members = self._region_nodes[region]
+        m = len(members)
+        pointer = self._region_rr[region]
+        chosen = members[(pointer + np.arange(k)) % m]
+        self._region_rr[region] = (pointer + k) % m
+        dead = np.flatnonzero(~self._c_alive[chosen])
+        if len(dead):
+            alive_members = members[self._c_alive[members]]
+            if len(alive_members) == 0:
+                return np.full(k, -1, dtype=np.int64)
+            chosen = chosen.copy()
+            chosen[dead] = alive_members[(pointer + dead) % len(alive_members)]
+        return chosen
+
+    def run_fleet(self, *, trace=None) -> FleetResult:
+        """Run the open-loop fleet simulation described by the config.
+
+        ``trace`` is an optional event sink with an ``add(TraceEvent)``
+        method — a bounded :class:`~repro.edgesim.trace.Trace` ring or a
+        streaming :class:`~repro.edgesim.trace.JsonlTraceSink` — which
+        receives one completion span per finished task (slot id as the
+        task id). Tracing costs a Python loop over completions, so it is
+        off by default; memory stays bounded by the sink, never O(events).
+        """
+        if self._config is None:
+            raise ConfigurationError(
+                "run_fleet needs a FleetSimulator.build(FleetConfig) instance"
+            )
+        config = self._config
+        with span(
+            "edgesim.fleet_run", nodes=config.n_nodes, duration_s=config.duration_s
+        ):
+            result = self._run_fleet(config, trace=trace)
+        registry = get_registry()
+        registry.counter(
+            "repro_edgesim_fleet_runs_total", help="Open-loop fleet simulations"
+        ).inc()
+        registry.counter(
+            "repro_edgesim_fleet_events_total",
+            help="DES events processed by fleet runs",
+        ).inc(result.events)
+        return result
+
+    def _run_fleet(self, config: FleetConfig, *, trace=None) -> FleetResult:
+        network: RegionalNetwork = self.network
+        n_regions = config.n_regions
+        arrival_seed, workload_seed, churn_seed, churn_node_seed = derive_seeds(
+            config.seed, 4
+        )
+        sampler = make_sampler(
+            config.sampler,
+            config.arrival_rate_hz,
+            burst_sigma=config.burst_sigma,
+            seed=arrival_seed,
+        )
+        workload = FleetWorkload(
+            config.mean_input_mbit, result_mbit=config.result_mbit, seed=workload_seed
+        )
+        registry, aggregator, sim_clock = sim_time_aggregator(
+            window_s=config.window_s, max_windows=config.max_windows
+        )
+        arrivals_counter = registry.counter(
+            "repro_fleet_arrivals_total", help="Open-loop task arrivals"
+        )
+        completions_counter = registry.counter(
+            "repro_fleet_completions_total", help="Tasks whose results returned"
+        )
+        dropped_counter = registry.counter(
+            "repro_fleet_dropped_total", help="Tasks lost to fully-failed regions"
+        )
+        redispatch_counter = registry.counter(
+            "repro_fleet_redispatch_total", help="Tasks re-shipped after node churn"
+        )
+        failure_counter = registry.counter(
+            "repro_fleet_failures_total", help="Node failures"
+        )
+        recovery_counter = registry.counter(
+            "repro_fleet_recoveries_total", help="Node recoveries"
+        )
+        latency_hist = registry.histogram(
+            "repro_fleet_latency_seconds",
+            help="Arrival-to-result latency (simulated seconds)",
+        )
+        overall_latency = Histogram(DEFAULT_LATENCY_BUCKETS)
+
+        calendar = CalendarQueue(config.bucket_s)
+        slots = _SlotPool(min(4096, max(64, config.chunk)))
+        radio_busy = np.zeros(n_regions, dtype=np.float64)
+        backhaul_latency = network.backhaul.latency_s
+        backhaul_bw = network.backhaul.bandwidth_mbps
+        access_latency = network.access.latency_s
+        access_bw = network.access.bandwidth_mbps
+        result_return_tt = network.transfer_time(config.result_mbit)
+
+        arrivals = completed = dropped = redispatched = 0
+        failures = recoveries = 0
+        events = 0
+        region_counter = 0
+        in_flight = peak_in_flight = 0
+
+        # Churn schedule, drawn up front: O(churn events) — independent of
+        # the task-event count and tiny at realistic rates.
+        if config.churn_rate_hz > 0:
+            churn_rng = as_rng(churn_seed)
+            node_rng = as_rng(churn_node_seed)
+            fail_times: list[np.ndarray] = []
+            clock = 0.0
+            while clock < config.duration_s:
+                gaps = churn_rng.exponential(
+                    1.0 / config.churn_rate_hz, size=max(16, config.chunk // 64)
+                )
+                chunk_times = clock + np.cumsum(gaps)
+                fail_times.append(chunk_times[chunk_times < config.duration_s])
+                clock = float(chunk_times[-1])
+            times = np.concatenate(fail_times) if fail_times else np.empty(0)
+            if len(times):
+                victims = node_rng.integers(0, config.n_nodes, size=len(times))
+                calendar.schedule_batch(
+                    times,
+                    np.full(len(times), _F_FAIL, dtype=np.int32),
+                    victims.astype(np.int64),
+                    np.zeros(len(times), dtype=np.int64),
+                )
+
+        def refill(start_t: float) -> None:
+            gaps = sampler.gap_chunk(config.chunk)
+            times = start_t + np.cumsum(gaps)
+            exhausted = times >= config.duration_s
+            times = times[~exhausted]
+            if len(times) == 0:
+                return
+            sizes, _memory, _importance = workload.draw_chunk(len(times))
+            slot_ids = slots.alloc(len(times))
+            slots.arrival_t[slot_ids] = times
+            slots.size_mbit[slot_ids] = sizes
+            calendar.schedule_batch(
+                times,
+                np.full(len(times), _F_ARRIVAL, dtype=np.int32),
+                slot_ids,
+                np.zeros(len(times), dtype=np.int64),
+            )
+            if not exhausted.any():
+                # More stream to come: refill once the scheduled arrivals
+                # run out (equal time, later sequence — pops after them).
+                calendar.schedule(float(times[-1]), _F_REFILL)
+
+        def route(times: np.ndarray, slot_ids: np.ndarray, regions: np.ndarray) -> None:
+            """Assign nodes and push transfers through each region's radio.
+
+            One argsort-split groups the cohort by region (stable, so
+            per-region time order is preserved for the radio FIFO); all
+            transfer completions go back to the calendar as one batch.
+            """
+            nonlocal dropped, in_flight
+            order = np.argsort(regions, kind="stable")
+            sorted_regions = regions[order]
+            unique, starts = np.unique(sorted_regions, return_index=True)
+            boundaries = np.append(starts, len(order))
+            all_ends: list[np.ndarray] = []
+            all_slots: list[np.ndarray] = []
+            for i, region in enumerate(unique):
+                segment = order[boundaries[i] : boundaries[i + 1]]
+                region_times = times[segment]
+                region_slots = slot_ids[segment]
+                nodes = self._pick_nodes(int(region), len(region_slots))
+                down = nodes < 0
+                if down.any():
+                    lost = region_slots[down]
+                    dropped += len(lost)
+                    dropped_counter.inc(len(lost))
+                    in_flight -= len(lost)
+                    slots.free(lost)
+                    keep = ~down
+                    region_times = region_times[keep]
+                    region_slots = region_slots[keep]
+                    nodes = nodes[keep]
+                    if len(region_slots) == 0:
+                        continue
+                slots.node[region_slots] = nodes
+                slots.incarnation[region_slots] = self._c_incarnation[nodes]
+                sizes = slots.size_mbit[region_slots]
+                ready = region_times + (backhaul_latency + sizes / backhaul_bw)
+                access_durations = access_latency + sizes / access_bw
+                ends = _fifo_ends(ready, access_durations, radio_busy[region])
+                radio_busy[region] = float(ends[-1])
+                all_ends.append(ends)
+                all_slots.append(region_slots)
+            if all_ends:
+                ends = np.concatenate(all_ends)
+                batch_slots = np.concatenate(all_slots)
+                calendar.schedule_batch(
+                    ends,
+                    np.full(len(ends), _F_XFER_DONE, dtype=np.int32),
+                    batch_slots,
+                    np.zeros(len(ends), dtype=np.int64),
+                )
+
+        def redispatch(times: np.ndarray, slot_ids: np.ndarray) -> None:
+            """Churn-lost work: fresh transfer to a survivor (same region)."""
+            nonlocal redispatched
+            redispatched += len(slot_ids)
+            redispatch_counter.inc(len(slot_ids))
+            stale_nodes = slots.node[slot_ids]
+            route(times, slot_ids, self._c_region[stale_nodes])
+
+        refill(0.0)
+        while True:
+            cohort = calendar.pop_cohort()
+            if cohort is None:
+                break
+            kind, times, a, _b = cohort
+            events += len(times)
+            sim_clock[0] = calendar.now
+            aggregator.maybe_tick()
+            if kind == _F_ARRIVAL:
+                # Counted as the events fire (not at chunk generation) so
+                # the windowed arrival rate tracks simulated time.
+                arrivals += len(a)
+                arrivals_counter.inc(len(a))
+                in_flight += len(a)
+                if in_flight > peak_in_flight:
+                    peak_in_flight = in_flight
+                regions = (region_counter + np.arange(len(a))) % n_regions
+                region_counter += len(a)
+                route(times, a, regions)
+            elif kind == _F_XFER_DONE:
+                nodes = slots.node[a]
+                valid = self._c_alive[nodes] & (
+                    slots.incarnation[a] == self._c_incarnation[nodes]
+                )
+                if not valid.all():
+                    redispatch(times[~valid], a[~valid])
+                    times, a, nodes = times[valid], a[valid], nodes[valid]
+                if len(a) == 0:
+                    continue
+                durations = (slots.size_mbit[a] * 1e6) * self._c_s_per_bit[nodes]
+                order = np.argsort(nodes, kind="stable")
+                sorted_nodes = nodes[order]
+                unique, starts = np.unique(sorted_nodes, return_index=True)
+                if len(unique) == len(nodes):
+                    ends = np.maximum(times, self._c_busy_until[nodes]) + durations
+                    self._c_busy_until[nodes] = ends
+                else:
+                    ends = np.empty(len(nodes), dtype=np.float64)
+                    boundaries = np.append(starts, len(sorted_nodes))
+                    for i, node in enumerate(unique):
+                        segment = order[boundaries[i] : boundaries[i + 1]]
+                        node_ends = _fifo_ends(
+                            times[segment],
+                            durations[segment],
+                            float(self._c_busy_until[node]),
+                        )
+                        ends[segment] = node_ends
+                        self._c_busy_until[node] = float(node_ends[-1])
+                calendar.schedule_batch(
+                    ends,
+                    np.full(len(ends), _F_EXEC_DONE, dtype=np.int32),
+                    a,
+                    np.zeros(len(ends), dtype=np.int64),
+                )
+            elif kind == _F_EXEC_DONE:
+                nodes = slots.node[a]
+                valid = self._c_alive[nodes] & (
+                    slots.incarnation[a] == self._c_incarnation[nodes]
+                )
+                if not valid.all():
+                    redispatch(times[~valid], a[~valid])
+                    times, a = times[valid], a[valid]
+                if len(a) == 0:
+                    continue
+                # Result return: uncontended backhaul + access delay for a
+                # tiny control frame (documented fleet-mode simplification).
+                latencies = (times + result_return_tt) - slots.arrival_t[a]
+                latency_hist.observe_batch(latencies)
+                overall_latency.observe_batch(latencies)
+                completed += len(a)
+                completions_counter.inc(len(a))
+                in_flight -= len(a)
+                if trace is not None:
+                    from repro.edgesim.trace import TraceEvent
+
+                    arrival_times = slots.arrival_t[a]
+                    for i in range(len(a)):
+                        trace.add(
+                            TraceEvent(
+                                "result",
+                                int(a[i]),
+                                int(nodes[i]),
+                                float(arrival_times[i]),
+                                float(times[i]) + result_return_tt,
+                            )
+                        )
+                slots.free(a)
+            elif kind == _F_FAIL:
+                for index in range(len(a)):
+                    node = int(a[index])
+                    if not self._c_alive[node]:
+                        continue
+                    self._c_alive[node] = False
+                    self._c_incarnation[node] += 1
+                    failures += 1
+                    failure_counter.inc()
+                    calendar.schedule(
+                        float(times[index]) + config.recovery_s, _F_RECOVER, node
+                    )
+            elif kind == _F_RECOVER:
+                for index in range(len(a)):
+                    node = int(a[index])
+                    self._c_alive[node] = True
+                    self._c_busy_until[node] = float(times[index])
+                    recoveries += 1
+                    recovery_counter.inc()
+            elif kind == _F_REFILL:
+                refill(float(times[0]))
+            else:
+                raise ConfigurationError(f"unknown fleet event kind {kind}")
+        sim_clock[0] = calendar.now
+        aggregator.flush()
+
+        def quantile(q: float) -> float:
+            return estimate_quantile(
+                overall_latency.edges,
+                overall_latency.bucket_counts,
+                overall_latency.overflow,
+                q,
+            )
+
+        mean = (
+            overall_latency.sum / overall_latency.count if overall_latency.count else 0.0
+        )
+        return FleetResult(
+            n_nodes=config.n_nodes,
+            n_regions=n_regions,
+            duration_s=config.duration_s,
+            arrivals=arrivals,
+            completed=completed,
+            dropped=dropped,
+            redispatched=redispatched,
+            failures=failures,
+            recoveries=recoveries,
+            events=events,
+            peak_in_flight=peak_in_flight,
+            latency_mean_s=float(mean),
+            latency_p50_s=quantile(50.0),
+            latency_p95_s=quantile(95.0),
+            latency_p99_s=quantile(99.0),
+            timeseries=aggregator,
+        )

@@ -10,6 +10,7 @@ text. Tracing is opt-in: wrap the simulator with :class:`TracingSimulator`
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -38,10 +39,34 @@ class TraceEvent:
 
 @dataclass
 class Trace:
-    """Ordered record of everything that happened in one epoch."""
+    """Ordered record of everything that happened in one epoch.
+
+    By default the event list is unbounded (fine at testbed scale). With
+    ``max_events`` set, ``events`` becomes a ``deque(maxlen=max_events)``
+    and :meth:`add` keeps only the most recent events, counting evictions
+    in ``dropped`` — so tracing a fleet-scale run holds a bounded ring,
+    never O(events). For a full-fidelity record at bounded memory, stream
+    through :class:`JsonlTraceSink` instead.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
     decision_time: float | None = None
+    max_events: int | None = None
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None:
+            if self.max_events < 1:
+                raise ConfigurationError(
+                    f"max_events must be >= 1, got {self.max_events}"
+                )
+            self.events = deque(self.events, maxlen=self.max_events)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append an event, enforcing the ``max_events`` ring bound."""
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped += 1
+        self.events.append(event)
 
     def for_task(self, task_id: int) -> list[TraceEvent]:
         return [e for e in self.events if e.task_id == task_id]
@@ -66,11 +91,14 @@ class Trace:
         a leading ``{"kind": "meta", ...}`` line, then ``"kind": "event"``
         lines, unknown kinds reserved for forward compatibility.
         """
-        lines = [
-            json.dumps(
-                {"kind": "meta", "events": len(self.events), "decision_time": self.decision_time}
-            )
-        ]
+        meta: dict = {
+            "kind": "meta",
+            "events": len(self.events),
+            "decision_time": self.decision_time,
+        }
+        if self.dropped:
+            meta["dropped"] = self.dropped
+        lines = [json.dumps(meta)]
         for event in self.events:
             lines.append(
                 json.dumps(
@@ -102,6 +130,7 @@ class Trace:
             if kind == "meta":
                 decision = payload.get("decision_time")
                 trace.decision_time = None if decision is None else float(decision)
+                trace.dropped = int(payload.get("dropped", 0) or 0)
             elif kind == "event":
                 try:
                     trace.events.append(
@@ -160,6 +189,69 @@ class Trace:
         return "\n".join(lines)
 
 
+class JsonlTraceSink:
+    """Streaming trace writer: events go straight to disk, memory stays O(1).
+
+    The full-fidelity alternative to ``Trace(max_events=...)`` for
+    fleet-scale runs: every :meth:`add` writes one JSONL event line
+    immediately, and :meth:`close` appends the ``meta`` line
+    (:meth:`Trace.from_jsonl` accepts meta anywhere in the stream, so
+    writing it last keeps the sink single-pass). Usable as a context
+    manager; the file read back with :meth:`Trace.read_jsonl` is the same
+    trace an in-memory run would have produced.
+    """
+
+    def __init__(self, path) -> None:
+        self._handle = open(path, "w", encoding="utf-8")
+        self.path = path
+        self.events_written = 0
+        self.decision_time: float | None = None
+        self._closed = False
+
+    def add(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise ConfigurationError("trace sink is closed")
+        self._handle.write(
+            json.dumps(
+                {
+                    "kind": "event",
+                    "event": event.kind,
+                    "task_id": event.task_id,
+                    "node_id": event.node_id,
+                    "start": event.start,
+                    "end": event.end,
+                }
+            )
+            + "\n"
+        )
+        self.events_written += 1
+
+    def set_decision(self, decision_time: float | None) -> None:
+        self.decision_time = decision_time
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._handle.write(
+            json.dumps(
+                {
+                    "kind": "meta",
+                    "events": self.events_written,
+                    "decision_time": self.decision_time,
+                }
+            )
+            + "\n"
+        )
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class TracingSimulator:
     """EdgeSimulator wrapper that reconstructs the epoch's event spans.
 
@@ -170,8 +262,9 @@ class TracingSimulator:
     Only completed tasks appear in the trace.
     """
 
-    def __init__(self, simulator: EdgeSimulator) -> None:
+    def __init__(self, simulator: EdgeSimulator, *, max_events: int | None = None) -> None:
         self.simulator = simulator
+        self.max_events = max_events
 
     def run(
         self,
@@ -191,7 +284,7 @@ class TracingSimulator:
         task_by_id = {task.task_id: task for task in tasks}
         node_of = dict(plan.assignments)
         network: StarNetwork = self.simulator.network
-        events: list[TraceEvent] = []
+        trace = Trace(max_events=self.max_events)
         for task_id, arrival in sorted(result.completion_times.items(), key=lambda kv: kv[1]):
             task = task_by_id[task_id]
             node_id = node_of.get(task_id)
@@ -206,8 +299,8 @@ class TracingSimulator:
             exec_start = exec_end - exec_span
             input_end = exec_start
             input_start = input_end - input_span
-            events.append(TraceEvent("input", task_id, node_id, max(0.0, input_start), max(0.0, input_end)))
-            events.append(TraceEvent("execution", task_id, node_id, max(0.0, exec_start), max(0.0, exec_end)))
-            events.append(TraceEvent("result", task_id, node_id, max(0.0, result_start), arrival))
-        decision = result.processing_time if result.gate_crossed else None
-        return Trace(events=events, decision_time=decision)
+            trace.add(TraceEvent("input", task_id, node_id, max(0.0, input_start), max(0.0, input_end)))
+            trace.add(TraceEvent("execution", task_id, node_id, max(0.0, exec_start), max(0.0, exec_end)))
+            trace.add(TraceEvent("result", task_id, node_id, max(0.0, result_start), arrival))
+        trace.decision_time = result.processing_time if result.gate_crossed else None
+        return trace

@@ -8,6 +8,9 @@ truth from the importance evaluator — what decision quality actually
 depends on) and the allocator's *estimated* importance (what the policy
 acts on). The gap between them is what separates DCTA from CRL from the
 importance-blind baselines.
+
+Unit note: ``input_mb`` / ``result_mb`` are **megabits** (the transfer
+unit of :mod:`repro.edgesim.network`); ``memory_mb`` is megabytes of RAM.
 """
 
 from __future__ import annotations
@@ -129,3 +132,56 @@ class WorkloadGenerator:
             )
         tasks = self.draw()
         return [replace(t, true_importance=float(max(importance[i], 0.0))) for i, t in enumerate(tasks)]
+
+
+class FleetWorkload:
+    """Columnar, chunked task-attribute generator for open-loop fleet runs.
+
+    Where :class:`WorkloadGenerator` materializes one epoch of
+    :class:`SimTask` objects, ``FleetWorkload`` hands the fleet engine raw
+    numpy columns chunk-by-chunk, so a run over millions of arrivals never
+    holds more than one chunk of task attributes in memory. Distributions
+    match :class:`WorkloadGenerator` (lognormal sizes, Pareto importance);
+    importance is *not* max-normalized per chunk since the stream has no
+    epoch boundary.
+
+    Sizes are megabits (see module note); fleet runs use a smaller default
+    mean than the epoch generator because open-loop tasks model inference /
+    incremental-update shipments rather than full retraining archives.
+    """
+
+    def __init__(
+        self,
+        mean_input_mbit: float = 40.0,
+        *,
+        pareto_shape: float = 0.7,
+        mean_memory_mb: float = 150.0,
+        result_mbit: float = 0.1,
+        seed=None,
+    ) -> None:
+        if mean_input_mbit <= 0 or mean_memory_mb <= 0:
+            raise ConfigurationError("mean sizes must be > 0")
+        if pareto_shape <= 0:
+            raise ConfigurationError(f"pareto_shape must be > 0, got {pareto_shape}")
+        if result_mbit < 0:
+            raise ConfigurationError(f"result_mbit must be >= 0, got {result_mbit}")
+        self.mean_input_mbit = float(mean_input_mbit)
+        self.pareto_shape = float(pareto_shape)
+        self.mean_memory_mb = float(mean_memory_mb)
+        self.result_mbit = float(result_mbit)
+        self._rng = as_rng(seed)
+
+    def draw_chunk(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(input_mbit, memory_mb, importance)`` columns for ``n`` tasks."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        rng = self._rng
+        sigma = 0.5
+        sizes = rng.lognormal(
+            mean=np.log(self.mean_input_mbit) - sigma**2 / 2, sigma=sigma, size=n
+        )
+        memory = rng.lognormal(
+            mean=np.log(self.mean_memory_mb) - 0.18, sigma=0.6, size=n
+        )
+        importance = rng.pareto(self.pareto_shape, size=n) + 1e-3
+        return sizes, memory, importance

@@ -48,6 +48,20 @@ class PoissonSampler:
         """One inter-arrival gap in seconds."""
         return float(self._rng.exponential(1.0 / self.rate_hz))
 
+    def gap_chunk(self, n: int) -> np.ndarray:
+        """``n`` inter-arrival gaps drawn as one vectorized batch.
+
+        Deterministic under a fixed seed; used by the fleet engine to
+        generate arrivals chunk-by-chunk so memory stays O(chunk) rather
+        than O(total arrivals). The chunked stream is its own canonical
+        stream: a sampler consumed via ``gap_chunk`` is reproducible
+        seed-for-seed but not guaranteed draw-for-draw identical to the
+        same sampler consumed via repeated :meth:`next_gap` calls.
+        """
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        return self._rng.exponential(1.0 / self.rate_hz, size=n)
+
     def arrival_times(self, n: int) -> np.ndarray:
         """The first ``n`` arrival offsets (seconds, strictly ordered)."""
         if n < 0:
@@ -87,6 +101,15 @@ class GaussianPoissonSampler(PoissonSampler):
         sigma = self.burst_sigma
         factor = float(np.exp(sigma * self._rng.standard_normal() - sigma * sigma / 2.0))
         return float(self._rng.exponential(1.0 / (self.rate_hz * factor)))
+
+    def gap_chunk(self, n: int) -> np.ndarray:
+        """Vectorized batch of ``n`` modulated gaps (see base class note)."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        sigma = self.burst_sigma
+        z = self._rng.standard_normal(n)
+        factor = np.exp(sigma * z - sigma * sigma / 2.0)
+        return self._rng.exponential(1.0, size=n) / (self.rate_hz * factor)
 
 
 def make_sampler(

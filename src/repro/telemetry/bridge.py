@@ -113,3 +113,34 @@ def edgesim_timeseries(
         ).observe(float(event.end) - float(event.start))
     aggregator.flush()
     return aggregator
+
+
+def sim_time_aggregator(
+    *,
+    window_s: float = 10.0,
+    max_windows: int = 240,
+    quantiles: tuple[float, ...] | None = None,
+) -> tuple[MetricsRegistry, TimeSeriesAggregator, list]:
+    """A private registry + aggregator pair clocked on simulated time.
+
+    The *live* counterpart of :func:`edgesim_timeseries`: instead of
+    post-processing a finished trace, a running engine (the fleet DES)
+    records into the returned registry as it goes and drives the windows
+    itself. Returns ``(registry, aggregator, sim_clock)`` where
+    ``sim_clock`` is a one-element list — write ``sim_clock[0] = now``
+    and call ``aggregator.maybe_tick()`` from the event loop. Memory is
+    O(instrument children + windows), never O(events).
+    """
+    sim_clock = [0.0]
+    registry = MetricsRegistry()
+    kwargs: dict = {}
+    if quantiles is not None:
+        kwargs["quantiles"] = quantiles
+    aggregator = TimeSeriesAggregator(
+        registry,
+        window_s=window_s,
+        max_windows=max_windows,
+        clock=lambda: sim_clock[0],
+        **kwargs,
+    )
+    return registry, aggregator, sim_clock

@@ -83,3 +83,24 @@ class TestEventQueue:
         queue = EventQueue()
         queue.schedule(1.0, "x", payload={"k": 1})
         assert queue.pop().payload == {"k": 1}
+
+    def test_runaway_guard_bound_is_exact(self):
+        """The handler runs at most ``max_events`` times (regression: the
+        bound used to be checked after dispatch, allowing one extra)."""
+        queue = EventQueue()
+        queue.schedule(1.0, "loop")
+        calls = []
+
+        def handler(event):
+            calls.append(event.kind)
+            queue.schedule(1.0, "loop")
+
+        with pytest.raises(SimulationError, match="exceeded 5 events"):
+            queue.run(handler, max_events=5)
+        assert len(calls) == 5
+
+    def test_run_exactly_at_bound_succeeds(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.schedule(float(i), "e")
+        assert queue.run(lambda e: None, max_events=5) == 5

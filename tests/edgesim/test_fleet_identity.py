@@ -1,0 +1,119 @@
+"""Identity tier: the vectorized epoch kernel IS the reference simulator.
+
+Figures 9-11 move to :class:`FleetSimulator`, so its testbed-scale mode
+must reproduce :class:`EdgeSimulator` exactly — not approximately: the
+same ``SimResult`` object (bitwise-equal floats) and the same derived
+energy accounting, across seeds, topologies, thresholds, and allocation
+times.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.edgesim.energy import energy_of_run
+from repro.edgesim.fleet import FleetSimulator
+from repro.edgesim.network import StarNetwork, SwitchedNetwork
+from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
+from repro.edgesim.testbed import paper_testbed
+from repro.edgesim.workload import WorkloadGenerator
+
+
+def _plan(tasks, n_nodes, *, allocation_time=0.0):
+    ordered = sorted(tasks, key=lambda t: t.true_importance, reverse=True)
+    return ExecutionPlan(
+        assignments=tuple(
+            (task.task_id, i % n_nodes) for i, task in enumerate(ordered)
+        ),
+        allocation_time=allocation_time,
+    )
+
+
+NETWORKS = [
+    StarNetwork(),
+    StarNetwork(bandwidth_mbps=10.0),
+    SwitchedNetwork(bandwidth_mbps=200.0, latency_s=0.001),
+]
+
+
+@pytest.mark.parametrize("network", NETWORKS, ids=["star", "star10", "switched"])
+@pytest.mark.parametrize("threshold", [0.5, 0.8, 1.0])
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_exact_simresult_identity(network, threshold, seed):
+    nodes, _ = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=40, seed=seed).draw()
+    plan = _plan(tasks, len(nodes))
+    reference = EdgeSimulator(nodes, network, quality_threshold=threshold)
+    fleet = FleetSimulator(nodes, network, quality_threshold=threshold)
+    expected = reference.run(tasks, plan)
+    got = fleet.run(tasks, plan)
+    assert got == expected  # dataclass equality: every float bitwise-equal
+    assert got.processing_time == expected.processing_time
+    assert got.completion_times == expected.completion_times
+
+
+@pytest.mark.parametrize("allocation_time", [0.0, 1.5, 120.0])
+def test_allocation_time_offsets_identically(allocation_time):
+    nodes, network = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=30, seed=3).draw()
+    plan = _plan(tasks, len(nodes), allocation_time=allocation_time)
+    expected = EdgeSimulator(nodes, network).run(tasks, plan)
+    got = FleetSimulator(nodes, network).run(tasks, plan)
+    assert got == expected
+
+
+def test_energy_accounting_identity():
+    nodes, network = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=40, seed=11).draw()
+    plan = _plan(tasks, len(nodes))
+    reference = EdgeSimulator(nodes, network)
+    fleet = FleetSimulator(nodes, network)
+    expected = energy_of_run(nodes, tasks, plan, reference.run(tasks, plan), network)
+    got = energy_of_run(nodes, tasks, plan, fleet.run(tasks, plan), network)
+    assert got == expected
+
+
+def test_gate_miss_is_identical():
+    nodes, network = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=30, seed=5).draw()
+    # Plan only a sliver of the workload so the importance gate can never
+    # be crossed; both engines must report the same unreachable result.
+    ordered = sorted(tasks, key=lambda t: t.true_importance)
+    plan = ExecutionPlan(assignments=((ordered[0].task_id, 0),))
+    expected = EdgeSimulator(nodes, network).run(tasks, plan)
+    got = FleetSimulator(nodes, network).run(tasks, plan)
+    assert not expected.gate_crossed
+    assert math.isinf(expected.processing_time)
+    assert got == expected
+
+
+def test_empty_plan_identity():
+    nodes, network = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=10, seed=2).draw()
+    plan = ExecutionPlan(assignments=())
+    expected = EdgeSimulator(nodes, network).run(tasks, plan)
+    got = FleetSimulator(nodes, network).run(tasks, plan)
+    assert got == expected
+
+
+def test_failures_delegate_to_reference_semantics():
+    """Mid-run failures take the reference path; results match it exactly."""
+    nodes, network = paper_testbed()
+    tasks = WorkloadGenerator(n_tasks=30, seed=9).draw()
+    plan = _plan(tasks, len(nodes))
+    failures = {nodes[0].node_id: 5.0, nodes[3].node_id: 20.0}
+    expected = EdgeSimulator(nodes, network).run(tasks, plan, failures=failures)
+    got = FleetSimulator(nodes, network).run(tasks, plan, failures=failures)
+    assert got == expected
+
+
+def test_rejects_bad_configuration_like_reference():
+    nodes, network = paper_testbed()
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        FleetSimulator([], network)
+    with pytest.raises(ConfigurationError):
+        FleetSimulator(nodes, network, quality_threshold=0.0)

@@ -31,3 +31,36 @@ class TestStarNetwork:
             StarNetwork(latency_s=-1.0)
         with pytest.raises(ConfigurationError):
             StarNetwork().transfer_time(-5.0)
+
+
+class TestRegionalNetwork:
+    def test_transfer_sums_backhaul_and_access(self):
+        from repro.edgesim.network import RegionalNetwork, SwitchedNetwork
+
+        network = RegionalNetwork(
+            n_regions=4,
+            access=StarNetwork(bandwidth_mbps=50.0, latency_s=0.01),
+            backhaul=SwitchedNetwork(bandwidth_mbps=1000.0, latency_s=0.002),
+        )
+        size = 100.0  # megabits
+        assert network.backhaul_time(size) == pytest.approx(0.002 + size / 1000.0)
+        assert network.access_time(size) == pytest.approx(0.01 + size / 50.0)
+        assert network.transfer_time(size) == pytest.approx(
+            network.backhaul_time(size) + network.access_time(size)
+        )
+
+    def test_region_of_round_robin(self):
+        from repro.edgesim.network import RegionalNetwork
+
+        network = RegionalNetwork(n_regions=3)
+        assert [network.region_of(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_validation(self):
+        from repro.edgesim.network import RegionalNetwork, SwitchedNetwork
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RegionalNetwork(n_regions=0)
+        with pytest.raises(ConfigurationError):
+            # Access tier must be a shared medium (the per-region radio).
+            RegionalNetwork(access=SwitchedNetwork())

@@ -3,7 +3,7 @@ import pytest
 from repro.edgesim.network import StarNetwork
 from repro.edgesim.node import make_node
 from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
-from repro.edgesim.trace import Trace, TraceEvent, TracingSimulator
+from repro.edgesim.trace import JsonlTraceSink, Trace, TraceEvent, TracingSimulator
 from repro.edgesim.workload import SimTask
 from repro.errors import ConfigurationError, DataError
 
@@ -127,3 +127,91 @@ class TestGantt:
         _, _, trace = traced_run
         with pytest.raises(ConfigurationError):
             trace.gantt(width=5)
+
+
+class TestBoundedTrace:
+    def test_ring_keeps_most_recent_and_counts_dropped(self):
+        trace = Trace(max_events=3)
+        for i in range(7):
+            trace.add(TraceEvent("input", i, 0, float(i), float(i) + 0.5))
+        assert len(trace.events) == 3
+        assert [e.task_id for e in trace.events] == [4, 5, 6]
+        assert trace.dropped == 4
+
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        for i in range(100):
+            trace.add(TraceEvent("input", i, 0, 0.0, 1.0))
+        assert len(trace.events) == 100
+        assert trace.dropped == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace(max_events=0)
+
+    def test_dropped_survives_jsonl_round_trip(self):
+        trace = Trace(max_events=2)
+        for i in range(5):
+            trace.add(TraceEvent("result", i, 1, 0.0, 1.0))
+        parsed = Trace.from_jsonl(trace.to_jsonl())
+        assert parsed.dropped == 3
+        assert [e.task_id for e in parsed.events] == [3, 4]
+
+    def test_tracing_simulator_honors_bound(self, traced_run):
+        tasks, _result, unbounded = traced_run
+        nodes = [make_node("laptop", 0), make_node("rpi-b", 1)]
+        simulator = TracingSimulator(
+            EdgeSimulator(nodes, StarNetwork(), quality_threshold=1.0),
+            max_events=2,
+        )
+        plan = ExecutionPlan(((0, 0), (1, 1)))
+        _result2, bounded = simulator.run(tasks, plan)
+        assert len(bounded.events) == 2
+        assert bounded.dropped == len(unbounded.events) - 2
+        # The ring keeps the *latest* spans of the full reconstruction.
+        assert list(bounded.events) == list(unbounded.events)[-2:]
+
+
+class TestJsonlTraceSink:
+    def test_streams_events_and_meta_last(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.add(TraceEvent("input", 0, 1, 0.0, 1.0))
+            sink.add(TraceEvent("result", 0, 1, 1.0, 2.0))
+            sink.set_decision(1.5)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        import json as _json
+
+        assert _json.loads(lines[-1])["kind"] == "meta"
+        parsed = Trace.read_jsonl(path)
+        assert len(parsed.events) == 2
+        assert parsed.decision_time == 1.5
+
+    def test_add_after_close_rejected(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ConfigurationError):
+            sink.add(TraceEvent("input", 0, 0, 0.0, 1.0))
+        sink.close()  # idempotent
+
+    def test_fleet_run_streams_completions(self, tmp_path):
+        from repro.edgesim.fleet import FleetConfig, FleetSimulator
+
+        config = FleetConfig(n_nodes=64, n_regions=4, duration_s=5.0, seed=4)
+        path = tmp_path / "fleet.jsonl"
+        with JsonlTraceSink(path) as sink:
+            result = FleetSimulator.build(config).run_fleet(trace=sink)
+        parsed = Trace.read_jsonl(path)
+        assert result.completed > 0
+        assert len(parsed.events) == result.completed
+        assert all(e.kind == "result" for e in parsed.events)
+
+    def test_fleet_run_bounded_ring(self):
+        from repro.edgesim.fleet import FleetConfig, FleetSimulator
+
+        config = FleetConfig(n_nodes=64, n_regions=4, duration_s=5.0, seed=4)
+        trace = Trace(max_events=10)
+        result = FleetSimulator.build(config).run_fleet(trace=trace)
+        assert len(trace.events) == min(10, result.completed)
+        assert trace.dropped == max(0, result.completed - 10)
