@@ -11,9 +11,13 @@ Schema (one entry per bench)::
 
     {"<bench_name>": {"mean_s": float, "std_s": float, "rounds": int, "commit": str}}
 
-Serve benches append informational KPI extras (``throughput_rps``,
-``latency_p95_ms``, ``rejected``, ...) to their entries; the regression
-gate ignores them.
+Serve and fleet benches append informational KPI extras
+(``throughput_rps``, ``latency_p95_ms``, ``rejected``,
+``events_per_sec``, ``peak_rss_mib``, ...) to their entries; the
+regression gate ignores them, and :func:`bench_table` surfaces them in
+the ``repro bench`` output. Peak RSS is always mebibytes
+(:func:`peak_rss_mib` normalizes the platform-dependent ``ru_maxrss``
+unit — KiB on Linux, bytes on macOS).
 
 :func:`write_bench_json` merges into an existing file, so partial runs
 (e.g. the pytest ``benchmarks/perf/`` suite, which reuses this writer)
@@ -118,15 +122,50 @@ def write_bench_json(results: dict, path=DEFAULT_BENCH_PATH) -> None:
     path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
+#: Entry keys every bench carries; anything else is an informational
+#: extra (serving KPIs, events/sec, peak RSS, ...) surfaced by
+#: :func:`bench_table` rather than living only in ``BENCH_perf.json``.
+_CORE_ENTRY_KEYS = frozenset({"mean_s", "std_s", "rounds", "commit", "python", "numpy"})
+
+
+def peak_rss_mib() -> float:
+    """Process peak RSS in MiB, normalized across platforms.
+
+    ``resource.getrusage(...).ru_maxrss`` is kibibytes on Linux but bytes
+    on macOS; converting here (once) keeps every ``peak_rss_mib`` bench
+    extra in the same unit regardless of where it was recorded.
+    """
+    import resource
+    import sys
+
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def bench_table(results: dict) -> str:
     from repro.utils.reporting import format_table
 
-    rows = [
-        [name, entry["mean_s"], entry.get("std_s", 0.0), entry["rounds"], entry["commit"]]
-        for name, entry in sorted(results.items())
-    ]
+    rows = []
+    for name, entry in sorted(results.items()):
+        extras = ", ".join(
+            f"{key}={entry[key]}" for key in entry if key not in _CORE_ENTRY_KEYS
+        )
+        rows.append(
+            [
+                name,
+                entry["mean_s"],
+                entry.get("std_s", 0.0),
+                entry["rounds"],
+                entry["commit"],
+                extras or "-",
+            ]
+        )
     return format_table(
-        ["bench", "mean_s", "std_s", "rounds", "commit"], rows, title="repro bench"
+        ["bench", "mean_s", "std_s", "rounds", "commit", "extras"],
+        rows,
+        title="repro bench",
     )
 
 
@@ -349,6 +388,7 @@ def run_bench(
             _bench_importance(results, rounds, commit, quick, jobs, notes)
             _bench_edgesim(results, rounds, commit, quick)
             _bench_fleet(results, rounds, commit, quick, notes)
+            _bench_fleet_sharded(results, rounds, commit, quick, notes)
             _bench_plan_cache(results, rounds, commit, quick, notes, registry)
             _bench_serve(results, rounds, commit, quick, jobs, notes)
     finally:
@@ -764,8 +804,6 @@ def _bench_fleet(results, rounds, commit, quick, notes) -> None:
     utilization as the defaults) and record events/sec and process
     peak-RSS as informational extras.
     """
-    import resource
-
     from repro.edgesim.fleet import FleetConfig, FleetSimulator
     from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan
     from repro.edgesim.workload import WorkloadGenerator
@@ -824,7 +862,7 @@ def _bench_fleet(results, rounds, commit, quick, notes) -> None:
         # extras (events/sec, RSS) matter more than timing variance.
         scale_rounds = 1
         mean_s, std_s, fleet_run = _timed(simulator.run_fleet, scale_rounds)
-        peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        rss_mib = peak_rss_mib()
         record(
             results,
             label,
@@ -837,12 +875,108 @@ def _bench_fleet(results, rounds, commit, quick, notes) -> None:
                 "events": fleet_run.events,
                 "events_per_sec": round(fleet_run.events / max(mean_s, 1e-9), 1),
                 "completed": fleet_run.completed,
-                "peak_rss_mb": round(peak_rss_mb, 1),
+                "peak_rss_mib": round(rss_mib, 1),
             },
         )
         notes.append(
             f"{label}: {fleet_run.events / max(mean_s, 1e-9):,.0f} events/s "
-            f"({fleet_run.completed} tasks, peak RSS {peak_rss_mb:.0f} MB)"
+            f"({fleet_run.completed} tasks, peak RSS {rss_mib:.0f} MiB)"
+        )
+
+
+def _bench_fleet_sharded(results, rounds, commit, quick, notes) -> None:
+    """Region-sharded multiprocess fleet runs, up to the 1M-node regime.
+
+    Before anything is recorded, the ``shards=1 == shards=N`` contract is
+    asserted on a small config with worker processes forced, so the
+    digest equality covers the real multiprocess path even on machines
+    where the pool would otherwise decline to fan out. The scale entries
+    then run the sharded engine at 100k and 1M nodes (same region/arrival
+    scaling rule as ``_bench_fleet``) and record events/sec, peak RSS
+    (MiB), shard/group counts and barrier crossings as extras. On >= 4
+    cores the 100k entry also times the single-process ``shards=1`` run
+    and asserts the sharded engine clears 2x its events/s.
+    """
+    import os
+
+    from repro.edgesim.fleet import FleetConfig
+    from repro.edgesim.shard import result_digest, run_fleet_sharded
+
+    cpus = os.cpu_count() or 1
+    shards = max(2, min(cpus, 8))
+
+    identity = FleetConfig(
+        n_nodes=20_000,
+        n_regions=160,
+        duration_s=3.0,
+        arrival_rate_hz=30.0 * (160 / 8),
+        churn_rate_hz=2.0,
+        seed=0,
+    )
+    single = run_fleet_sharded(identity, shards=1)
+    multi = run_fleet_sharded(identity, shards=shards, force=True)
+    digest = result_digest(single.result)
+    if result_digest(multi.result) != digest:
+        raise AssertionError("sharded fleet run diverged from shards=1")
+    notes.append(
+        f"sharded fleet identity: shards=1 == shards={multi.shards} "
+        f"(digest {digest})"
+    )
+
+    scale_rounds = 1
+    for label, n_nodes, duration in (
+        ("edgesim_fleet_sharded_100k", 100_000, 5.0 if quick else 20.0),
+        ("edgesim_fleet_sharded_1m", 1_000_000, 2.0 if quick else 10.0),
+    ):
+        n_regions = n_nodes // 125
+        config = FleetConfig(
+            n_nodes=n_nodes,
+            n_regions=n_regions,
+            duration_s=duration,
+            arrival_rate_hz=30.0 * (n_regions / 8),
+            churn_rate_hz=2.0,
+            seed=0,
+        )
+        mean_s, std_s, run = _timed(
+            lambda config=config: run_fleet_sharded(config, shards=shards),
+            scale_rounds,
+        )
+        events_per_sec = run.result.events / max(mean_s, 1e-9)
+        rss_mib = peak_rss_mib()
+        extra = {
+            "nodes": n_nodes,
+            "events": run.result.events,
+            "events_per_sec": round(events_per_sec, 1),
+            "completed": run.result.completed,
+            "shards": run.shards,
+            "groups": run.groups,
+            "barrier_crossings": run.barrier_crossings,
+            "peak_rss_mib": round(rss_mib, 1),
+        }
+        if label == "edgesim_fleet_sharded_100k" and cpus >= 4 and run.shards > 1:
+            serial_s, _, serial_run = _timed(
+                lambda: run_fleet_sharded(config, shards=1), scale_rounds
+            )
+            serial_eps = serial_run.result.events / max(serial_s, 1e-9)
+            speedup = events_per_sec / max(serial_eps, 1e-9)
+            extra["speedup_vs_1shard"] = round(speedup, 2)
+            if speedup < 2.0:
+                raise AssertionError(
+                    f"sharded fleet at {run.shards} shards only reached "
+                    f"{speedup:.2f}x over shards=1 on {cpus} cores (< 2x)"
+                )
+            notes.append(
+                f"sharded fleet 100k: {speedup:.2f}x events/s over shards=1 "
+                f"at {run.shards} shards"
+            )
+        record(
+            results, label, mean_s, scale_rounds, std_s=std_s, commit=commit,
+            extra=extra,
+        )
+        notes.append(
+            f"{label}: {events_per_sec:,.0f} events/s at {run.shards} shard(s) "
+            f"x {run.groups} groups ({run.result.completed} tasks, "
+            f"peak RSS {rss_mib:.0f} MiB)"
         )
 
 

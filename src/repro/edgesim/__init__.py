@@ -17,6 +17,10 @@ structure-of-arrays engine that reproduces the reference exactly on the
 testbed epoch workload (``run``) and additionally scales to open-loop
 fleets of 10k-100k nodes with hierarchical regional topologies, node
 churn, and O(nodes + windows) streaming metrics (``run_fleet``).
+:func:`run_fleet_sharded` takes the fleet engine multiprocess: region
+groups run as independent conservative-DES shards on the worker pool
+and merge into one bitwise-deterministic :class:`FleetResult`, opening
+the 1M+ node regime.
 """
 
 from repro.edgesim.node import EdgeNode, NODE_PRESETS, make_node
@@ -25,6 +29,13 @@ from repro.edgesim.events import CalendarQueue, Event, EventQueue
 from repro.edgesim.workload import FleetWorkload, SimTask, WorkloadGenerator
 from repro.edgesim.simulator import EdgeSimulator, ExecutionPlan, SimResult
 from repro.edgesim.fleet import FleetConfig, FleetResult, FleetSimulator
+from repro.edgesim.shard import (
+    LookaheadBarrier,
+    ShardedRun,
+    plan_groups,
+    result_digest,
+    run_fleet_sharded,
+)
 from repro.edgesim.energy import EnergyReport, energy_of_run, estimate_energy
 from repro.edgesim.trace import JsonlTraceSink, Trace, TraceEvent, TracingSimulator
 from repro.edgesim.testbed import paper_testbed, scaled_testbed
@@ -48,6 +59,11 @@ __all__ = [
     "FleetSimulator",
     "FleetConfig",
     "FleetResult",
+    "LookaheadBarrier",
+    "ShardedRun",
+    "plan_groups",
+    "result_digest",
+    "run_fleet_sharded",
     "EnergyReport",
     "estimate_energy",
     "energy_of_run",

@@ -169,6 +169,12 @@ class FleetResult:
     window ring is the run's full metric trajectory; latency percentiles
     are bucket-interpolated estimates from a run-wide histogram, so no
     per-task record survives the run.
+
+    ``latency_state`` is the raw run-wide latency histogram as plain
+    picklable data ``(edges, bucket_counts, overflow, count, sum)``. The
+    sharded runner sums these states across region groups and re-derives
+    the merged percentiles from the summed buckets — exactly what a
+    single group covering the whole fleet would have computed.
     """
 
     n_nodes: int
@@ -187,6 +193,7 @@ class FleetResult:
     latency_p95_s: float
     latency_p99_s: float
     timeseries: TimeSeriesAggregator = field(repr=False)
+    latency_state: tuple | None = field(default=None, repr=False)
 
     @property
     def windows(self) -> list:
@@ -291,8 +298,23 @@ class FleetSimulator:
     # Fleet construction: columns only, no EdgeNode objects.
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, config: FleetConfig) -> "FleetSimulator":
-        """A fleet-mode simulator whose node state is numpy columns."""
+    def build(
+        cls,
+        config: FleetConfig,
+        *,
+        s_per_bit: np.ndarray | None = None,
+        region: np.ndarray | None = None,
+    ) -> "FleetSimulator":
+        """A fleet-mode simulator whose node state is numpy columns.
+
+        ``s_per_bit`` and ``region`` override the default round-robin
+        preset/region columns; the sharded runner passes slices of the
+        whole-fleet columns (attached zero-copy from shared memory) so
+        each region group sees exactly the node population it would own
+        in a single-process run. Callers passing ``region`` are
+        responsible for it being 0-based and dense over
+        ``config.n_regions``.
+        """
         sim = cls.__new__(cls)
         sim.nodes = {}
         sim.network = config.network or RegionalNetwork(n_regions=config.n_regions)
@@ -301,11 +323,27 @@ class FleetSimulator:
         sim._config = config
         sim._reference_sim = None
         n = config.n_nodes
-        rates = np.asarray(
-            [NODE_PRESETS[p][0] for p in config.node_presets], dtype=np.float64
-        )
-        sim._c_s_per_bit = rates[np.arange(n) % len(rates)]
-        sim._c_region = np.arange(n, dtype=np.int64) % config.n_regions
+        if s_per_bit is None:
+            rates = np.asarray(
+                [NODE_PRESETS[p][0] for p in config.node_presets], dtype=np.float64
+            )
+            s_per_bit = rates[np.arange(n) % len(rates)]
+        else:
+            s_per_bit = np.ascontiguousarray(s_per_bit, dtype=np.float64)
+            if len(s_per_bit) != n:
+                raise ConfigurationError(
+                    f"s_per_bit column has {len(s_per_bit)} entries, config says {n}"
+                )
+        if region is None:
+            region = np.arange(n, dtype=np.int64) % config.n_regions
+        else:
+            region = np.ascontiguousarray(region, dtype=np.int64)
+            if len(region) != n:
+                raise ConfigurationError(
+                    f"region column has {len(region)} entries, config says {n}"
+                )
+        sim._c_s_per_bit = s_per_bit
+        sim._c_region = region
         sim._c_alive = np.ones(n, dtype=bool)
         sim._c_incarnation = np.zeros(n, dtype=np.int64)
         sim._c_busy_until = np.zeros(n, dtype=np.float64)
@@ -565,7 +603,7 @@ class FleetSimulator:
         ).inc(result.events)
         return result
 
-    def _run_fleet(self, config: FleetConfig, *, trace=None) -> FleetResult:
+    def _run_fleet(self, config: FleetConfig, *, trace=None, barrier=None) -> FleetResult:
         network: RegionalNetwork = self.network
         n_regions = config.n_regions
         arrival_seed, workload_seed, churn_seed, churn_node_seed = derive_seeds(
@@ -633,7 +671,10 @@ class FleetSimulator:
                 gaps = churn_rng.exponential(
                     1.0 / config.churn_rate_hz, size=max(16, config.chunk // 64)
                 )
-                chunk_times = clock + np.cumsum(gaps)
+                # Carry the chunk boundary *inside* the cumsum so the
+                # absolute times come out bitwise-identical for any chunk
+                # size (left-to-right summation never restarts).
+                chunk_times = np.cumsum(np.concatenate(([clock], gaps)))[1:]
                 fail_times.append(chunk_times[chunk_times < config.duration_s])
                 clock = float(chunk_times[-1])
             times = np.concatenate(fail_times) if fail_times else np.empty(0)
@@ -646,9 +687,22 @@ class FleetSimulator:
                     np.zeros(len(times), dtype=np.int64),
                 )
 
-        def refill(start_t: float) -> None:
+        # The arrival-stream carry lives outside the calendar: the refill
+        # event's *stored* time may be clamped forward to `now` by cohort
+        # batching (`schedule_batch` clamps to the clock), so restarting
+        # the cumsum from the event time would drift the stream by up to
+        # `bucket_s` per refill — making the arrival process a function of
+        # `chunk` and able to cross `duration_s` early. The carry always
+        # holds the true last drawn arrival time.
+        refill_carry = 0.0
+
+        def refill() -> None:
+            nonlocal refill_carry
             gaps = sampler.gap_chunk(config.chunk)
-            times = start_t + np.cumsum(gaps)
+            # Same carry trick as the churn schedule: arrival times are a
+            # pure function of the sampler stream, not of `config.chunk`.
+            times = np.cumsum(np.concatenate(([refill_carry], gaps)))[1:]
+            refill_carry = float(times[-1])
             exhausted = times >= config.duration_s
             times = times[~exhausted]
             if len(times) == 0:
@@ -727,8 +781,20 @@ class FleetSimulator:
             stale_nodes = slots.node[slot_ids]
             route(times, slot_ids, self._c_region[stale_nodes])
 
-        refill(0.0)
+        refill()
         while True:
+            if barrier is not None:
+                head = calendar.peek_time()
+                if head is not None:
+                    # Conservative sync: before draining past a lookahead
+                    # boundary, close metric windows at the boundary and
+                    # exchange any cross-group events with peers. The
+                    # crossing schedule is a pure function of config, so
+                    # every decomposition ticks identically.
+                    for boundary in barrier.crossings(head):
+                        sim_clock[0] = max(sim_clock[0], boundary)
+                        aggregator.maybe_tick()
+                        barrier.exchange(boundary)
             cohort = calendar.pop_cohort()
             if cohort is None:
                 break
@@ -835,7 +901,7 @@ class FleetSimulator:
                     recoveries += 1
                     recovery_counter.inc()
             elif kind == _F_REFILL:
-                refill(float(times[0]))
+                refill()
             else:
                 raise ConfigurationError(f"unknown fleet event kind {kind}")
         sim_clock[0] = calendar.now
@@ -869,4 +935,11 @@ class FleetSimulator:
             latency_p95_s=quantile(95.0),
             latency_p99_s=quantile(99.0),
             timeseries=aggregator,
+            latency_state=(
+                tuple(overall_latency.edges),
+                tuple(int(c) for c in overall_latency.bucket_counts),
+                int(overall_latency.overflow),
+                int(overall_latency.count),
+                float(overall_latency.sum),
+            ),
         )

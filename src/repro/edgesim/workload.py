@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, derive_seeds
 
 
 @dataclass(frozen=True)
@@ -148,6 +148,12 @@ class FleetWorkload:
     Sizes are megabits (see module note); fleet runs use a smaller default
     mean than the epoch generator because open-loop tasks model inference /
     incremental-update shipments rather than full retraining archives.
+
+    Each column draws from its own substream derived from the seed, so the
+    attribute stream is invariant to how arrivals are partitioned into
+    chunks: ``draw_chunk(a)`` then ``draw_chunk(b)`` concatenates to
+    exactly ``draw_chunk(a + b)``. The sharded fleet runner leans on this
+    to keep results independent of the engine's refill chunk size.
     """
 
     def __init__(
@@ -169,19 +175,21 @@ class FleetWorkload:
         self.pareto_shape = float(pareto_shape)
         self.mean_memory_mb = float(mean_memory_mb)
         self.result_mbit = float(result_mbit)
-        self._rng = as_rng(seed)
+        size_seed, memory_seed, importance_seed = derive_seeds(seed, 3)
+        self._size_rng = as_rng(size_seed)
+        self._memory_rng = as_rng(memory_seed)
+        self._importance_rng = as_rng(importance_seed)
 
     def draw_chunk(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(input_mbit, memory_mb, importance)`` columns for ``n`` tasks."""
         if n < 0:
             raise ConfigurationError(f"n must be >= 0, got {n}")
-        rng = self._rng
         sigma = 0.5
-        sizes = rng.lognormal(
+        sizes = self._size_rng.lognormal(
             mean=np.log(self.mean_input_mbit) - sigma**2 / 2, sigma=sigma, size=n
         )
-        memory = rng.lognormal(
+        memory = self._memory_rng.lognormal(
             mean=np.log(self.mean_memory_mb) - 0.18, sigma=0.6, size=n
         )
-        importance = rng.pareto(self.pareto_shape, size=n) + 1e-3
+        importance = self._importance_rng.pareto(self.pareto_shape, size=n) + 1e-3
         return sizes, memory, importance

@@ -43,7 +43,23 @@ from repro.telemetry import get_registry
 SPINUP_PER_WORKER_S = float(os.environ.get("REPRO_POOL_SPINUP_S", "0.08"))
 
 #: Estimated per-task dispatch overhead on a warm pool (pickle + IPC).
-DISPATCH_PER_TASK_S = 0.003
+#: Recalibrated upward from 0.003: BENCH_perf.json showed sub-second
+#: fan-outs (crl_train_4cluster jobs=2/4, shapley_importance jobs=4)
+#: losing to serial, so the old figure under-priced real dispatch.
+DISPATCH_PER_TASK_S = 0.01
+
+#: Fraction of the ideal (1 - 1/workers) saving a small fan-out actually
+#: realizes — workers never split perfectly, the parent blocks on the
+#: slowest, and numpy loses core affinity. Applied to the projected
+#: saving before comparing against overhead.
+PARALLEL_EFFICIENCY = 0.65
+
+#: With at most this many cores, parallel workers fight the parent (and
+#: each other) for cycles, so the break-even point moves far right:
+#: require each worker's serial chunk to be at least
+#: ``SCARCE_MIN_CHUNK_S`` before fanning out.
+SCARCE_CPU_THRESHOLD = 2
+SCARCE_MIN_CHUNK_S = 1.0
 
 
 def _force_parallel() -> bool:
@@ -109,7 +125,12 @@ class WorkerPool:
             return self._adaptive_serial("single_core")
         workers = min(workers, cpus)
         if estimated_cost_s is not None:
-            saving = estimated_cost_s * (1.0 - 1.0 / workers)
+            if (
+                cpus <= SCARCE_CPU_THRESHOLD
+                and estimated_cost_s / workers < SCARCE_MIN_CHUNK_S
+            ):
+                return self._adaptive_serial("scarce_cores")
+            saving = estimated_cost_s * (1.0 - 1.0 / workers) * PARALLEL_EFFICIENCY
             if saving <= self.overhead_s(workers, tasks):
                 return self._adaptive_serial("small_work")
         return workers

@@ -3,9 +3,11 @@
 PR 3's fan-out re-pickled the full payload of every task into every
 worker, so large read-only inputs — the building dataset's sensing
 matrices, :class:`~repro.rl.crl.EnvironmentStore` stacked matrices, the
-Table I feature arrays — dominated dispatch cost. This module moves that
-data onto a zero-copy plane, the shape Ray's plasma store proved out
-(Moritz et al., see PAPERS.md):
+Table I feature arrays, and the sharded fleet runner's whole-fleet SoA
+node columns (:func:`repro.edgesim.shard.fleet_columns`, sliced per
+region group inside each worker) — dominated dispatch cost. This module
+moves that data onto a zero-copy plane, the shape Ray's plasma store
+proved out (Moritz et al., see PAPERS.md):
 
 - :meth:`SharedArrayStore.share` pickles an object **once** with
   protocol 5, spilling every contiguous buffer (numpy array data)

@@ -53,10 +53,11 @@ class PoissonSampler:
 
         Deterministic under a fixed seed; used by the fleet engine to
         generate arrivals chunk-by-chunk so memory stays O(chunk) rather
-        than O(total arrivals). The chunked stream is its own canonical
-        stream: a sampler consumed via ``gap_chunk`` is reproducible
-        seed-for-seed but not guaranteed draw-for-draw identical to the
-        same sampler consumed via repeated :meth:`next_gap` calls.
+        than O(total arrivals). The chunked stream is draw-for-draw
+        identical to repeated :meth:`next_gap` calls on a same-seed
+        sampler, and invariant to how the draws are partitioned into
+        chunks — the contract the sharded fleet runner's chunk-size
+        independence rests on (pinned by ``tests/serve/test_samplers``).
         """
         if n < 0:
             raise ConfigurationError(f"n must be >= 0, got {n}")
@@ -87,6 +88,12 @@ class GaussianPoissonSampler(PoissonSampler):
     standard normal), so the *mean* instantaneous rate stays ``rate_hz``
     while bursts (factor >> 1 → short gaps) and lulls cluster — the
     coefficient of variation of the gaps grows with ``burst_sigma``.
+
+    The modulation normals and the exponential bases come from two
+    independent substreams derived from the seed, so the per-gap draws
+    never interleave on one stream. That makes :meth:`gap_chunk` exactly
+    the vectorization of :meth:`next_gap` — same gaps in any chunking —
+    which the fleet engine's chunk-size invariance depends on.
     """
 
     name = "gauss_poisson"
@@ -96,20 +103,23 @@ class GaussianPoissonSampler(PoissonSampler):
         if burst_sigma < 0:
             raise ConfigurationError(f"burst_sigma must be >= 0, got {burst_sigma}")
         self.burst_sigma = float(burst_sigma)
+        z_seed, exp_seed = derive_seeds(self._rng, 2)
+        self._z_rng = as_rng(z_seed)
+        self._exp_rng = as_rng(exp_seed)
 
     def next_gap(self) -> float:
         sigma = self.burst_sigma
-        factor = float(np.exp(sigma * self._rng.standard_normal() - sigma * sigma / 2.0))
-        return float(self._rng.exponential(1.0 / (self.rate_hz * factor)))
+        factor = float(np.exp(sigma * self._z_rng.standard_normal() - sigma * sigma / 2.0))
+        return float(self._exp_rng.exponential(1.0)) / (self.rate_hz * factor)
 
     def gap_chunk(self, n: int) -> np.ndarray:
         """Vectorized batch of ``n`` modulated gaps (see base class note)."""
         if n < 0:
             raise ConfigurationError(f"n must be >= 0, got {n}")
         sigma = self.burst_sigma
-        z = self._rng.standard_normal(n)
+        z = self._z_rng.standard_normal(n)
         factor = np.exp(sigma * z - sigma * sigma / 2.0)
-        return self._rng.exponential(1.0, size=n) / (self.rate_hz * factor)
+        return self._exp_rng.exponential(1.0, size=n) / (self.rate_hz * factor)
 
 
 def make_sampler(

@@ -57,6 +57,7 @@ from repro.telemetry.timeseries import (
     TimeSeriesAggregator,
     WindowSnapshot,
     estimate_quantile,
+    merge_timeseries,
     parse_timeseries_jsonl,
     read_timeseries_jsonl,
     timeseries_table,
@@ -76,7 +77,11 @@ from repro.telemetry.exporters import (
     to_prometheus,
     write_metrics_json,
 )
-from repro.telemetry.bridge import edgesim_timeseries, record_edgesim_trace
+from repro.telemetry.bridge import (
+    edgesim_timeseries,
+    merge_sim_timeseries,
+    record_edgesim_trace,
+)
 from repro.telemetry.log import (
     KeyValueFormatter,
     configure_logging,
@@ -109,6 +114,7 @@ __all__ = [
     "TimeSeriesAggregator",
     "WindowSnapshot",
     "estimate_quantile",
+    "merge_timeseries",
     "parse_timeseries_jsonl",
     "read_timeseries_jsonl",
     "timeseries_table",
@@ -124,6 +130,7 @@ __all__ = [
     "to_prometheus",
     "write_metrics_json",
     "edgesim_timeseries",
+    "merge_sim_timeseries",
     "record_edgesim_trace",
     "KeyValueFormatter",
     "configure_logging",

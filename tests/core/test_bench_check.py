@@ -153,3 +153,49 @@ class TestBenchCheckCli:
         captured = capsys.readouterr()
         assert "REGRESSION: a:" in captured.err
         assert "bench regression check" in captured.out
+
+
+class TestBenchExtras:
+    def test_table_surfaces_extras(self):
+        from repro.core.bench import bench_table
+
+        results = {}
+        record(
+            results, "fleet", 1.0, 3, commit="abc",
+            extra={"events_per_sec": 42.5, "peak_rss_mib": 10.0},
+        )
+        record(results, "plain", 2.0, 3, commit="abc")
+        table = bench_table(results)
+        assert "extras" in table
+        assert "events_per_sec=42.5" in table
+        assert "peak_rss_mib=10.0" in table
+
+    def test_version_stamps_stay_out_of_the_extras_column(self):
+        from repro.core.bench import bench_table
+
+        results = {}
+        record(results, "plain", 2.0, 3, commit="abc")
+        assert "python=" not in bench_table(results)
+        assert "numpy=" not in bench_table(results)
+
+    def test_peak_rss_normalizes_platform_units(self, monkeypatch):
+        """ru_maxrss is KiB on Linux but bytes on macOS; one MiB scale out."""
+        import resource
+        import sys
+
+        from repro.core.bench import peak_rss_mib
+
+        class Usage:
+            ru_maxrss = 512 * 1024
+
+        monkeypatch.setattr(resource, "getrusage", lambda who: Usage)
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert peak_rss_mib() == pytest.approx(512.0)
+        monkeypatch.setattr(sys, "platform", "darwin")
+        assert peak_rss_mib() == pytest.approx(0.5)
+
+    def test_peak_rss_is_sane_for_this_process(self):
+        from repro.core.bench import peak_rss_mib
+
+        value = peak_rss_mib()
+        assert 1.0 < value < 1024 * 1024  # MiB scale, not raw bytes

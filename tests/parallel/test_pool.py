@@ -81,6 +81,38 @@ class TestEffectiveJobs:
         monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 2)
         assert pool.effective_jobs(8, 16, estimated_cost_s=100.0) == 2
 
+    def test_scarce_cores_degrade_bench_regressed_workloads_to_serial(
+        self, pool, monkeypatch
+    ):
+        """The BENCH_perf.json workloads that lost to serial stay serial.
+
+        ``crl_train_4cluster_jobs2/jobs4`` and ``shapley_importance_jobs4``
+        regressed against jobs=1 on a 2-core machine — sub-second chunks
+        per worker can't repay dispatch when workers fight the parent for
+        cycles. The recalibrated cost model must decline both fan-outs.
+        """
+        from repro.importance.shapley import EST_SHAPLEY_S_PER_PERMUTATION
+        from repro.rl.crl import EST_TRAIN_S_PER_EPISODE
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 2)
+        crl_cost = EST_TRAIN_S_PER_EPISODE * 30 * 4  # 4 clusters, 30 episodes
+        shapley_cost = EST_SHAPLEY_S_PER_PERMUTATION * 8  # 8 permutations
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert pool.effective_jobs(4, 4, estimated_cost_s=crl_cost) == 1
+            assert pool.effective_jobs(4, 8, estimated_cost_s=shapley_cost) == 1
+        assert (
+            _counter_total(
+                registry, "repro_pool_adaptive_serial_total", reason="scarce_cores"
+            )
+            == 2
+        )
+
+    def test_scarce_cores_still_parallelize_long_chunks(self, pool, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 2)
+        # 50 s/worker chunks clear SCARCE_MIN_CHUNK_S easily.
+        assert pool.effective_jobs(4, 8, estimated_cost_s=100.0) == 2
+
     def test_forked_child_never_parallelizes(self, pool):
         # Simulate a pool handle inherited across a fork: pid mismatch.
         pool._pid = os.getpid() + 1

@@ -1,7 +1,11 @@
 """Traffic-generator determinism and statistical sanity."""
 
+import dataclasses
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.serve.samplers import (
@@ -63,6 +67,92 @@ class TestGaussianPoissonSampler:
     def test_negative_sigma_rejected(self):
         with pytest.raises(ConfigurationError):
             GaussianPoissonSampler(100.0, burst_sigma=-0.1)
+
+
+class TestGapChunkInvariance:
+    """``gap_chunk`` is exactly the vectorization of ``next_gap``.
+
+    The fleet engine draws arrivals chunk-by-chunk (the ``_F_REFILL``
+    path), so the gap stream must be bit-for-bit invariant to how the
+    draws are partitioned into chunks — for both families, across chunk
+    sizes and chunk boundaries.
+    """
+
+    @pytest.mark.parametrize("family", ["poisson", "gauss_poisson"])
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=17), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_equals_gap_by_gap(self, family, sizes):
+        chunked_sampler = make_sampler(family, 120.0, burst_sigma=0.6, seed=5)
+        chunked = np.concatenate(
+            [chunked_sampler.gap_chunk(n) for n in sizes] or [np.empty(0)]
+        )
+        scalar_sampler = make_sampler(family, 120.0, burst_sigma=0.6, seed=5)
+        scalar = np.asarray([scalar_sampler.next_gap() for _ in range(sum(sizes))])
+        np.testing.assert_array_equal(chunked, scalar)
+
+    @pytest.mark.parametrize("family", ["poisson", "gauss_poisson"])
+    @given(
+        left=st.lists(st.integers(min_value=0, max_value=13), min_size=1, max_size=6),
+        right=st.lists(st.integers(min_value=0, max_value=13), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_two_partitions_agree_on_the_common_prefix(self, family, left, right):
+        a = make_sampler(family, 90.0, burst_sigma=0.3, seed=2)
+        b = make_sampler(family, 90.0, burst_sigma=0.3, seed=2)
+        gaps_a = np.concatenate([a.gap_chunk(n) for n in left] or [np.empty(0)])
+        gaps_b = np.concatenate([b.gap_chunk(n) for n in right] or [np.empty(0)])
+        prefix = min(gaps_a.size, gaps_b.size)
+        np.testing.assert_array_equal(gaps_a[:prefix], gaps_b[:prefix])
+
+    @pytest.mark.parametrize("family", ["poisson", "gauss_poisson"])
+    def test_mixed_scalar_and_chunk_calls_share_one_stream(self, family):
+        mixed_sampler = make_sampler(family, 80.0, seed=1)
+        mixed = np.asarray(
+            [mixed_sampler.next_gap()]
+            + list(mixed_sampler.gap_chunk(5))
+            + [mixed_sampler.next_gap()]
+        )
+        scalar_sampler = make_sampler(family, 80.0, seed=1)
+        scalar = np.asarray([scalar_sampler.next_gap() for _ in range(7)])
+        np.testing.assert_array_equal(mixed, scalar)
+
+    @pytest.mark.parametrize("sampler_name", ["poisson", "gauss_poisson"])
+    def test_fleet_refill_path_invariant_to_chunk_size(self, sampler_name):
+        """The ``_F_REFILL`` arrival stream never depends on the chunk size.
+
+        Arrival *times* carry the running stream position through the
+        chunked cumsum (regression: restarting from the refill event's
+        clamped calendar time drifted the stream by up to ``bucket_s``
+        per refill, losing most arrivals at small chunks), so the arrival
+        and completion counts are exactly chunk-independent. Fired event
+        times still participate in the engine's cohort-batching skew —
+        bounded by ``bucket_s`` — so latency aggregates agree only to
+        that bound, not bitwise.
+        """
+        from repro.edgesim.fleet import FleetConfig, FleetSimulator
+
+        base = FleetConfig(
+            n_nodes=400,
+            n_regions=8,
+            duration_s=20.0,
+            arrival_rate_hz=50.0,
+            sampler=sampler_name,
+            seed=3,
+        )
+        results = [
+            FleetSimulator.build(dataclasses.replace(base, chunk=chunk)).run_fleet()
+            for chunk in (7, 64, 8192)
+        ]
+        reference = results[0]
+        for result in results[1:]:
+            assert result.arrivals == reference.arrivals
+            assert result.completed == reference.completed
+            assert result.latency_mean_s == pytest.approx(
+                reference.latency_mean_s, abs=2 * base.bucket_s
+            )
+            assert result.latency_p95_s == pytest.approx(
+                reference.latency_p95_s, abs=2 * base.bucket_s
+            )
 
 
 class TestMakeSampler:
